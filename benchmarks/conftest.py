@@ -1,0 +1,43 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one figure of the paper's evaluation section:
+it runs the experiment harness, prints the series (method × x-axis,
+throughput mean ± 95 % CI), and asserts the figure's qualitative claims
+— who wins, by roughly what factor, where the crossovers fall.
+
+By default the *quick* grids are used (fewer x-points, 3 repetitions).
+Set ``REPRO_FULL_FIGURES=1`` for the paper's full grids, and see
+EXPERIMENTS.md for recorded paper-vs-measured values.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL_FIGURES", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def full_figures():
+    return FULL
+
+
+@pytest.fixture
+def regenerate(benchmark, full_figures):
+    """Run a figure function under pytest-benchmark and print its table."""
+
+    def run(figure_fn, **kwargs):
+        kwargs.setdefault("quick", not full_figures)
+        result = benchmark.pedantic(
+            lambda: figure_fn(**kwargs), rounds=1, iterations=1,
+        )
+        print()
+        print(result.format_table())
+        return result
+
+    return run
+
+
+def series_by_x(result, method):
+    """Dict x -> mean MB/s for one method's series."""
+    return {m.x: m.ci.mean for m in result.series[method]}

@@ -1,0 +1,138 @@
+"""Ablations of Kascade's design choices, beyond the paper's figures.
+
+The paper's conclusion notes that "Kascade has a high tuning potential
+and could be tuned according to the network used in order to reduce
+timeouts and achieve better performance even in case of sequential
+failures" (§IV-G) and proposes slow-node exclusion as future work (§V).
+These benchmarks quantify those claims on the simulator:
+
+* detection timeout vs. failure cost (the knob the paper names);
+* recovery ring-buffer size vs. recovery cost (small buffers force the
+  expensive PGET path through the head);
+* pipeline chunk size vs. fill latency at scale;
+* slow-node exclusion on/off (the §V feature, implemented here).
+"""
+
+import pytest
+
+from repro.baselines import KascadeSim, SimSetup, SlowNodePolicy
+from repro.core import KascadeConfig, order_by_hostname
+from repro.core.units import GB, mbps
+from repro.distem import SEQUENTIAL_SCENARIOS, build_distem_platform
+from repro.topology import build_fat_tree
+
+
+def distem_setup(failures=()):
+    plat = build_distem_platform()
+    return SimSetup(
+        network=plat.network, head=plat.vnodes[0], receivers=plat.vnodes[1:],
+        size=5 * GB, failures=failures, include_startup=False,
+    )
+
+
+def fat_tree_setup(n, size=2 * GB, **kwargs):
+    net = build_fat_tree(n + 1)
+    hosts = order_by_hostname(net.host_names())
+    kwargs.setdefault("include_startup", False)
+    return SimSetup(network=net, head=hosts[0],
+                    receivers=tuple(hosts[1: n + 1]), size=size, **kwargs)
+
+
+def test_ablation_detection_timeout(benchmark):
+    """Shorter io_timeout -> cheaper sequential failures (§IV-G).
+
+    Each sequential failure costs roughly one detection timeout, so the
+    10%-sequential scenario's throughput rises as the timeout shrinks."""
+
+    def sweep():
+        rows = []
+        for timeout in (2.0, 1.0, 0.5, 0.25):
+            method = KascadeSim(config=KascadeConfig(io_timeout=timeout))
+            r = method.run(distem_setup(SEQUENTIAL_SCENARIOS[2].events))
+            rows.append((timeout, mbps(r.throughput)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: detection timeout vs 10% sequential failures")
+    for timeout, tput in rows:
+        print(f"  io_timeout={timeout:5.2f}s -> {tput:6.1f} MB/s")
+    rates = [tput for _t, tput in rows]
+    assert rates == sorted(rates), "shorter timeouts must help"
+    # The paper-tuning claim: meaningful headroom exists.
+    assert rates[-1] > rates[0] * 1.08
+
+
+def test_ablation_buffer_size(benchmark):
+    """Bigger recovery buffers keep replacements off the PGET path.
+
+    With a large ring buffer the upstream can replay everything the
+    replacement missed; with a tiny one, the hole must be re-fetched
+    from the head across the whole network."""
+
+    def sweep():
+        rows = []
+        for chunks in (1, 4, 8, 64, 256):
+            method = KascadeSim(
+                config=KascadeConfig(buffer_chunks=chunks, io_timeout=1.0),
+            )
+            r = method.run(distem_setup(SEQUENTIAL_SCENARIOS[1].events))
+            rows.append((chunks, mbps(r.throughput)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: ring-buffer size vs 5% sequential failures")
+    for chunks, tput in rows:
+        print(f"  buffer={chunks:4d} MiB-chunks -> {tput:6.1f} MB/s")
+    by = dict(rows)
+    # A big buffer is at least as good as a tiny one.
+    assert by[256] >= by[1] - 0.5
+    # And failure handling succeeded everywhere (nothing asserted inside
+    # the sweep failed).
+
+
+def test_ablation_chunk_size(benchmark):
+    """Pipeline fill costs one chunk per hop: big chunks hurt at scale."""
+
+    def sweep():
+        rows = []
+        for chunk in (64 * 1024, 256 * 1024, 1 << 20, 4 << 20, 16 << 20):
+            method = KascadeSim(sim_chunk=chunk)
+            r = method.run(fat_tree_setup(200))
+            rows.append((chunk, mbps(r.throughput), r.data_time))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: forwarding chunk size, 200 clients, 2 GB")
+    for chunk, tput, t in rows:
+        print(f"  chunk={chunk >> 10:6d} KiB -> {tput:6.1f} MB/s "
+              f"(data {t:5.1f}s)")
+    tputs = [t for _c, t, _d in rows]
+    assert tputs[0] > tputs[-1], "16 MiB chunks must pay a visible fill cost"
+    # 200 hops x 16 MiB at ~117 MB/s is ~27 s of fill on a 17 s transfer.
+    assert tputs[-1] < 0.75 * tputs[0]
+
+
+def test_ablation_slow_node_exclusion(benchmark):
+    """The §V future-work feature: one malfunctioning node no longer
+    slows down the whole process once exclusion is enabled."""
+
+    def sweep():
+        def run(policy):
+            setup = fat_tree_setup(30)
+            setup.network.host("node-15").copy_limit = 30e6
+            return KascadeSim(slow_policy=policy).run(setup)
+
+        dragged = run(None)
+        excluded = run(SlowNodePolicy(threshold=40e6, grace=3.0))
+        return dragged, excluded
+
+    dragged, excluded = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: slow-node exclusion (one 15 MB/s laggard of 30)")
+    print(f"  without exclusion: {mbps(dragged.throughput):6.1f} MB/s, "
+          f"everyone completes at the laggard's pace")
+    print(f"  with exclusion:    {mbps(excluded.throughput):6.1f} MB/s, "
+          f"excluded={excluded.excluded}")
+    assert mbps(dragged.throughput) < 25
+    assert excluded.excluded == ["node-15"]
+    assert excluded.throughput > 3 * dragged.throughput
+    assert len(excluded.completed) == 29

@@ -1,0 +1,45 @@
+"""Fig. 7 — raw performance and scalability on 1 GbE with a 2 GB file.
+
+Paper claims: only Kascade and MPI Broadcast nearly saturate the network
+and scale with negligible loss; UDPCast keeps up until ~100 clients then
+degrades rapidly; both TakTuk variants sit at roughly a third of the
+line rate regardless of scale.
+"""
+
+from conftest import series_by_x
+
+from repro.bench import fig07_scalability
+
+
+def test_fig07(regenerate):
+    result = regenerate(fig07_scalability)
+
+    kascade = series_by_x(result, "Kascade")
+    mpi = series_by_x(result, "MPI/Eth")
+    udpcast = series_by_x(result, "UDPCast")
+    tk_chain = series_by_x(result, "TakTuk/chain")
+    tk_tree = series_by_x(result, "TakTuk/tree")
+    ns = sorted(kascade)
+    n_max, n_min = ns[-1], ns[0]
+
+    # Kascade and MPI saturate GbE (line rate 125 MB/s) even at scale...
+    assert kascade[n_max] > 100
+    assert mpi[n_max] > 95
+    # ...with negligible loss versus the single-client point.
+    assert kascade[n_max] > 0.85 * kascade[n_min]
+    assert mpi[n_max] > 0.85 * mpi[n_min]
+
+    # UDPCast matches them at small scale but collapses past ~100 clients.
+    assert udpcast[n_min] > 100
+    mid = max(n for n in ns if n <= 100)
+    assert udpcast[n_max] < 0.65 * udpcast[mid]
+
+    # TakTuk: flat, around a third of the line rate, for both shapes.
+    for series in (tk_chain, tk_tree):
+        for n in ns:
+            assert 25 < series[n] < 55
+
+    # Ranking at full scale: Kascade and MPI on top.
+    assert kascade[n_max] > udpcast[n_max]
+    assert mpi[n_max] > udpcast[n_max]
+    assert udpcast[n_max] > tk_chain[n_max] * 0.9

@@ -1,0 +1,48 @@
+"""Fig. 8 — the 14-node 10 GbE cluster, 5 GB file.
+
+Paper claims: no method saturates 10 GbE (1250 MB/s); MPI is best
+(peaks ~5 Gb/s, usually around 3); UDPCast next (usually slightly above
+2 Gb/s); Kascade stable slightly above 2 Gb/s; TakTuk very low.  The
+bottleneck is host memory bandwidth, not the network.
+"""
+
+from conftest import series_by_x
+
+from repro.bench import fig08_10gbe
+
+
+def test_fig08(regenerate):
+    result = regenerate(fig08_10gbe)
+
+    kascade = series_by_x(result, "Kascade")
+    mpi = series_by_x(result, "MPI/Eth")
+    udpcast = series_by_x(result, "UDPCast")
+    tk_chain = series_by_x(result, "TakTuk/chain")
+    ns = sorted(kascade)
+    multi = [n for n in ns if n >= 2]  # relay chain actually exists
+
+    # Nobody saturates the 1250 MB/s fabric.
+    for series in (kascade, mpi, udpcast):
+        assert all(v < 0.7 * 1250 for v in series.values())
+
+    for n in multi:
+        # MPI leads; 3 Gb/s = 375 MB/s is its typical neighbourhood.
+        assert mpi[n] > udpcast[n]
+        assert mpi[n] > kascade[n]
+        assert 280 < mpi[n] < 750
+        # Kascade sits slightly above 2 Gb/s = 250 MB/s...
+        assert 220 < kascade[n] < 330
+        # ...and UDPCast typically just above it, in the 2-3 Gb/s band
+        # (the two are close neighbours in the paper as well).
+        assert 215 < udpcast[n] < 450
+        # TakTuk is far below everyone.
+        assert tk_chain[n] < 60
+
+    # On average UDPCast edges out Kascade (receivers never relay).
+    udp_mean = sum(udpcast[n] for n in multi) / len(multi)
+    kas_mean = sum(kascade[n] for n in multi) / len(multi)
+    assert udp_mean > 0.95 * kas_mean
+
+    # Kascade is *stable*: its spread across scale stays small.
+    vals = [kascade[n] for n in multi]
+    assert max(vals) - min(vals) < 0.15 * max(vals)

@@ -1,0 +1,42 @@
+"""Fig. 9 — IP over InfiniBand (20 Gb/s), 5 GB file, two IB switches.
+
+Paper claims: MPI over native InfiniBand is very fast for small node
+counts but collapses once the reservation spans both switches (160+
+nodes, saturated inter-switch link) down to TakTuk-like numbers; Kascade
+has more modest but *scalable* performance, similar to its 10 GbE
+behaviour — the only method that stays flat.
+"""
+
+from conftest import series_by_x
+
+from repro.bench import fig09_infiniband
+
+
+def test_fig09(regenerate):
+    result = regenerate(fig09_infiniband)
+
+    kascade = series_by_x(result, "Kascade")
+    mpi = series_by_x(result, "MPI/IB")
+    tk_chain = series_by_x(result, "TakTuk/chain")
+    ns = sorted(kascade)
+    small = [n for n in ns if n <= 120]
+    large = [n for n in ns if n >= 160]
+    assert small and large, "grid must straddle the switch boundary"
+
+    # Small scale: MPI/IB far ahead of everyone.
+    for n in small:
+        assert mpi[n] > 2.0 * kascade[n]
+        assert mpi[n] > 400
+
+    # Past one switch: MPI collapses to TakTuk's neighbourhood...
+    for n in large:
+        assert mpi[n] < 0.2 * mpi[small[0]]
+        assert mpi[n] < 2.5 * tk_chain[n]
+        # ...while Kascade now leads it.
+        assert kascade[n] > mpi[n]
+
+    # Kascade is flat across the boundary (the only scalable method).
+    assert kascade[ns[-1]] > 0.85 * kascade[ns[0]]
+    # And sits in its 10 GbE-like band (slightly above 2 Gb/s).
+    for n in ns:
+        assert 200 < kascade[n] < 350

@@ -1,0 +1,35 @@
+"""Fig. 10 — randomized node ordering on the 1 GbE fat tree.
+
+Paper claims: with a random order the Kascade chain crosses switches
+repeatedly and saturates the uplinks, deteriorating badly — as does MPI.
+TakTuk is already protocol-bound and barely moves.  The Kascade/ordered
+reference keeps its Fig. 7 line-rate behaviour.
+"""
+
+from conftest import series_by_x
+
+from repro.bench import fig10_random_order
+
+
+def test_fig10(regenerate):
+    result = regenerate(fig10_random_order)
+
+    kascade = series_by_x(result, "Kascade")
+    ordered = series_by_x(result, "Kascade/ordered")
+    mpi = series_by_x(result, "MPI/Eth")
+    tk_chain = series_by_x(result, "TakTuk/chain")
+    ns = sorted(kascade)
+    n_max = ns[-1]
+
+    # Random ordering is catastrophic at scale for the pipeline methods.
+    assert kascade[n_max] < 0.5 * ordered[n_max]
+    assert mpi[n_max] < 0.5 * ordered[n_max]
+
+    # The ordered reference keeps its line-rate behaviour.
+    assert ordered[n_max] > 100
+
+    # The degradation grows with scale (more shared uplink crossings).
+    assert kascade[n_max] < kascade[ns[0]]
+
+    # TakTuk barely notices: it was never near the network limits.
+    assert tk_chain[n_max] > 0.8 * tk_chain[ns[0]]

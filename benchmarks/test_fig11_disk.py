@@ -1,0 +1,32 @@
+"""Fig. 11 — writing the 2 GB file to disk (83.5 MB/s drives), ≤30 clients.
+
+Paper claims: all methods drop well below their RAM-sink numbers; Kascade
+has the best performance, writing around 45 MB/s thanks to its
+sequential streaming writes (§II-A1).
+"""
+
+from conftest import series_by_x
+
+from repro.bench import fig11_disk
+
+
+def test_fig11(regenerate):
+    result = regenerate(fig11_disk)
+
+    kascade = series_by_x(result, "Kascade")
+    others = {
+        name: series_by_x(result, name)
+        for name in ("TakTuk/chain", "TakTuk/tree", "UDPCast", "MPI/Eth")
+    }
+    ns = sorted(kascade)
+
+    for n in ns:
+        # Everyone is far below the 117 MB/s RAM-sink plateau...
+        assert kascade[n] < 65
+        # ...and below the raw disk speed.
+        assert kascade[n] < 83.5
+        # Kascade around the paper's ~45 MB/s.
+        assert 38 < kascade[n] < 55
+        # Kascade leads every other method.
+        for name, series in others.items():
+            assert kascade[n] > series[n], (n, name)

@@ -1,0 +1,44 @@
+"""Fig. 13 (with Fig. 12's topology) — multi-site, routed, high-latency.
+
+Paper claims: every method loses throughput as high-latency sites join;
+Kascade offers the best overall performance; MPI suffers so badly from
+latency (segment rendezvous) that TakTuk outperforms it.  UDPCast cannot
+route and is excluded.  Fig. 12's observation — the Paris–Lyon backbone
+link is crossed five times — is reproduced from the topology itself.
+"""
+
+from conftest import series_by_x
+
+from repro.bench import fig12_site_map, fig13_multisite
+
+
+def test_fig12_site_map(benchmark):
+    text = benchmark.pedantic(fig12_site_map, rounds=1, iterations=1)
+    print()
+    print(text)
+    assert "lyon-paris               used 5x" in text
+
+
+def test_fig13(regenerate):
+    result = regenerate(fig13_multisite)
+
+    kascade = series_by_x(result, "Kascade")
+    mpi = series_by_x(result, "MPI/Eth")
+    tk_chain = series_by_x(result, "TakTuk/chain")
+    tk_tree = series_by_x(result, "TakTuk/tree")
+    ns = sorted(kascade)
+    n_min, n_max = ns[0], ns[-1]
+
+    # Throughput declines as distant sites join.
+    for series in (kascade, mpi, tk_chain):
+        assert series[n_max] < series[n_min]
+
+    # Kascade is the best method at every point.
+    for n in ns:
+        assert kascade[n] > tk_chain[n]
+        assert kascade[n] > tk_tree[n]
+        assert kascade[n] > mpi[n]
+
+    # MPI is outperformed by TakTuk once real WAN links are involved.
+    for n in [n for n in ns if n >= 2]:
+        assert mpi[n] < tk_chain[n]

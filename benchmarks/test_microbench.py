@@ -1,0 +1,177 @@
+"""Micro-benchmarks for the performance-critical building blocks.
+
+These are the hot paths of the real runtime (framing, ring buffer) and
+the simulator (the max–min solver); regressions here translate directly
+into lower broadcast throughput or slower experiment sweeps.
+"""
+
+import numpy as np
+
+from repro.core import (
+    ChunkRingBuffer,
+    Data,
+    FailureRecord,
+    FrameDecoder,
+    PatternSource,
+    TransferReport,
+    encode_header,
+)
+from repro.simnet.flows import FlowSpec, solve_max_min
+
+CHUNK = 256 * 1024
+PAYLOAD = b"\xab" * CHUNK
+
+
+def test_framing_encode(benchmark):
+    """Header encoding: one per chunk on the wire."""
+    msg = Data(1 << 30, CHUNK)
+    out = benchmark(encode_header, msg)
+    assert len(out) == 17
+
+
+def test_framing_decode_stream(benchmark):
+    """Decode a burst of 64 DATA frames (16 MiB of stream)."""
+    wire = b"".join(
+        encode_header(Data(i * CHUNK, CHUNK)) + PAYLOAD for i in range(64)
+    )
+
+    def decode():
+        dec = FrameDecoder()
+        dec.feed(wire)
+        return sum(1 for _ in dec)
+
+    assert benchmark(decode) == 64
+
+
+def test_ring_buffer_append(benchmark):
+    """Sustained appends with eviction — every received chunk pays this."""
+
+    def fill():
+        buf = ChunkRingBuffer(capacity=8 * CHUNK)
+        for i in range(128):
+            buf.append(PAYLOAD)
+        return buf.buffered_bytes
+
+    assert benchmark(fill) == 8 * CHUNK
+
+
+def test_ring_buffer_replay(benchmark):
+    """Replay read from a mid-window offset — the recovery path."""
+    buf = ChunkRingBuffer(capacity=32 * CHUNK)
+    for _ in range(32):
+        buf.append(PAYLOAD)
+    offset = buf.min_offset + 5 * CHUNK + 100
+
+    def replay():
+        return sum(len(d) for _o, d in buf.iter_chunks_from(offset))
+
+    assert benchmark(replay) > 0
+
+
+def test_report_roundtrip(benchmark):
+    """Encode + decode a 50-failure report (a very bad day)."""
+    rep = TransferReport(
+        [FailureRecord(f"node-{i}", f"node-{i - 1}", i * 1000, "timeout")
+         for i in range(1, 51)],
+        source_digest=b"\x11" * 32,
+    )
+
+    def roundtrip():
+        return len(TransferReport.decode(rep.encode()).failures)
+
+    assert benchmark(roundtrip) == 50
+
+
+def test_pattern_source_generation(benchmark):
+    """Synthetic stream generation: the head's read path in tests."""
+    src = PatternSource(64 * CHUNK, seed=3)
+
+    def read_all():
+        s = PatternSource(64 * CHUNK, seed=3)
+        total = 0
+        while True:
+            piece = s.read_chunk(CHUNK)
+            if not piece:
+                return total
+            total += len(piece)
+
+    assert benchmark(read_all) == 64 * CHUNK
+
+
+def test_solver_pipeline_200(benchmark):
+    """The simulator's per-event cost: a 200-hop pipeline re-rate."""
+    flows = []
+    caps = {}
+    for i in range(200):
+        up = ("link", 2 * i)
+        down = ("link", 2 * i + 1)
+        caps[up] = 125e6
+        caps[down] = 125e6
+        caps[("copy", i)] = 560e6
+        caps[("copy", i + 1)] = 560e6
+        flows.append(FlowSpec(
+            i,
+            ((up, 1.0), (down, 1.0), (("copy", i), 1.0), (("copy", i + 1), 1.0)),
+            limit=124e6 + i,   # near-identical limits: the worst case
+        ))
+
+    rates = benchmark(solve_max_min, flows, caps)
+    assert len(rates) == 200
+
+
+def test_solver_contended_uplink(benchmark):
+    """Random-order style: 100 flows share 4 uplinks."""
+    rng = np.random.default_rng(0)
+    caps = {("up", j): 1.25e9 for j in range(4)}
+    caps.update({("host", i): 125e6 for i in range(200)})
+    flows = []
+    for i in range(100):
+        j = int(rng.integers(0, 4))
+        flows.append(FlowSpec(
+            i, ((("up", j), 1.0), (("host", 2 * i), 1.0),
+                (("host", 2 * i + 1), 1.0)),
+        ))
+    rates = benchmark(solve_max_min, flows, caps)
+    assert len(rates) == 100
+
+
+def test_protosim_throughput(benchmark):
+    """Events/second of the protocol-exact tier: an 8-node pipeline
+    pushing 8 MiB in 64 KiB chunks (~1000 messages end to end)."""
+    from repro.core import KascadeConfig
+    from repro.protosim import ProtoBroadcast
+
+    config = KascadeConfig(
+        chunk_size=64 * 1024, buffer_chunks=8,
+        io_timeout=0.5, ping_timeout=0.3, connect_timeout=1.0,
+        report_timeout=10.0,
+    )
+
+    def run():
+        bc = ProtoBroadcast(
+            PatternSource(8 * 1024 * 1024, seed=1),
+            [f"n{i}" for i in range(2, 10)], config=config,
+        )
+        result = bc.run()
+        assert result.ok
+        return result
+
+    benchmark(run)
+
+
+def test_fluid_sim_200_node_run(benchmark):
+    """Wall-clock of the headline fluid scenario (Fig. 7 at n=200)."""
+    from repro.baselines import KascadeSim, SimSetup
+    from repro.core import order_by_hostname
+    from repro.topology import build_fat_tree
+
+    def run():
+        net = build_fat_tree(201)
+        hosts = order_by_hostname(net.host_names())
+        setup = SimSetup(network=net, head=hosts[0],
+                         receivers=tuple(hosts[1:]), size=2e9)
+        result = KascadeSim().run(setup)
+        assert len(result.completed) == 200
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,55 @@
+"""Real-runtime benchmarks: the byte-level protocol over loopback TCP.
+
+These measure the actual Python implementation (threads + sockets +
+framing), not the simulator — useful to track protocol-path regressions
+and to show what a pure-Python Kascade moves on one machine.  Numbers
+are loopback numbers; they say nothing about a 200-node fat tree (that
+is the simulator's job) but everything about per-byte protocol cost.
+"""
+
+import pytest
+
+from repro.core import KascadeConfig, NullSink, PatternSource
+from repro.runtime import LocalBroadcast
+
+SIZE = 32 * 1024 * 1024  # 32 MiB per run keeps rounds short
+
+
+def _run(config, receivers=3):
+    result = LocalBroadcast(
+        PatternSource(SIZE, seed=1),
+        [f"n{i}" for i in range(2, 2 + receivers)],
+        config=config,
+    ).run(timeout=120)
+    assert result.ok
+    return result
+
+
+def test_loopback_pipeline_3_nodes(benchmark):
+    config = KascadeConfig(chunk_size=1 << 20, buffer_chunks=8)
+    result = benchmark.pedantic(
+        lambda: _run(config), rounds=3, iterations=1,
+    )
+    rate = SIZE / result.duration / 2**20
+    print(f"\n3-node loopback pipeline: {rate:.0f} MiB/s per node")
+
+
+def test_loopback_small_chunks(benchmark):
+    """4 KiB chunks: framing overhead dominates — the protocol-cost probe."""
+    config = KascadeConfig(chunk_size=4096, buffer_chunks=64)
+    result = benchmark.pedantic(
+        lambda: _run(config, receivers=2), rounds=1, iterations=1,
+    )
+    rate = SIZE / result.duration / 2**20
+    print(f"\n4 KiB-chunk loopback pipeline: {rate:.0f} MiB/s per node")
+
+
+def test_loopback_with_digest(benchmark):
+    """Integrity mode adds one SHA-256 pass per node."""
+    config = KascadeConfig(chunk_size=1 << 20, buffer_chunks=8,
+                           verify_digest=True)
+    result = benchmark.pedantic(
+        lambda: _run(config), rounds=3, iterations=1,
+    )
+    rate = SIZE / result.duration / 2**20
+    print(f"\n3-node loopback with verify_digest: {rate:.0f} MiB/s per node")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Compare broadcast methods on a simulated 100-node GbE cluster.
+
+A miniature of the paper's Fig. 7 experiment: distribute a 2 GB file to
+100 clients on a fat-tree network and compare Kascade against TakTuk
+(chain and tree), UDPCast, and MPI broadcast — including each tool's
+startup cost.
+
+Run:  python examples/cluster_comparison.py
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    KascadeSim,
+    MpiEthernet,
+    SimSetup,
+    TakTukChain,
+    TakTukTree,
+    UdpcastSim,
+)
+from repro.core import order_by_hostname
+from repro.core.units import GB, mbps
+from repro.topology import build_fat_tree
+
+N_CLIENTS = 100
+SIZE = 2 * GB
+
+
+def run(method):
+    net = build_fat_tree(N_CLIENTS + 1)  # 30 hosts per ToR switch, 10 Gb uplinks
+    hosts = order_by_hostname(net.host_names())
+    setup = SimSetup(
+        network=net,
+        head=hosts[0],
+        receivers=tuple(hosts[1:]),
+        size=SIZE,
+        rng=np.random.default_rng(1),
+    )
+    return method.run(setup)
+
+
+def main() -> None:
+    print(f"2 GB broadcast to {N_CLIENTS} clients, 1 GbE fat tree "
+          f"(line rate 125 MB/s):\n")
+    print(f"{'method':14s} {'startup':>9s} {'transfer':>9s} "
+          f"{'total':>8s} {'throughput':>11s}")
+    rows = []
+    for method in (KascadeSim(), MpiEthernet(), UdpcastSim(),
+                   TakTukChain(), TakTukTree()):
+        r = run(method)
+        rows.append(r)
+        print(f"{r.method:14s} {r.startup_time:8.2f}s {r.data_time:8.2f}s "
+              f"{r.total_time:7.2f}s {mbps(r.throughput):8.1f} MB/s")
+
+    best = max(rows, key=lambda r: r.throughput)
+    print(f"\nWinner: {best.method} — the pipeline crosses every link "
+          f"exactly once, so adding clients is nearly free.")
+
+
+if __name__ == "__main__":
+    main()

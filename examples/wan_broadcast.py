@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Broadcast across geographically distant sites (paper §IV-E).
+
+Builds the Grid'5000-like WAN of Fig. 12 — sites behind a 10 Gb backbone
+with ~16 ms inter-site RTT — and pushes a 1 GB file along the paper's
+deliberately poor site order, showing how often each backbone link is
+crossed and when each site finishes.
+
+Run:  python examples/wan_broadcast.py
+"""
+
+from repro.baselines import KascadeSim, MpiEthernet, SimSetup, TakTukChain
+from repro.core.units import GB, MB, mbps
+from repro.topology import build_multisite, experiment_chain, link_usage
+
+N_SITES = 6
+
+
+def main() -> None:
+    net = build_multisite(N_SITES)
+    chain = experiment_chain(N_SITES)
+
+    print("Pipeline over sites:", " -> ".join(chain))
+    print("\nBackbone link usage (each hop follows the site order):")
+    for link, count in sorted(link_usage(net, chain).items(),
+                              key=lambda kv: -kv[1]):
+        print(f"  {link:22s} crossed {count}x")
+
+    print("\n1 GB broadcast (MPI: 100 MB, as in the paper):")
+    for method in (KascadeSim(), TakTukChain(), MpiEthernet()):
+        size = 100 * MB if method.name == "MPI/Eth" else 1 * GB
+        setup = SimSetup(
+            network=build_multisite(N_SITES), head=chain[0],
+            receivers=tuple(chain[1:]), size=size,
+        )
+        r = method.run(setup)
+        print(f"\n  {r.method}: {mbps(r.throughput):.1f} MB/s overall")
+        for node in chain[1:]:
+            t = r.finish_times.get(node)
+            site = node.rsplit("-", 1)[0]
+            print(f"    {site:12s} complete at t={t:7.2f}s")
+
+    print("\nKascade's large per-hop TCP window keeps WAN hops efficient; "
+          "MPI pays one RTT per segment and falls below TakTuk.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline
+(the sandbox lacks the `wheel` package needed for PEP 660 editables).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Reproduction of "Scalable and Reliable Data Broadcast with Kascade"
+(Martin et al., HPDIC workshop @ IEEE IPDPS 2014).
+
+The package provides:
+
+* :mod:`repro.core` — the Kascade protocol: chunked pipelined broadcast
+  with the GET/PGET/FORGET/DATA/END/QUIT/REPORT/PASSED message set and the
+  failure-recovery decision logic;
+* :mod:`repro.runtime` — a real TCP implementation runnable on localhost;
+* :mod:`repro.simnet` — a fluid-flow discrete-event network simulator that
+  stands in for the Grid'5000 testbed of the paper's evaluation;
+* :mod:`repro.topology` — fat-tree / multi-switch / multi-site topologies;
+* :mod:`repro.baselines` — the compared methods (TakTuk chain/tree,
+  UDPCast, MPI broadcast) modelled on the simulator;
+* :mod:`repro.launch` — startup-time models (TakTuk, ClusterShell, SSH);
+* :mod:`repro.distem` — the failure-injection emulator of §IV-G;
+* :mod:`repro.bench` — the experiment harness regenerating every figure
+  of the evaluation section.
+"""
+
+from .core import (
+    DEFAULT_CONFIG,
+    ChunkRingBuffer,
+    FailureRecord,
+    KascadeConfig,
+    KascadeError,
+    PipelinePlan,
+    TransferReport,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "KascadeConfig",
+    "ChunkRingBuffer",
+    "PipelinePlan",
+    "TransferReport",
+    "FailureRecord",
+    "KascadeError",
+    "__version__",
+]

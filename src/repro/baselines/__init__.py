@@ -1,0 +1,33 @@
+"""Simulated broadcast methods: Kascade and the baselines the paper
+compares against (TakTuk chain/tree, UDPCast, MPI broadcast)."""
+
+from .base import BroadcastMethod, MethodResult, RunState, SimSetup
+from .kascade_sim import KascadeSim, SlowNodeExcluded, SlowNodePolicy
+from .related import BitTorrentSwarm, DollyChain
+from .trees import (
+    MpiEthernet,
+    MpiInfiniband,
+    TakTukChain,
+    TakTukTree,
+    TreeBroadcast,
+)
+from .udpcast import UdpcastSim, UdpcastUnidirectional
+
+__all__ = [
+    "BroadcastMethod",
+    "MethodResult",
+    "SimSetup",
+    "RunState",
+    "KascadeSim",
+    "SlowNodePolicy",
+    "SlowNodeExcluded",
+    "BitTorrentSwarm",
+    "DollyChain",
+    "TreeBroadcast",
+    "TakTukChain",
+    "TakTukTree",
+    "MpiEthernet",
+    "MpiInfiniband",
+    "UdpcastSim",
+    "UdpcastUnidirectional",
+]

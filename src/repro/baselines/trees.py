@@ -1,0 +1,237 @@
+"""Tree-structured store-and-forward broadcasts: TakTuk and MPI.
+
+One generic engine covers every non-fault-tolerant method of the
+evaluation whose data movement is "each node forwards the stream to its
+``arity`` children in host order":
+
+* **TakTuk/chain** — arity 1: the degenerate tree the paper evaluates;
+* **TakTuk/tree** — arity 2;
+* **MPI broadcast (Ethernet)** — Open MPI's large-message *pipeline*
+  algorithm is a segmented chain over ranks in hostfile order (arity 1);
+* **MPI broadcast (InfiniBand)** — modelled as a segmented binary tree,
+  whose cross-switch edges are what saturate the inter-switch link past
+  one switch's worth of ranks (Fig. 9).
+
+Children of chain position ``i`` are positions ``arity*i + 1 + k``
+(heap layout).  Every edge is a chain-coupled fluid stream capped by the
+method's per-hop protocol limit; each child's completion is recorded by
+a dedicated watcher so finish times are exact.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.units import KiB, MiB
+from ..launch import MpirunLauncher, TakTukAdaptiveTree
+from ..simnet import Engine, Fabric, HeadRx, HostDied, NodeRx, StreamCancelled, Timeout
+from .base import BroadcastMethod, RunState, SimSetup
+
+
+class _TreeRun(RunState):
+    def __init__(self, method: "TreeBroadcast", engine: Engine,
+                 fabric: Fabric, setup: SimSetup) -> None:
+        super().__init__()
+        self.method = method
+        self.engine = engine
+        self.fabric = fabric
+        self.setup = setup
+        self.chain = setup.chain
+        self.rx: dict[str, NodeRx] = {
+            setup.head: HeadRx(engine, setup.head, setup.size)
+        }
+        for r in setup.receivers:
+            self.rx[r] = NodeRx(engine, r)
+        self._children: dict[int, List[int]] = {}
+        self._depth: dict[int, int] = {0: 0}
+        if method.layout == "contiguous":
+            self._split_contiguous(0, 1, len(self.chain))
+        else:
+            self._build_heap()
+
+    def _split_contiguous(self, parent: int, lo: int, hi: int) -> None:
+        """TakTuk-style layout: the parent splits the remaining *contiguous*
+        node range among its children, so subtrees stay on their switches
+        when the order is topology-sorted."""
+        if lo >= hi:
+            self._children.setdefault(parent, [])
+            return
+        arity = self.method.arity
+        span = hi - lo
+        n_blocks = min(arity, span)
+        base, extra = divmod(span, n_blocks)
+        kids = []
+        start = lo
+        for b in range(n_blocks):
+            size = base + (1 if b < extra else 0)
+            child = start
+            kids.append(child)
+            self._depth[child] = self._depth[parent] + 1
+            self._split_contiguous(child, start + 1, start + size)
+            start += size
+        self._children[parent] = kids
+
+    def _build_heap(self) -> None:
+        """Heap layout (children of i are a·i+1..a·i+a): rank-stride edges
+        ignore the topology, like a communicator's fixed tree shape."""
+        arity = self.method.arity
+        n = len(self.chain)
+        for idx in range(n):
+            lo = arity * idx + 1
+            kids = [c for c in range(lo, lo + arity) if c < n]
+            self._children[idx] = kids
+            for c in kids:
+                self._depth[c] = self._depth[idx] + 1
+
+    def children_of(self, idx: int) -> List[int]:
+        return self._children.get(idx, [])
+
+    def depth_of(self, idx: int) -> int:
+        return self._depth[idx]
+
+    def start(self) -> None:
+        for idx, node in enumerate(self.chain):
+            if self.children_of(idx):
+                self.engine.spawn(
+                    self.forwarder(idx), name=f"{self.method.name}:{node}"
+                )
+
+    def forwarder(self, idx: int):
+        me = self.chain[idx]
+        myrx = self.rx[me]
+        setup = self.setup
+        children = self.children_of(idx)
+        # Connections (to all children concurrently) are established when
+        # the tool starts, before any data exists — off the fill path.
+        worst_rtt = max(self.setup.network.rtt(me, self.chain[c])
+                        for c in children)
+        yield Timeout(self.method.connect_cost + worst_rtt)
+        yield from myrx.wait_for(min(self.method.fill_quantum, setup.size))
+        supply = None if isinstance(myrx, HeadRx) else myrx.supply
+        streams = []
+        for c in children:
+            child = self.chain[c]
+            rtt = setup.network.rtt(me, child)
+            line = self.method.line_rate(setup, me, child)
+            stream = self.fabric.open_stream(
+                me, child, setup.size,
+                supply=supply,
+                depth=self.depth_of(idx),
+                limit=self.method.hop_limit(rtt, line),
+                disk_weight=1.0 if setup.sink == "disk" else 0.0,
+            )
+            self.rx[child].attach(stream)
+            streams.append((child, stream))
+            self.engine.spawn(
+                self._watch(child, stream), name=f"watch:{child}"
+            )
+        for _child, stream in streams:
+            try:
+                yield stream.completed
+            except (HostDied, StreamCancelled):  # pragma: no cover
+                return
+
+    def _watch(self, child: str, stream):
+        try:
+            yield stream.completed
+            self.mark_finished(child, self.engine.now)
+        except (HostDied, StreamCancelled):  # pragma: no cover
+            self.failed.add(child)
+
+
+class TreeBroadcast(BroadcastMethod):
+    """Generic arity-k store-and-forward broadcast (no fault tolerance)."""
+
+    arity: int = 1
+    connect_cost: float = 2e-3
+    #: Bytes a node must hold before it starts forwarding.
+    fill_quantum: float = 1.0 * MiB
+    #: Tree layout over the ordered node list: ``"contiguous"`` splits the
+    #: list recursively (TakTuk's deployment), keeping subtrees on their
+    #: switches; ``"heap"`` uses fixed rank strides (an MPI communicator's
+    #: tree), oblivious to topology.
+    layout: str = "contiguous"
+
+    def execute(self, engine: Engine, fabric: Fabric, setup: SimSetup):
+        run = _TreeRun(self, engine, fabric, setup)
+        run.start()
+        if not setup.receivers:
+            pass
+        return run
+
+
+class TakTukChain(TreeBroadcast):
+    """TakTuk data distribution degraded into a chain (arity 1).
+
+    TakTuk moves file data through its Perl command channel: every byte
+    is read, re-framed, and written by the interpreter, capping each hop
+    at roughly a third of GbE regardless of scale — the flat low curves
+    of Fig. 7.  Its windowed command protocol keeps little data in
+    flight, so high-latency hops degrade further (Fig. 13).
+    """
+
+    name = "TakTuk/chain"
+    arity = 1
+    copy_bw = 120e6             # Perl relay: rx + tx share this
+    jitter = 0.04
+    hop_cap = 42e6              # per-byte interpreter work ceiling
+    protocol_window = 512 * KiB
+    fill_quantum = 256 * KiB
+    disk_seq_efficiency = 0.50
+    launcher = TakTukAdaptiveTree()
+
+
+class TakTukTree(TakTukChain):
+    """TakTuk with a binary distribution tree (arity 2).
+
+    The paper finds both TakTuk variants "perform equally bad": the
+    interpreter ceiling binds before any structural difference can help,
+    and an inner node now pays the copy cost three times (1 in, 2 out).
+    """
+
+    name = "TakTuk/tree"
+    arity = 2
+
+
+class MpiEthernet(TreeBroadcast):
+    """Home-made MPI broadcast over TCP (the paper's MPI/Eth).
+
+    The 1 MB application fragments are broadcast with Open MPI's tuned
+    collective, which for large messages and large communicators is the
+    *pipeline* algorithm: a segmented chain over ranks in hostfile order.
+    A compiled implementation moves bytes at memory speed (high copy
+    budget → line rate on GbE, ~3–5 Gb/s on 10 GbE), but the segment
+    rendezvous makes every hop pay one RTT per ~128 KiB in flight —
+    harmless on a LAN, crippling between sites (Fig. 13).
+    """
+
+    name = "MPI/Eth"
+    arity = 1
+    copy_bw = 820e6
+    jitter = 0.22
+    protocol_window = 256 * KiB
+    fill_quantum = 128 * KiB
+    disk_seq_efficiency = 0.45   # bursty segment writes, not streaming
+    launcher = MpirunLauncher()
+
+
+class MpiInfiniband(TreeBroadcast):
+    """MPI broadcast over native InfiniBand verbs (the paper's MPI/IB).
+
+    Modelled as a segmented binary tree: very fast while every rank sits
+    on one switch (native IB moves ~2 GB/s per host), but the tree's
+    long-stride edges cross the inter-switch trunk once the reservation
+    spills onto the second switch, and the trunk collapses under dozens
+    of full-rate copies (Fig. 9: "with 160 nodes shows a very low
+    performance similar to TakTuk").
+    """
+
+    name = "MPI/IB"
+    arity = 2
+    layout = "heap"
+    copy_bw = 2.9e9
+    jitter = 0.25
+    protocol_window = 1 * MiB
+    fill_quantum = 256 * KiB
+    disk_seq_efficiency = 0.45
+    launcher = MpirunLauncher()

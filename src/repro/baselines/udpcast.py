@@ -1,0 +1,220 @@
+"""UDPCast on the simulator: IP-multicast with slice synchronisation.
+
+UDPCast (in its default bidirectional mode, the one the paper could run
+reliably) sends the file as *slices* over UDP multicast; after each slice
+the sender collects per-receiver acknowledgments and retransmits lost
+blocks before moving on.  One multicast transmission crosses each
+network link once however many receivers there are — which is why it
+matches the pipeline methods up to ~100 clients on GbE (Fig. 7).
+
+The cost is the synchronisation round: every receiver answers every
+slice, and the sender must process all answers — "the costly
+synchronization between the sender and its clients" to which the paper
+attributes the rapid degradation past 100 nodes.  We model the round as
+
+    sync(n) = RTT + ack_cost·n + congestion·n²
+
+where the linear term is per-ack processing and the quadratic one the
+retransmit/ack-collision regime that sets in at scale (the ACK-implosion
+phenomenon cited in §II-B).  Multicast does not cross routers, so the
+method is excluded from multi-site runs, as in the paper.
+"""
+
+from __future__ import annotations
+
+from ..core.units import MiB
+from ..launch import Launcher
+from ..simnet import Engine, Fabric, HostDied, Timeout
+from .base import BroadcastMethod, RunState, SimSetup
+
+
+class _UdpcastRun(RunState):
+    def __init__(self, method: "UdpcastSim", engine: Engine,
+                 fabric: Fabric, setup: SimSetup) -> None:
+        super().__init__()
+        self.method = method
+        self.engine = engine
+        self.fabric = fabric
+        self.setup = setup
+
+    def start(self) -> None:
+        self.engine.spawn(self.sender(), name="udpcast:sender")
+
+    def sender(self):
+        setup = self.setup
+        method = self.method
+        receivers = list(setup.receivers)
+        n = len(receivers)
+        rtt = max(
+            (setup.network.rtt(setup.head, r) for r in receivers),
+            default=1e-4,
+        )
+        line = min(
+            (method.line_rate(setup, setup.head, r) for r in receivers),
+            default=float("inf"),
+        )
+        sent = 0.0
+        while sent < setup.size and receivers:
+            slice_len = min(method.slice_size, setup.size - sent)
+            stream = self.fabric.open_stream(
+                setup.head, receivers, slice_len,
+                offset0=sent,
+                limit=method.hop_limit(rtt, line),
+                disk_weight=1.0 if setup.sink == "disk" else 0.0,
+            )
+            try:
+                yield stream.completed
+            except HostDied:  # pragma: no cover - no failures injected
+                receivers = [r for r in receivers if not self.fabric.is_dead(r)]
+                continue
+            sent += slice_len
+            yield Timeout(method.sync_time(n, rtt))
+        for r in receivers:
+            self.mark_finished(r, self.engine.now)
+
+
+class _UnidirectionalRun(RunState):
+    def __init__(self, method: "UdpcastUnidirectional", engine: Engine,
+                 fabric: Fabric, setup: SimSetup) -> None:
+        super().__init__()
+        self.method = method
+        self.engine = engine
+        self.fabric = fabric
+        self.setup = setup
+
+    def start(self) -> None:
+        self.engine.spawn(self.sender(), name="udpcast-uni:sender")
+
+    def sender(self):
+        setup = self.setup
+        m = self.method
+        receivers = list(setup.receivers)
+        net = setup.network
+        # The "tuning": the operator picks a send rate; receivers drop
+        # packets in proportion to how hard the rate pushes past what
+        # they can absorb.
+        decode_ok = {r: True for r in receivers}
+        sent = 0.0
+        while sent < setup.size:
+            slice_len = min(m.slice_size, setup.size - sent)
+            wire_len = slice_len * (1.0 + m.fec_overhead)
+            yield Timeout(wire_len / m.send_rate)
+            sent += slice_len
+            rng = setup.rng
+            margin = m.fec_overhead / (1.0 + m.fec_overhead)
+            for r in receivers:
+                if not decode_ok[r]:
+                    continue
+                capacity = min(
+                    net.host(r).copy_bw,
+                    m.line_rate(setup, setup.head, r),
+                )
+                # A receiver's momentary absorption rate dips below its
+                # nominal capacity (scheduling, NIC ring overruns); any
+                # overrun during this slice is lost on the floor.  One
+                # dip draw per receiver per slice.
+                dip = (float(rng.exponential(m.dip_scale))
+                       if rng is not None else 0.0)
+                effective = capacity * max(0.0, 1.0 - dip)
+                lost_fraction = (
+                    max(0.0, m.send_rate - effective) / m.send_rate
+                    + m.base_loss
+                )
+                if lost_fraction > margin:
+                    decode_ok[r] = False
+        now = self.engine.now
+        self.data_end = now
+        for r in receivers:
+            if decode_ok[r]:
+                self.mark_finished(r, now)
+            else:
+                # No return channel: the sender never learns, the
+                # receiver simply ends up with an incomplete file.
+                self.aborted.add(r)
+
+
+class UdpcastUnidirectional(BroadcastMethod):
+    """UDPCast's unidirectional (no-return-channel) mode, §II-B.
+
+    The sender blasts FEC-protected slices at a configured rate and
+    never hears back: "the unidirectional mode relies on FEC packets to
+    work-around congestion, but still requires a lot of tuning (sending
+    throughput and amount of additional FEC packets to send) ... we were
+    unable to get it to work reliably.  Also, in that mode the sender is
+    not able to know if the receivers have correctly received the data."
+
+    The model makes that tuning dilemma measurable: pushing ``send_rate``
+    toward the line rate raises per-packet loss beyond the FEC margin
+    and receivers silently end up with holes; backing off (or paying
+    more FEC overhead) restores reliability at the cost of throughput.
+    See ``benchmarks/test_related_work.py``.
+    """
+
+    name = "UDPCast/uni"
+    copy_bw = 340e6
+    jitter = 0.0          # the interesting randomness is packet loss
+    disk_seq_efficiency = 0.50
+    launcher = Launcher(base_cost=0.8)
+    supports_routed = False
+
+    def __init__(
+        self,
+        *,
+        send_rate: float = 110e6,
+        fec_overhead: float = 0.10,
+        slice_size: float = 4.0 * MiB,
+        base_loss: float = 1e-4,
+        dip_scale: float = 0.02,
+    ) -> None:
+        self.send_rate = send_rate
+        self.fec_overhead = fec_overhead
+        self.slice_size = slice_size
+        #: Ambient per-packet loss even with ample headroom.
+        self.base_loss = base_loss
+        #: Scale of the exponential dips in a receiver's momentary
+        #: absorption rate (~2 % mean: OS jitter on a busy node).
+        self.dip_scale = dip_scale
+
+    def execute(self, engine: Engine, fabric: Fabric, setup: SimSetup):
+        run = _UnidirectionalRun(self, engine, fabric, setup)
+        run.start()
+        return run
+
+
+class UdpcastSim(BroadcastMethod):
+    """UDPCast 2012-04-24, bidirectional (feedback) mode."""
+
+    name = "UDPCast"
+    #: Receiver-side UDP + FEC/checksum processing budget.  Receivers only
+    #: receive (no relaying), so this is paid once per byte — UDPCast
+    #: tops the relay-based methods on 10 GbE (Fig. 8) despite a smaller
+    #: budget than MPI's.
+    copy_bw = 340e6
+    jitter = 0.18
+    disk_seq_efficiency = 0.50
+    launcher = Launcher(base_cost=0.8)  # parallel starter, flat cost
+    supports_routed = False             # multicast stays inside the LAN
+
+    def __init__(
+        self,
+        *,
+        slice_size: float = 4.0 * MiB,
+        ack_cost: float = 45e-6,
+        congestion_cost: float = 1.1e-6,
+    ) -> None:
+        self.slice_size = slice_size
+        self.ack_cost = ack_cost
+        self.congestion_cost = congestion_cost
+
+    def sync_time(self, n_receivers: int, rtt: float) -> float:
+        """Per-slice synchronisation round (see module docstring)."""
+        return (
+            rtt
+            + self.ack_cost * n_receivers
+            + self.congestion_cost * n_receivers * n_receivers
+        )
+
+    def execute(self, engine: Engine, fabric: Fabric, setup: SimSetup):
+        run = _UdpcastRun(self, engine, fabric, setup)
+        run.start()
+        return run

@@ -1,0 +1,48 @@
+"""Experiment harness regenerating the paper's evaluation figures."""
+
+from .figures import (
+    FIGURES,
+    FigureResult,
+    fig07_scalability,
+    fig08_10gbe,
+    fig09_infiniband,
+    fig10_random_order,
+    fig11_disk,
+    fig12_site_map,
+    fig13_multisite,
+    fig14_small_file,
+    fig15_fault_tolerance,
+)
+from .compare import DiffReport, PointDiff, diff_results, diff_stores
+from .export import ascii_plot, flatten, to_csv, to_json
+from .store import FigureStore, figure_result_from_json
+from .runner import ExperimentRunner, Measurement
+from .stats import ConfidenceInterval, t_confidence
+
+__all__ = [
+    "FIGURES",
+    "FigureResult",
+    "ExperimentRunner",
+    "ascii_plot",
+    "to_csv",
+    "to_json",
+    "flatten",
+    "FigureStore",
+    "figure_result_from_json",
+    "DiffReport",
+    "PointDiff",
+    "diff_results",
+    "diff_stores",
+    "Measurement",
+    "ConfidenceInterval",
+    "t_confidence",
+    "fig07_scalability",
+    "fig08_10gbe",
+    "fig09_infiniband",
+    "fig10_random_order",
+    "fig11_disk",
+    "fig12_site_map",
+    "fig13_multisite",
+    "fig14_small_file",
+    "fig15_fault_tolerance",
+]

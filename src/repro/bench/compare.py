@@ -1,0 +1,122 @@
+"""Compare two stored figure-result sets (regression tracking).
+
+``kascade-sim diff old/ new/`` reports, per figure and series point, the
+relative change between two cached runs (see
+:class:`~repro.bench.store.FigureStore`), flagging moves that exceed the
+combined confidence intervals — the tool to run after touching any model
+constant or simulator mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .figures import FigureResult
+from .store import FigureStore
+
+
+@dataclass(frozen=True)
+class PointDiff:
+    """One compared series point."""
+
+    figure: str
+    method: str
+    x: object
+    old_mean: float
+    new_mean: float
+    old_hw: float
+    new_hw: float
+
+    @property
+    def rel_change(self) -> float:
+        if self.old_mean == 0:
+            return float("inf") if self.new_mean else 0.0
+        return (self.new_mean - self.old_mean) / self.old_mean
+
+    @property
+    def significant(self) -> bool:
+        """Outside the union of both confidence intervals."""
+        return abs(self.new_mean - self.old_mean) > (self.old_hw + self.new_hw)
+
+
+@dataclass
+class DiffReport:
+    """Comparison of two stored result sets."""
+
+    diffs: List[PointDiff]
+    only_old: List[str]
+    only_new: List[str]
+
+    @property
+    def significant(self) -> List[PointDiff]:
+        return [d for d in self.diffs if d.significant]
+
+    @property
+    def clean(self) -> bool:
+        return not self.significant and not self.only_old
+
+    def format(self, *, all_points: bool = False) -> str:
+        lines = []
+        if self.only_old:
+            lines.append(f"missing from new run: {', '.join(self.only_old)}")
+        if self.only_new:
+            lines.append(f"new figures: {', '.join(self.only_new)}")
+        shown = self.diffs if all_points else self.significant
+        if not shown:
+            lines.append(
+                f"{len(self.diffs)} point(s) compared, all within "
+                f"confidence intervals"
+            )
+        else:
+            lines.append(
+                f"{len(self.significant)} significant change(s) out of "
+                f"{len(self.diffs)} compared point(s):"
+            )
+            for d in sorted(shown, key=lambda d: -abs(d.rel_change)):
+                marker = "!" if d.significant else " "
+                lines.append(
+                    f" {marker} {d.figure:8s} {d.method:14s} x={d.x!s:>10s}  "
+                    f"{d.old_mean:7.1f} -> {d.new_mean:7.1f} MB/s "
+                    f"({d.rel_change:+.1%})"
+                )
+        return "\n".join(lines)
+
+
+def diff_results(old: FigureResult, new: FigureResult) -> List[PointDiff]:
+    """Point-by-point comparison of two runs of the same figure."""
+    out: List[PointDiff] = []
+    for method, old_points in old.series.items():
+        new_points = new.series.get(method)
+        if new_points is None:
+            continue
+        new_by_x = {p.x: p for p in new_points}
+        for p in old_points:
+            q = new_by_x.get(p.x)
+            if q is None:
+                continue
+            out.append(PointDiff(
+                figure=old.figure, method=method, x=p.x,
+                old_mean=p.ci.mean, new_mean=q.ci.mean,
+                old_hw=p.ci.half_width, new_hw=q.ci.half_width,
+            ))
+    return out
+
+
+def diff_stores(old_dir: str, new_dir: str) -> DiffReport:
+    """Compare every figure present in both stores."""
+    old_store = FigureStore(old_dir)
+    new_store = FigureStore(new_dir)
+    old_keys = set(old_store.keys())
+    new_keys = set(new_store.keys())
+    diffs: List[PointDiff] = []
+    for key in sorted(old_keys & new_keys):
+        old = old_store.load(key)
+        new = new_store.load(key)
+        if old is not None and new is not None:
+            diffs.extend(diff_results(old, new))
+    return DiffReport(
+        diffs=diffs,
+        only_old=sorted(old_keys - new_keys),
+        only_new=sorted(new_keys - old_keys),
+    )

@@ -1,0 +1,136 @@
+"""Export and terminal plotting of regenerated figures.
+
+A reproduction is only useful if its numbers can leave the process:
+:func:`to_csv` / :func:`to_json` serialize a
+:class:`~repro.bench.figures.FigureResult` with full precision (means,
+confidence half-widths, repetition counts), and :func:`ascii_plot`
+renders the series as a terminal chart so `kascade-sim run fig07 --plot`
+shows the *shape* the paper plots without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List
+
+from .figures import FigureResult
+
+#: Series marker characters, assigned in insertion order.
+_MARKERS = "ox+*#@%&"
+
+
+def to_csv(result: FigureResult) -> str:
+    """Serialize one figure's series to CSV (long format).
+
+    Columns: figure, method, x, mean_mbs, ci_half_width, repetitions.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["figure", "method", "x", "mean_mbs", "ci_half_width", "repetitions"]
+    )
+    for method, points in result.series.items():
+        for p in points:
+            writer.writerow(
+                [result.figure, method, p.x,
+                 f"{p.ci.mean:.6g}", f"{p.ci.half_width:.6g}", p.ci.n]
+            )
+    return buf.getvalue()
+
+
+def to_json(result: FigureResult) -> str:
+    """Serialize one figure to a JSON document."""
+    doc = {
+        "figure": result.figure,
+        "title": result.title,
+        "x_label": result.x_label,
+        "notes": result.notes,
+        "unit": "MB/s",
+        "series": {
+            method: [
+                {
+                    "x": p.x,
+                    "mean": p.ci.mean,
+                    "ci_half_width": p.ci.half_width,
+                    "repetitions": p.ci.n,
+                }
+                for p in points
+            ]
+            for method, points in result.series.items()
+        },
+    }
+    return json.dumps(doc, indent=2)
+
+
+def ascii_plot(result: FigureResult, width: int = 72, height: int = 20) -> str:
+    """Render the figure as a terminal chart.
+
+    X positions are categorical (one column block per x value, like the
+    paper's evenly spaced sample points); Y is throughput in MB/s.  Each
+    series gets a marker; collisions show the later series' marker.
+    """
+    series = result.series
+    if not series:
+        return f"{result.figure}: (no data)"
+    any_points = next(iter(series.values()))
+    xs = [p.x for p in any_points]
+    n_x = len(xs)
+    if n_x == 0:
+        return f"{result.figure}: (no data)"
+
+    y_max = max(p.ci.mean for pts in series.values() for p in pts)
+    y_max = max(y_max * 1.08, 1e-9)
+    plot_w = max(width - 10, n_x)
+    grid: List[List[str]] = [[" "] * plot_w for _ in range(height)]
+
+    def col(i: int) -> int:
+        if n_x == 1:
+            return plot_w // 2
+        return round(i * (plot_w - 1) / (n_x - 1))
+
+    def row(value: float) -> int:
+        frac = min(max(value / y_max, 0.0), 1.0)
+        return (height - 1) - round(frac * (height - 1))
+
+    legend = []
+    for marker, (method, points) in zip(_MARKERS, series.items()):
+        legend.append(f"{marker} {method}")
+        for i, p in enumerate(points):
+            grid[row(p.ci.mean)][col(i)] = marker
+
+    lines = [f"{result.figure}: {result.title}  [MB/s]"]
+    for r_idx, row_chars in enumerate(grid):
+        value = y_max * (height - 1 - r_idx) / (height - 1)
+        label = f"{value:7.1f} |" if r_idx % 4 == 0 or r_idx == height - 1 else "        |"
+        lines.append(label + "".join(row_chars))
+    lines.append("        +" + "-" * plot_w)
+    # X tick labels: first, middle, last (categorical).
+    tick_line = [" "] * plot_w
+    for i in (0, n_x // 2, n_x - 1):
+        text = str(xs[i])
+        start = min(col(i), plot_w - len(text))
+        for j, ch in enumerate(text):
+            tick_line[start + j] = ch
+    lines.append("         " + "".join(tick_line))
+    lines.append(f"         ({result.x_label})   " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def flatten(result: FigureResult) -> List[Dict]:
+    """Long-format rows (dicts), convenient for DataFrame construction."""
+    rows = []
+    for method, points in result.series.items():
+        for p in points:
+            rows.append(
+                {
+                    "figure": result.figure,
+                    "method": method,
+                    "x": p.x,
+                    "mean_mbs": p.ci.mean,
+                    "ci_half_width": p.ci.half_width,
+                    "repetitions": p.ci.n,
+                }
+            )
+    return rows

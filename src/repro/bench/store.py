@@ -1,0 +1,88 @@
+"""On-disk figure store: resumable regeneration of the evaluation.
+
+The paper ran its campaign under the XPFlow workflow engine precisely
+because multi-hour sweeps die halfway; this is the equivalent comfort
+for `kascade-sim all --cache DIR` — every finished figure is persisted
+as JSON and skipped on the next invocation.
+
+Cached results round-trip the *aggregates* (means, confidence interval
+half-widths, repetition counts); the per-repetition ``MethodResult``
+objects are not persisted, so a loaded figure can be printed, plotted,
+and exported, but not re-inspected run by run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from .figures import FigureResult
+from .runner import Measurement
+from .stats import ConfidenceInterval
+
+
+def figure_result_from_json(text: str) -> FigureResult:
+    """Reconstruct a :class:`FigureResult` from :func:`to_json` output."""
+    doc = json.loads(text)
+    result = FigureResult(
+        figure=doc["figure"],
+        title=doc["title"],
+        x_label=doc["x_label"],
+        notes=doc.get("notes", ""),
+    )
+    for method, points in doc["series"].items():
+        result.series[method] = [
+            Measurement(
+                method=method,
+                x=p["x"],
+                ci=ConfidenceInterval(
+                    mean=p["mean"],
+                    half_width=p["ci_half_width"],
+                    n=p["repetitions"],
+                ),
+            )
+            for p in points
+        ]
+    return result
+
+
+class FigureStore:
+    """Directory of ``<key>.json`` figure results."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def has(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def load(self, key: str) -> Optional[FigureResult]:
+        """Load a cached figure, or None if absent or unreadable."""
+        path = self._path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as f:
+                return figure_result_from_json(f.read())
+        except (OSError, ValueError, KeyError):
+            return None  # treat a corrupt cache entry as a miss
+
+    def save(self, key: str, result: FigureResult) -> str:
+        """Persist atomically (write + rename); returns the path."""
+        from .export import to_json
+
+        path = self._path(key)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as f:
+            f.write(to_json(result))
+        os.replace(tmp, path)
+        return path
+
+    def keys(self):
+        for name in sorted(os.listdir(self.directory)):
+            if name.endswith(".json"):
+                yield name[: -len(".json")]

@@ -1,0 +1,2 @@
+"""Command-line interfaces: ``kascade`` (real TCP broadcast, Fig. 2) and
+``kascade-sim`` (regenerate the paper's evaluation figures)."""

@@ -1,0 +1,207 @@
+"""``kascade`` — pipelined fault-tolerant broadcast over real TCP.
+
+Mirrors the paper's Fig. 2 interface:
+
+* ``kascade demo -n 5 -i myfile.tgz -o /tmp/out-{node}`` — run a whole
+  pipeline locally (one thread per node) — the zero-setup showcase;
+* ``kascade recv --name n2 --nodes <registry> [-o FILE | -O CMD]`` — run
+  one receiving node (start one per machine/port);
+* ``kascade send --name n1 --nodes <registry> [-i FILE]`` — run the head
+  node; reads stdin when ``-i`` is omitted or ``-``, exactly like
+  ``dd if=/dev/sda2 | gzip | kascade ... -O 'gunzip | dd of=/dev/sda2'``.
+
+The ``--nodes`` registry is ``name=host:port`` pairs, comma separated,
+in pipeline order, the head first:
+``--nodes n1=10.0.0.1:3640,n2=10.0.0.2:3640,n3=10.0.0.3:3640``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Tuple
+
+from ..core import DEFAULT_CONFIG, KascadeConfig
+from ..core.sinks import open_sink
+from ..core.sources import open_source
+from ..core.pipeline import PipelinePlan
+from ..runtime import HeadNode, Listener, LocalBroadcast, ReceiverNode, Registry
+from ..runtime.transport import Address
+
+
+def parse_registry(spec: str) -> Tuple[List[str], Dict[str, Address]]:
+    """Parse ``name=host:port,...`` into (ordered names, address map)."""
+    names: List[str] = []
+    addrs: Dict[str, Address] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        try:
+            name, hostport = item.split("=", 1)
+            host, port = hostport.rsplit(":", 1)
+            addrs[name] = Address(host, int(port))
+            names.append(name)
+        except ValueError:
+            raise SystemExit(f"bad --nodes entry: {item!r} "
+                             f"(expected name=host:port)")
+    if len(names) < 2:
+        raise SystemExit("--nodes needs the head plus at least one receiver")
+    return names, addrs
+
+
+def build_config(args: argparse.Namespace) -> KascadeConfig:
+    from ..core.units import parse_size
+
+    bwlimit = None
+    if args.bwlimit is not None:
+        bwlimit = float(parse_size(args.bwlimit))
+    return DEFAULT_CONFIG.with_(
+        chunk_size=args.chunk_size,
+        buffer_chunks=args.buffer_chunks,
+        io_timeout=args.timeout,
+        verify_digest=args.verify,
+        bandwidth_limit=bwlimit,
+    )
+
+
+def add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--chunk-size", type=int, default=DEFAULT_CONFIG.chunk_size,
+                        help="DATA chunk size in bytes")
+    parser.add_argument("--buffer-chunks", type=int,
+                        default=DEFAULT_CONFIG.buffer_chunks,
+                        help="chunks kept for failure recovery")
+    parser.add_argument("--timeout", type=float, default=DEFAULT_CONFIG.io_timeout,
+                        help="I/O stall timeout (seconds) before the liveness ping")
+    parser.add_argument("--verify", action="store_true",
+                        help="end-to-end SHA-256 verification: the head ships "
+                             "its digest in the report, every receiver checks "
+                             "its stored copy")
+    parser.add_argument("--bwlimit", default=None,
+                        help="cap the head's send rate, e.g. 40MB (per "
+                             "second); useful next to production traffic")
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Whole pipeline in one process: threads + loopback TCP."""
+    config = build_config(args)
+    receivers = [f"n{i}" for i in range(2, args.nodes + 2)]
+    source = open_source(args.input)
+
+    def sink_factory(name: str):
+        if args.output_command:
+            from ..core.sinks import CommandSink
+            return CommandSink(args.output_command.replace("{node}", name))
+        if args.output:
+            from ..core.sinks import FileSink
+            return FileSink(args.output.replace("{node}", name))
+        from ..core.sinks import NullSink
+        return NullSink()
+
+    bc = LocalBroadcast(source, receivers, sink_factory=sink_factory,
+                        config=config)
+    result = bc.run(timeout=args.run_timeout)
+    delivered = [n for n in result.completed_nodes if n != bc.plan.head]
+    print(f"{result.total_bytes} bytes to {len(delivered)} node(s) "
+          f"in {result.duration:.2f}s "
+          f"({result.throughput / 1e6:.1f} MB/s)")
+    print(result.report.summary())
+    for name, outcome in sorted(result.outcomes.items()):
+        status = "ok" if outcome.ok else f"FAILED ({outcome.error})"
+        print(f"  {name}: {outcome.bytes_received} bytes, {status}")
+    return 0 if result.ok else 1
+
+
+def cmd_recv(args: argparse.Namespace) -> int:
+    """One receiving node, listening on its registry address."""
+    names, addrs = parse_registry(args.nodes)
+    if args.name not in addrs:
+        raise SystemExit(f"--name {args.name!r} not present in --nodes")
+    config = build_config(args)
+    plan = PipelinePlan(head=names[0], receivers=tuple(names[1:]))
+    me = addrs[args.name]
+    listener = Listener(host=me.host, port=me.port)
+    sink = open_sink(args.output, args.output_command)
+    node = ReceiverNode(args.name, plan, Registry(addrs), listener, config, sink)
+    node.start()
+    node.join()
+    outcome = node.outcome
+    if outcome.ok:
+        print(f"{args.name}: received {outcome.bytes_received} bytes")
+        return 0
+    print(f"{args.name}: FAILED: {outcome.error}", file=sys.stderr)
+    return 1
+
+
+def cmd_send(args: argparse.Namespace) -> int:
+    """The head node: streams the input down the pipeline."""
+    names, addrs = parse_registry(args.nodes)
+    if args.name != names[0]:
+        raise SystemExit("the sending node must be first in --nodes")
+    config = build_config(args)
+    plan = PipelinePlan(head=names[0], receivers=tuple(names[1:]))
+    me = addrs[args.name]
+    listener = Listener(host=me.host, port=me.port)
+    source = open_source(args.input)
+    node = HeadNode(args.name, plan, Registry(addrs), listener, config, source)
+    node.start()
+    try:
+        node.join()
+    except KeyboardInterrupt:
+        node.request_quit()
+        node.join()
+    report = node.final_report
+    if report is not None:
+        print(report.summary())
+    return 0 if node.outcome.ok else 1
+
+
+def main(argv: List[str] | None = None) -> int:
+    from .. import __version__
+
+    parser = argparse.ArgumentParser(
+        prog="kascade",
+        description="Scalable and reliable pipelined data broadcast "
+                    "(reproduction of Martin et al., IPDPS workshops 2014)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"kascade {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a full pipeline locally (threads)")
+    demo.add_argument("-n", "--nodes", type=int, default=3,
+                      help="number of receiving nodes")
+    demo.add_argument("-i", "--input", required=True,
+                      help="input file, or '-' for stdin")
+    demo.add_argument("-o", "--output", default=None,
+                      help="output path; '{node}' expands to the node name")
+    demo.add_argument("-O", "--output-command", default=None,
+                      help="pipe output into this shell command")
+    demo.add_argument("--run-timeout", type=float, default=3600.0)
+    add_common(demo)
+    demo.set_defaults(fn=cmd_demo)
+
+    recv = sub.add_parser("recv", help="run one receiving node")
+    recv.add_argument("--name", required=True)
+    recv.add_argument("--nodes", required=True,
+                      help="registry: name=host:port,... (head first)")
+    recv.add_argument("-o", "--output", default=None)
+    recv.add_argument("-O", "--output-command", default=None)
+    add_common(recv)
+    recv.set_defaults(fn=cmd_recv)
+
+    send = sub.add_parser("send", help="run the sending (head) node")
+    send.add_argument("--name", required=True)
+    send.add_argument("--nodes", required=True,
+                      help="registry: name=host:port,... (head first)")
+    send.add_argument("-i", "--input", default="-",
+                      help="input file, or '-' for stdin (default)")
+    add_common(send)
+    send.set_defaults(fn=cmd_send)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

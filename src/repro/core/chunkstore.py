@@ -1,0 +1,157 @@
+"""In-memory chunk ring buffer used for failure recovery (§III-D2).
+
+Every Kascade node keeps the most recent stream chunks in memory so that,
+when its downstream neighbour dies, it can replay the bytes the replacement
+neighbour is missing.  The buffer is a *recycled* window over the stream:
+appending beyond the capacity evicts the oldest chunks, which is exactly
+why the protocol needs the FORGET message — a request below
+:attr:`ChunkRingBuffer.min_offset` can no longer be served locally.
+
+The buffer stores contiguous stream data only; offsets are absolute
+positions in the broadcast stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Tuple
+
+from .errors import ChunkStoreError
+
+
+class ChunkRingBuffer:
+    """A bounded window of the most recent contiguous stream bytes.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of buffered bytes.  Appends beyond this evict whole
+        chunks from the oldest end (chunks are never split on eviction,
+        mirroring the chunk-granular recycling of the paper's tool).
+    start_offset:
+        Absolute stream offset of the first byte that will be appended.
+    """
+
+    def __init__(self, capacity: int, start_offset: int = 0) -> None:
+        if capacity <= 0:
+            raise ChunkStoreError(f"capacity must be positive, got {capacity}")
+        if start_offset < 0:
+            raise ChunkStoreError(f"negative start offset: {start_offset}")
+        self._capacity = capacity
+        self._chunks: Deque[Tuple[int, bytes]] = deque()  # (offset, data)
+        self._min = start_offset  # oldest buffered byte
+        self._end = start_offset  # one past the newest buffered byte
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def min_offset(self) -> int:
+        """Oldest stream offset still buffered (the FORGET(o) value)."""
+        return self._min
+
+    @property
+    def end_offset(self) -> int:
+        """One past the newest buffered byte — the stream position so far."""
+        return self._end
+
+    @property
+    def buffered_bytes(self) -> int:
+        return self._end - self._min
+
+    def __len__(self) -> int:
+        return self.buffered_bytes
+
+    def covers(self, offset: int) -> bool:
+        """Whether the buffer can serve the stream starting at ``offset``.
+
+        ``offset == end_offset`` counts as covered: the caller can resume
+        streaming live data from there with no replay at all.
+        """
+        return self._min <= offset <= self._end
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def append(self, data: bytes) -> None:
+        """Append the next stream chunk, evicting old chunks if needed.
+
+        Chunks larger than the whole capacity are rejected — a node that
+        cannot hold even one chunk cannot participate in recovery, and this
+        is a configuration error (chunk_size > buffer_bytes).
+        """
+        if len(data) > self._capacity:
+            raise ChunkStoreError(
+                f"chunk of {len(data)} bytes exceeds buffer capacity {self._capacity}"
+            )
+        if not data:
+            return
+        self._chunks.append((self._end, bytes(data)))
+        self._end += len(data)
+        while self._end - self._min > self._capacity:
+            old_off, old_data = self._chunks.popleft()
+            assert old_off == self._min
+            self._min += len(old_data)
+
+    def read_from(self, offset: int, limit: int | None = None) -> bytes:
+        """Return buffered bytes from ``offset`` up to the buffer end.
+
+        ``limit`` caps the returned length.  Raises :class:`ChunkStoreError`
+        if ``offset`` precedes :attr:`min_offset` (the FORGET case) or lies
+        beyond the buffered end.
+        """
+        if not self.covers(offset):
+            raise ChunkStoreError(
+                f"offset {offset} outside buffered window "
+                f"[{self._min}, {self._end}]"
+            )
+        want = self._end - offset
+        if limit is not None:
+            want = min(want, limit)
+        if want == 0:
+            return b""
+        parts = []
+        remaining = want
+        for chunk_off, chunk in self._chunks:
+            chunk_end = chunk_off + len(chunk)
+            if chunk_end <= offset:
+                continue
+            lo = max(0, offset - chunk_off)
+            piece = chunk[lo: lo + remaining]
+            parts.append(piece)
+            remaining -= len(piece)
+            if remaining == 0:
+                break
+        return b"".join(parts)
+
+    def iter_chunks_from(self, offset: int) -> Iterator[Tuple[int, bytes]]:
+        """Yield ``(offset, data)`` pieces from ``offset`` to the end.
+
+        Pieces follow the stored chunk boundaries (the first may be a chunk
+        suffix), so a recovering sender can replay them as DATA frames of
+        familiar sizes.
+        """
+        if not self.covers(offset):
+            raise ChunkStoreError(
+                f"offset {offset} outside buffered window "
+                f"[{self._min}, {self._end}]"
+            )
+        for chunk_off, chunk in self._chunks:
+            chunk_end = chunk_off + len(chunk)
+            if chunk_end <= offset:
+                continue
+            if chunk_off >= offset:
+                yield chunk_off, chunk
+            else:
+                yield offset, chunk[offset - chunk_off:]
+
+    def clear(self) -> None:
+        """Drop all buffered data, keeping the stream position."""
+        self._chunks.clear()
+        self._min = self._end

@@ -1,0 +1,93 @@
+"""Kascade configuration.
+
+Tunables of the tool described in the paper: chunk size, the in-memory ring
+buffer that enables recovery after a node failure (§III-D2), and the timers
+used for failure detection (§III-D1).  The defaults mirror what the paper
+reports: detection timeouts of about one second ("every time a timeout is
+reached, one second is lost", §IV-G).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from .errors import ConfigError
+from .units import MiB
+
+
+@dataclass(frozen=True)
+class KascadeConfig:
+    """Configuration shared by the real runtime and the simulator.
+
+    Attributes
+    ----------
+    chunk_size:
+        Size of one DATA chunk in bytes.  The stream is split into chunks so
+        the total length need not be known in advance (§III-C).
+    buffer_chunks:
+        How many recent chunks each node keeps in its recycled ring buffer
+        for retransmission after a downstream failure (§III-D2).
+    io_timeout:
+        Seconds a node waits on a stalled read/write before suspecting the
+        peer is dead and starting the ping check.
+    ping_timeout:
+        Seconds to wait for an answer to the liveness ping before declaring
+        the peer dead.
+    connect_timeout:
+        Seconds to wait when establishing a TCP connection to a peer.
+    max_connect_attempts:
+        How many consecutive downstream nodes may be skipped while looking
+        for the next alive neighbour before giving up on the tail.
+    report_timeout:
+        Seconds the head waits for the final report from the tail node.
+    verify_digest:
+        When true, the head hashes the stream (SHA-256) and ships the
+        digest in its report; every receiver hashes what it stored and
+        flags a mismatch as its own failure.  End-to-end integrity at
+        the cost of one hash pass per node.
+    bandwidth_limit:
+        Optional cap, in bytes/second, on the rate the head injects the
+        stream into the pipeline (a token-bucket pacing its reads).
+        ``None`` = unlimited.  Useful when the broadcast shares links
+        with production traffic.
+    """
+
+    chunk_size: int = 1 * MiB
+    buffer_chunks: int = 8
+    io_timeout: float = 1.0
+    ping_timeout: float = 0.5
+    connect_timeout: float = 2.0
+    max_connect_attempts: int = 0  # 0 = unbounded (try every remaining node)
+    report_timeout: float = 30.0
+    verify_digest: bool = False
+    bandwidth_limit: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise ConfigError(f"chunk_size must be positive, got {self.chunk_size}")
+        if self.buffer_chunks < 1:
+            raise ConfigError(f"buffer_chunks must be >= 1, got {self.buffer_chunks}")
+        for name in ("io_timeout", "ping_timeout", "connect_timeout", "report_timeout"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+        if self.max_connect_attempts < 0:
+            raise ConfigError("max_connect_attempts must be >= 0")
+        if self.bandwidth_limit is not None and self.bandwidth_limit <= 0:
+            raise ConfigError(
+                f"bandwidth_limit must be positive, got {self.bandwidth_limit}"
+            )
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Total bytes of stream history a node can retransmit."""
+        return self.chunk_size * self.buffer_chunks
+
+    def with_(self, **kwargs) -> "KascadeConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Default configuration, matching the tool's out-of-the-box behaviour.
+DEFAULT_CONFIG = KascadeConfig()

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the Kascade reproduction.
+
+All exceptions raised by the library derive from :class:`KascadeError` so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class KascadeError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ProtocolError(KascadeError):
+    """A peer violated the Kascade wire protocol (bad opcode, bad state)."""
+
+
+class FramingError(ProtocolError):
+    """A frame could not be decoded (truncated header, unknown opcode...)."""
+
+
+class ChunkStoreError(KascadeError):
+    """Invalid operation on a chunk ring buffer."""
+
+
+class DataLossError(KascadeError):
+    """Requested stream bytes are no longer available anywhere.
+
+    Raised when a recovering node needs an offset range that has been
+    recycled from every upstream buffer and the head reads from a
+    non-seekable stream (the paper's FORGET case).
+    """
+
+
+class PipelineError(KascadeError):
+    """Invalid pipeline plan (empty node list, duplicate nodes...)."""
+
+
+class TransferAborted(KascadeError):
+    """The transfer was cancelled (user QUIT or unrecoverable data loss)."""
+
+
+class NodeFailedError(KascadeError):
+    """A peer node was declared dead during the transfer."""
+
+    def __init__(self, node: str, reason: str = "") -> None:
+        super().__init__(f"node {node} failed" + (f": {reason}" if reason else ""))
+        self.node = node
+        self.reason = reason
+
+
+class SimulationError(KascadeError):
+    """Internal inconsistency in the discrete-event simulator."""
+
+
+class ConfigError(KascadeError):
+    """Invalid configuration value."""

@@ -1,0 +1,245 @@
+"""Binary framing of Kascade protocol messages.
+
+Wire format: every message begins with a one-byte opcode followed by the
+fixed-size fields of that message, all big-endian unsigned 64-bit integers.
+``DATA`` and ``REPORT`` headers are followed by exactly ``size`` bytes of
+payload.
+
+Two decoding interfaces are provided:
+
+* :class:`FrameDecoder` — an incremental (sans-io) decoder: feed it bytes
+  as they arrive, pop complete messages.  Used by the simulator, unit
+  tests, and anything with its own event loop.
+* :func:`read_message` / :func:`write_message` — blocking helpers over a
+  file-like object with ``read``/``write``/``flush``.  Used by the real TCP
+  runtime (sockets wrapped with ``makefile``).
+
+Payloads are surfaced separately from headers: decoding yields
+``(message, payload)`` pairs where ``payload`` is ``b""`` for payload-less
+messages.  Keeping payloads as opaque bytes lets relays forward data
+without re-framing costs.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterator, Optional, Tuple
+
+from .errors import FramingError
+from .messages import (
+    Data,
+    End,
+    Forget,
+    Get,
+    Message,
+    Op,
+    Passed,
+    PGet,
+    Ping,
+    Pong,
+    Quit,
+    Report,
+)
+
+_U64 = struct.Struct(">Q")
+_2U64 = struct.Struct(">QQ")
+
+#: Number of u64 fields following the opcode byte, per opcode.
+_FIELD_COUNT = {
+    Op.GET: 1,
+    Op.PGET: 2,
+    Op.FORGET: 1,
+    Op.DATA: 2,
+    Op.END: 1,
+    Op.QUIT: 0,
+    Op.REPORT: 1,
+    Op.PASSED: 0,
+    Op.PING: 1,
+    Op.PONG: 1,
+}
+
+#: Opcodes whose header is followed by a payload of ``size`` bytes.
+_PAYLOAD_OPS = frozenset({Op.DATA, Op.REPORT})
+
+MAX_FRAME_PAYLOAD = 1 << 34  # 16 GiB; sanity bound against corrupt headers
+
+
+def encode_header(msg: Message) -> bytes:
+    """Serialize a message header (opcode + fields), without any payload."""
+    op = msg.op
+    if op is Op.GET:
+        fields = (msg.offset,)
+    elif op is Op.PGET:
+        fields = (msg.offset, msg.until)
+    elif op is Op.FORGET:
+        fields = (msg.min_offset,)
+    elif op is Op.DATA:
+        fields = (msg.offset, msg.size)
+    elif op is Op.END:
+        fields = (msg.total,)
+    elif op is Op.REPORT:
+        fields = (msg.size,)
+    elif op in (Op.PING, Op.PONG):
+        fields = (msg.nonce,)
+    else:  # QUIT, PASSED
+        fields = ()
+    out = bytes([op])
+    for f in fields:
+        if f < 0:
+            raise FramingError(f"negative field in {msg!r}")
+        out += _U64.pack(f)
+    return out
+
+
+def _decode_fields(op: Op, raw: bytes) -> Message:
+    if op is Op.GET:
+        return Get(_U64.unpack(raw)[0])
+    if op is Op.PGET:
+        o, t = _2U64.unpack(raw)
+        if t < o:
+            raise FramingError(f"PGET range reversed on wire: [{o}, {t})")
+        return PGet(o, t)
+    if op is Op.FORGET:
+        return Forget(_U64.unpack(raw)[0])
+    if op is Op.DATA:
+        o, s = _2U64.unpack(raw)
+        if s > MAX_FRAME_PAYLOAD:
+            raise FramingError(f"DATA payload too large: {s}")
+        return Data(o, s)
+    if op is Op.END:
+        return End(_U64.unpack(raw)[0])
+    if op is Op.QUIT:
+        return Quit()
+    if op is Op.REPORT:
+        (s,) = _U64.unpack(raw)
+        if s > MAX_FRAME_PAYLOAD:
+            raise FramingError(f"REPORT payload too large: {s}")
+        return Report(s)
+    if op is Op.PASSED:
+        return Passed()
+    if op is Op.PING:
+        return Ping(_U64.unpack(raw)[0])
+    if op is Op.PONG:
+        return Pong(_U64.unpack(raw)[0])
+    raise FramingError(f"unhandled opcode {op}")  # pragma: no cover
+
+
+def header_size(op: Op) -> int:
+    """Total header length in bytes for the given opcode."""
+    return 1 + 8 * _FIELD_COUNT[op]
+
+
+def payload_size(msg: Message) -> int:
+    """Payload length that must follow this header on the wire."""
+    if msg.op in _PAYLOAD_OPS:
+        return msg.size
+    return 0
+
+
+class FrameDecoder:
+    """Incremental decoder: ``feed`` bytes in, iterate complete messages out.
+
+    The decoder is strict: an unknown opcode or an over-large payload raises
+    :class:`FramingError` immediately.  Payload bytes are accumulated and
+    returned together with the header message.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._pending: Optional[Message] = None  # header seen, payload pending
+
+    def feed(self, data: bytes) -> None:
+        """Append freshly received bytes to the internal buffer."""
+        self._buf.extend(data)
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently buffered and not yet consumed."""
+        return len(self._buf)
+
+    def __iter__(self) -> Iterator[Tuple[Message, bytes]]:
+        return self
+
+    def __next__(self) -> Tuple[Message, bytes]:
+        item = self.try_pop()
+        if item is None:
+            raise StopIteration
+        return item
+
+    def try_pop(self) -> Optional[Tuple[Message, bytes]]:
+        """Return the next complete ``(message, payload)``, or ``None``."""
+        if self._pending is not None:
+            need = payload_size(self._pending)
+            if len(self._buf) < need:
+                return None
+            payload = bytes(self._buf[:need])
+            del self._buf[:need]
+            msg, self._pending = self._pending, None
+            return msg, payload
+
+        if not self._buf:
+            return None
+        op_byte = self._buf[0]
+        try:
+            op = Op(op_byte)
+        except ValueError:
+            raise FramingError(f"unknown opcode byte {op_byte:#04x}") from None
+        hsize = header_size(op)
+        if len(self._buf) < hsize:
+            return None
+        msg = _decode_fields(op, bytes(self._buf[1:hsize]))
+        del self._buf[:hsize]
+        if payload_size(msg) == 0:
+            return msg, b""
+        self._pending = msg
+        return self.try_pop()
+
+
+# ---------------------------------------------------------------------------
+# Blocking helpers for file-like transports (the real TCP runtime).
+# ---------------------------------------------------------------------------
+
+def _read_exact(stream: BinaryIO, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ConnectionError`` on EOF."""
+    parts = []
+    remaining = n
+    while remaining > 0:
+        piece = stream.read(remaining)
+        if not piece:
+            raise ConnectionError(f"connection closed with {remaining} bytes pending")
+        parts.append(piece)
+        remaining -= len(piece)
+    return b"".join(parts)
+
+
+def write_message(stream: BinaryIO, msg: Message, payload: bytes = b"") -> None:
+    """Write a full frame (header + payload) and flush."""
+    expected = payload_size(msg)
+    if len(payload) != expected:
+        raise FramingError(
+            f"{msg!r} requires {expected} payload bytes, got {len(payload)}"
+        )
+    stream.write(encode_header(msg))
+    if payload:
+        stream.write(payload)
+    stream.flush()
+
+
+def read_message(stream: BinaryIO) -> Tuple[Message, bytes]:
+    """Read one full frame, blocking until complete.
+
+    Raises ``ConnectionError`` if the stream ends mid-frame or before any
+    byte is read (callers treat both as a lost peer).
+    """
+    first = stream.read(1)
+    if not first:
+        raise ConnectionError("connection closed before frame")
+    try:
+        op = Op(first[0])
+    except ValueError:
+        raise FramingError(f"unknown opcode byte {first[0]:#04x}") from None
+    raw = _read_exact(stream, header_size(op) - 1)
+    msg = _decode_fields(op, raw)
+    need = payload_size(msg)
+    payload = _read_exact(stream, need) if need else b""
+    return msg, payload

@@ -1,0 +1,165 @@
+"""Kascade protocol messages (paper Fig. 4).
+
+The protocol runs over a reliable ordered byte stream (TCP).  Each message
+is a fixed-layout header, optionally followed by a payload (DATA carries
+``size`` bytes of stream data, REPORT carries a serialized failure report).
+
+Message inventory, verbatim from the paper:
+
+========  =====================================================
+GET(o)    Request stream data from offset *o*
+PGET(o,t) Request stream between offset *o* and offset *t*
+FORGET(o) Answer to GET/PGET when the asked part is not
+          available anymore (recycled buffer); *o* is the
+          minimal available offset
+DATA(s)   Answer to GET/PGET, followed by *s* bytes of data
+END       Signal the end of stream
+QUIT      Signal the anticipated end of stream (user interrupt)
+REPORT(s) After END or QUIT, a report of *s* bytes is sent
+PASSED    Ack that the report reached the first node
+========  =====================================================
+
+Two additional control messages implement the liveness check of §III-D1:
+``PING``/``PONG`` are exchanged on a short-lived side connection when a
+write stalls, to distinguish a dead peer from mere congestion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class Op(enum.IntEnum):
+    """Wire opcodes.  Values are part of the wire format — never renumber."""
+
+    GET = 1
+    PGET = 2
+    FORGET = 3
+    DATA = 4
+    END = 5
+    QUIT = 6
+    REPORT = 7
+    PASSED = 8
+    PING = 9
+    PONG = 10
+
+
+@dataclass(frozen=True)
+class Get:
+    """Request the stream starting at byte ``offset``."""
+
+    offset: int
+
+    op = Op.GET
+
+
+@dataclass(frozen=True)
+class PGet:
+    """Request the half-open byte range ``[offset, until)`` from the head."""
+
+    offset: int
+    until: int
+
+    op = Op.PGET
+
+    def __post_init__(self) -> None:
+        if self.until < self.offset:
+            raise ValueError(f"PGET range reversed: [{self.offset}, {self.until})")
+
+    @property
+    def size(self) -> int:
+        return self.until - self.offset
+
+
+@dataclass(frozen=True)
+class Forget:
+    """The requested range was recycled; ``min_offset`` is the oldest byte
+    still available (the paper's FORGET(o))."""
+
+    min_offset: int
+
+    op = Op.FORGET
+
+
+@dataclass(frozen=True)
+class Data:
+    """Header announcing ``size`` bytes of stream payload at ``offset``.
+
+    The paper's DATA(s) message carries only the chunk size; receivers track
+    the offset implicitly.  We carry the explicit offset as well — it costs
+    8 bytes per chunk and turns silent desynchronisation bugs into loud
+    protocol errors, which matters for a fault-tolerance tool.
+    """
+
+    offset: int
+    size: int
+
+    op = Op.DATA
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"negative DATA size: {self.size}")
+        if self.offset < 0:
+            raise ValueError(f"negative DATA offset: {self.offset}")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+@dataclass(frozen=True)
+class End:
+    """Normal end of stream; total length is ``total`` bytes."""
+
+    total: int
+
+    op = Op.END
+
+
+@dataclass(frozen=True)
+class Quit:
+    """Anticipated end of stream (user interruption or unrecoverable loss)."""
+
+    op = Op.QUIT
+
+
+@dataclass(frozen=True)
+class Report:
+    """Header announcing ``size`` bytes of serialized failure report."""
+
+    size: int
+
+    op = Op.REPORT
+
+
+@dataclass(frozen=True)
+class Passed:
+    """The final report has reached the first node; senders may quit."""
+
+    op = Op.PASSED
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Liveness probe (sent on a side connection when a write stalls)."""
+
+    nonce: int
+
+    op = Op.PING
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Answer to a PING, echoing its nonce."""
+
+    nonce: int
+
+    op = Op.PONG
+
+
+Message = Union[Get, PGet, Forget, Data, End, Quit, Report, Passed, Ping, Pong]
+
+#: Messages that may legally start a data connection from the receiver side.
+HANDSHAKE_OPS = frozenset({Op.GET, Op.PGET, Op.PING})

@@ -1,0 +1,145 @@
+"""Data sinks on receiving nodes.
+
+The paper's CLI (Fig. 2) writes to a file (``-o``), pipes into a command
+(``-O 'tar -xzC /opt/'``), or discards data (the evaluation's
+``/dev/null``).  A sink is also where the paper's storage concern lives:
+receivers must start writing as soon as data arrives (§II-A1), which every
+sink here honours by consuming chunk-by-chunk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+from typing import BinaryIO, Optional
+
+
+class Sink:
+    """Abstract chunk sink for receiving nodes."""
+
+    def write_chunk(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """Flush and close; called once after END (not after QUIT)."""
+
+    def abort(self) -> None:
+        """Tear down after a failed/interrupted transfer."""
+        self.finish()
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.finish()
+        else:
+            self.abort()
+
+
+class NullSink(Sink):
+    """Discard data, counting bytes — the evaluation's ``/dev/null``."""
+
+    def __init__(self) -> None:
+        self.bytes_written = 0
+
+    def write_chunk(self, data: bytes) -> None:
+        self.bytes_written += len(data)
+
+
+class FileSink(Sink):
+    """Write the stream sequentially to a file path."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = os.fspath(path)
+        self._file: Optional[BinaryIO] = open(self._path, "wb")
+        self.bytes_written = 0
+
+    def write_chunk(self, data: bytes) -> None:
+        assert self._file is not None
+        self._file.write(data)
+        self.bytes_written += len(data)
+
+    def finish(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def abort(self) -> None:
+        # Leave no half-written artifact behind: a partial system image is
+        # worse than none (the Kadeploy use case).
+        self.finish()
+        try:
+            os.unlink(self._path)
+        except FileNotFoundError:
+            pass
+
+
+class CommandSink(Sink):
+    """Pipe the stream into a shell command's stdin (the ``-O`` option)."""
+
+    def __init__(self, command: str) -> None:
+        self._command = command
+        self._proc = subprocess.Popen(
+            command, shell=True, stdin=subprocess.PIPE
+        )
+        self.bytes_written = 0
+
+    def write_chunk(self, data: bytes) -> None:
+        assert self._proc.stdin is not None
+        self._proc.stdin.write(data)
+        self.bytes_written += len(data)
+
+    def finish(self) -> None:
+        if self._proc.stdin is not None and not self._proc.stdin.closed:
+            self._proc.stdin.close()
+        rc = self._proc.wait()
+        if rc != 0:
+            raise RuntimeError(f"sink command {self._command!r} exited with {rc}")
+
+    def abort(self) -> None:
+        if self._proc.stdin is not None and not self._proc.stdin.closed:
+            self._proc.stdin.close()
+        self._proc.wait()
+
+
+class HashingSink(Sink):
+    """Discard data but keep a SHA-256 digest — integrity checks in tests."""
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self.bytes_written = 0
+
+    def write_chunk(self, data: bytes) -> None:
+        self._hash.update(data)
+        self.bytes_written += len(data)
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
+
+
+class BufferSink(Sink):
+    """Accumulate everything in memory — small tests only."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+        self.bytes_written = 0
+
+    def write_chunk(self, data: bytes) -> None:
+        self._parts.append(bytes(data))
+        self.bytes_written += len(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+def open_sink(output: Optional[str], output_command: Optional[str]) -> Sink:
+    """Open a sink from CLI options: ``-o path`` or ``-O command``."""
+    if output is not None and output_command is not None:
+        raise ValueError("give either an output path or an output command, not both")
+    if output_command is not None:
+        return CommandSink(output_command)
+    if output is None or output == "/dev/null":
+        return NullSink()
+    return FileSink(output)

@@ -1,0 +1,91 @@
+"""Byte/bandwidth unit helpers.
+
+The paper mixes decimal network units (1 Gbit/s = 125 MB/s) with binary
+file sizes (2 GB files).  To keep experiment definitions readable and free
+of magic numbers, this module provides named constants and parsing helpers.
+
+Conventions used throughout the library:
+
+* sizes and offsets are ``int`` bytes;
+* bandwidths are ``float`` bytes/second;
+* times are ``float`` seconds.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Decimal multiples (used for network rates, as in "1 Gbit/s").
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+#: Binary multiples (used for memory/file sizes, as in "a 2 GiB file").
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+
+#: Line rates of the fabrics evaluated in the paper, in bytes/second.
+GIGABIT = 1e9 / 8.0          # 125 MB/s
+TEN_GIGABIT = 10e9 / 8.0     # 1250 MB/s
+TWENTY_GIGABIT = 20e9 / 8.0  # 2500 MB/s (IPoIB on DDR InfiniBand)
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[KMGT]i?B?|B)?\s*$", re.IGNORECASE
+)
+
+_UNIT_FACTORS = {
+    None: 1,
+    "B": 1,
+    "K": KB, "KB": KB, "KIB": KiB,
+    "M": MB, "MB": MB, "MIB": MiB,
+    "G": GB, "GB": GB, "GIB": GiB,
+    "T": 1_000_000_000_000, "TB": 1_000_000_000_000, "TIB": 1 << 40,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human-readable size such as ``"2GB"``, ``"512MiB"``, ``"50M"``.
+
+    Integers pass through unchanged.  Uppercase/lowercase is ignored; the
+    ``i`` infix selects binary multiples.
+
+    >>> parse_size("1KB")
+    1000
+    >>> parse_size("1KiB")
+    1024
+    """
+    if isinstance(text, int):
+        return text
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ValueError(f"cannot parse size: {text!r}")
+    unit = m.group("unit")
+    factor = _UNIT_FACTORS[unit.upper() if unit else None]
+    return int(float(m.group("num")) * factor)
+
+
+def mbps(byte_rate: float) -> float:
+    """Convert bytes/second to the paper's MB/s axis (decimal megabytes)."""
+    return byte_rate / MB
+
+
+def gbit(byte_rate: float) -> float:
+    """Convert bytes/second to Gbit/s."""
+    return byte_rate * 8.0 / 1e9
+
+
+def fmt_rate(byte_rate: float) -> str:
+    """Human-readable rate, e.g. ``"117.3 MB/s"``."""
+    return f"{mbps(byte_rate):.1f} MB/s"
+
+
+def fmt_size(nbytes: int) -> str:
+    """Human-readable size using decimal units, e.g. ``"2.0 GB"``."""
+    if nbytes >= GB:
+        return f"{nbytes / GB:.1f} GB"
+    if nbytes >= MB:
+        return f"{nbytes / MB:.1f} MB"
+    if nbytes >= KB:
+        return f"{nbytes / KB:.1f} KB"
+    return f"{nbytes} B"

@@ -1,0 +1,20 @@
+"""Distem-like virtual platform: node folding and failure injection
+(the evaluation environment of §IV-G / Fig. 15)."""
+
+from .emulator import (
+    DistemPlatform,
+    FailureScenario,
+    SEQUENTIAL_SCENARIOS,
+    SIMULTANEOUS_SCENARIOS,
+    build_distem_platform,
+    paper_scenarios,
+)
+
+__all__ = [
+    "DistemPlatform",
+    "FailureScenario",
+    "build_distem_platform",
+    "paper_scenarios",
+    "SIMULTANEOUS_SCENARIOS",
+    "SEQUENTIAL_SCENARIOS",
+]

@@ -1,0 +1,22 @@
+"""Startup substrate: models of the launchers that start a broadcast tool
+on every node (§III-B, and the dominant cost for small files in §IV-F)."""
+
+from .models import (
+    ClusterShellWindowed,
+    InstantLauncher,
+    Launcher,
+    MpirunLauncher,
+    SSHSequential,
+    TakTukAdaptiveTree,
+    TakTukWindowed,
+)
+
+__all__ = [
+    "Launcher",
+    "TakTukWindowed",
+    "TakTukAdaptiveTree",
+    "ClusterShellWindowed",
+    "SSHSequential",
+    "MpirunLauncher",
+    "InstantLauncher",
+]

@@ -1,0 +1,122 @@
+"""Startup-time models for remote-execution launchers.
+
+Before any byte of payload flows, the broadcast tool must be started on
+every node.  Kascade copies itself plus the node list to all targets with
+TakTuk in *windowed* mode — the adaptive tree is faster but cannot handle
+mid-tree failures (§III-B) — while MPI relies on ``mpirun``'s launch tree
+and UDPCast on a lightweight parallel starter.  For a 2 GB payload this
+cost vanishes; for the 50 MB file of §IV-F it decides the ranking
+(Fig. 14), so it is modelled explicitly.
+
+The models are deliberately simple closed forms with named constants
+(connection setup ≈ an SSH handshake; window = concurrent connections).
+They are *startup latency* models, not network simulations: launcher
+traffic (a few kB of script + node list) is negligible next to payload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: One SSH connect + auth + fork on 2010s hardware, LAN.
+SSH_SETUP = 0.35
+#: Spawning the tool once the connection exists (interpreter start etc.).
+SPAWN_COST = 0.15
+
+
+@dataclass(frozen=True)
+class Launcher:
+    """Base launcher: fixed overhead only."""
+
+    base_cost: float = 0.2
+
+    def startup_time(self, n_nodes: int, rtt: float = 1e-4) -> float:
+        """Seconds from invocation until the tool runs on all ``n_nodes``."""
+        if n_nodes < 0:
+            raise ValueError("negative node count")
+        return self.base_cost
+
+
+@dataclass(frozen=True)
+class InstantLauncher(Launcher):
+    """Zero-cost launcher for experiments that ignore startup."""
+
+    base_cost: float = 0.0
+
+
+@dataclass(frozen=True)
+class TakTukWindowed(Launcher):
+    """TakTuk's windowed mode: the root connects to every node itself,
+    ``window`` connections in flight at a time.  Failure of a node only
+    costs that node — which is why Kascade uses it by default."""
+
+    base_cost: float = 0.3
+    window: int = 50
+    per_node: float = SSH_SETUP
+
+    def startup_time(self, n_nodes: int, rtt: float = 1e-4) -> float:
+        super().startup_time(n_nodes, rtt)
+        waves = math.ceil(n_nodes / self.window) if n_nodes else 0
+        return self.base_cost + waves * (self.per_node + rtt) + SPAWN_COST
+
+
+@dataclass(frozen=True)
+class TakTukAdaptiveTree(Launcher):
+    """TakTuk's work-stealing adaptive tree: already-reached nodes connect
+    onward, giving logarithmic depth — faster, but a mid-tree failure
+    orphans a whole subtree (§III-B)."""
+
+    base_cost: float = 0.3
+    fanout: int = 2
+    per_hop: float = SSH_SETUP
+
+    def startup_time(self, n_nodes: int, rtt: float = 1e-4) -> float:
+        super().startup_time(n_nodes, rtt)
+        if n_nodes == 0:
+            return self.base_cost
+        depth = math.ceil(math.log(n_nodes + 1, self.fanout + 1))
+        return self.base_cost + depth * (self.per_hop + rtt) + SPAWN_COST
+
+
+@dataclass(frozen=True)
+class ClusterShellWindowed(Launcher):
+    """ClusterShell's windowed (fanout) execution — same shape as TakTuk
+    windowed with its own constants (a tree mode was only planned at the
+    time of the paper, §III-B)."""
+
+    base_cost: float = 0.4
+    window: int = 32
+    per_node: float = SSH_SETUP
+
+    def startup_time(self, n_nodes: int, rtt: float = 1e-4) -> float:
+        super().startup_time(n_nodes, rtt)
+        waves = math.ceil(n_nodes / self.window) if n_nodes else 0
+        return self.base_cost + waves * (self.per_node + rtt) + SPAWN_COST
+
+
+@dataclass(frozen=True)
+class SSHSequential(Launcher):
+    """Plain ssh loop fallback: one connection after another."""
+
+    base_cost: float = 0.1
+    per_node: float = SSH_SETUP
+
+    def startup_time(self, n_nodes: int, rtt: float = 1e-4) -> float:
+        super().startup_time(n_nodes, rtt)
+        return self.base_cost + n_nodes * (self.per_node + rtt) + SPAWN_COST
+
+
+@dataclass(frozen=True)
+class MpirunLauncher(Launcher):
+    """mpirun/orted launch tree: efficient parallel start (the paper's
+    §IV-F: "methods that have efficient start-up (i.e., MPI and UDPCast)
+    are clearly better" for small files)."""
+
+    base_cost: float = 0.5
+    per_level: float = 0.06
+
+    def startup_time(self, n_nodes: int, rtt: float = 1e-4) -> float:
+        super().startup_time(n_nodes, rtt)
+        depth = math.ceil(math.log2(n_nodes + 1)) if n_nodes else 0
+        return self.base_cost + depth * (self.per_level + rtt)

@@ -1,0 +1,35 @@
+"""Protocol-exact simulation: the complete Kascade protocol — the real
+:class:`~repro.core.node_state.NodeTransferState`, the real message set,
+the real recovery handshakes — executed as deterministic DES processes
+over simulated channels.
+
+Three implementations of one protocol now cross-check each other:
+
+========================  ==========================  ====================
+tier                      substrate                   what it is for
+========================  ==========================  ====================
+``repro.runtime``         threads + real TCP          the actual tool
+``repro.protosim``        DES + message channels      deterministic
+                                                      protocol testing at
+                                                      exact failure timing
+``repro.baselines``       DES + fluid flows           200-node performance
+                                                      sweeps (the figures)
+========================  ==========================  ====================
+"""
+
+from .broadcast import ProtoBroadcast, ProtoCrash, ProtoResult
+from .fuzz import FuzzCase, FuzzReport, generate_case, run_campaign, run_case
+from .msc import collapse_data_runs, render_msc
+
+__all__ = [
+    "ProtoBroadcast",
+    "ProtoCrash",
+    "ProtoResult",
+    "render_msc",
+    "collapse_data_runs",
+    "FuzzCase",
+    "FuzzReport",
+    "generate_case",
+    "run_case",
+    "run_campaign",
+]

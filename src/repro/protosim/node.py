@@ -1,0 +1,588 @@
+"""Protocol-exact Kascade nodes as DES processes.
+
+A faithful port of :mod:`repro.runtime.node` onto simulated message
+channels: the same per-node state machine
+(:class:`~repro.core.node_state.NodeTransferState`), the same message
+set, the same recovery handshakes — with blocking socket calls replaced
+by ``yield from`` channel operations.  Where the runtime catches
+``TimeoutError``/``ConnectionError``, this catches
+:class:`~repro.simnet.channels.ChannelTimeout` /
+:class:`~repro.simnet.channels.ChannelClosed`; everything else is the
+protocol, unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..core.config import KascadeConfig
+from ..core.messages import (
+    Data,
+    End,
+    Forget,
+    Get,
+    Passed,
+    PGet,
+    Ping,
+    Pong,
+    Quit,
+    Report,
+)
+from ..core.node_state import NodeTransferState, Phase
+from ..core.pipeline import PipelinePlan
+from ..core.recovery import OfferKind, next_alive
+from ..core.report import TransferReport
+from ..core.sinks import Sink
+from ..core.sources import Source
+from ..simnet.channels import ChannelClosed, ChannelTimeout, SimNetHub
+from ..simnet.engine import Engine, Event
+
+DATA_CONN = b"D"
+PING_CONN = b"P"
+PGET_CONN = b"G"
+RING_CONN = b"R"
+
+
+class CrashNow(Exception):
+    """Raised by a crash gate inside a node process."""
+
+    def __init__(self, mode: str) -> None:
+        super().__init__(mode)
+        self.mode = mode
+
+
+class ProtoNode:
+    """Shared state of one protocol-sim node."""
+
+    def __init__(self, name: str, plan: PipelinePlan, hub: SimNetHub,
+                 config: KascadeConfig, engine: Engine) -> None:
+        self.name = name
+        self.plan = plan
+        self.hub = hub
+        self.config = config
+        self.engine = engine
+        self.listener = hub.register(name)
+        self.data_inbox: Deque = deque()
+        self._inbox_event: Optional[Event] = None
+        self.procs: list = []
+        self.done = False
+        self.crashed: Optional[str] = None
+        self.error: Optional[str] = None
+        self.ok = False
+        self.bytes_received = 0
+
+    # -- acceptor ---------------------------------------------------------
+
+    def acceptor(self):
+        while True:
+            try:
+                kind, end = yield from self.listener.accept()
+            except ChannelClosed:
+                return
+            if kind == PING_CONN:
+                self.engine.spawn(self._answer_ping(end))
+            elif kind == DATA_CONN:
+                self.data_inbox.append(end)
+                self._wake_inbox()
+            elif kind in (PGET_CONN, RING_CONN) and hasattr(self, "serve_special"):
+                self.engine.spawn(self.serve_special(kind, end))
+            else:
+                end.close()
+
+    def _answer_ping(self, end):
+        try:
+            msg, _ = yield from end.recv(timeout=self.config.ping_timeout)
+            if isinstance(msg, Ping):
+                end.send(Pong(msg.nonce))
+        except (ChannelClosed, ChannelTimeout):
+            pass
+        end.close()
+
+    def _wake_inbox(self) -> None:
+        ev, self._inbox_event = self._inbox_event, None
+        if ev is not None and not ev.triggered:
+            ev.succeed(None)
+
+    def await_data_conn(self, timeout: float):
+        """Sub-generator: next inbound data connection endpoint."""
+        deadline = self.engine.now + timeout
+        while True:
+            if self.data_inbox:
+                return self.data_inbox.popleft()
+            remaining = deadline - self.engine.now
+            if remaining <= 0:
+                raise ChannelTimeout("no upstream connection arrived")
+            ev = self.engine.event(name=f"inbox:{self.name}")
+            self._inbox_event = ev
+            token = self.engine.call_after(
+                remaining,
+                lambda e=ev: e.fail(ChannelTimeout("inbox wait timed out"))
+                if not e.triggered else None,
+            )
+            try:
+                yield ev
+            except ChannelTimeout:
+                raise
+            finally:
+                self._inbox_event = None
+                self.engine._cancel_timeout(token)
+
+    def poll_data_conn(self):
+        return self.data_inbox.popleft() if self.data_inbox else None
+
+    # -- liveness probe (the sender side's §III-D1 ping) -------------------
+
+    def ping(self, target: str):
+        """Sub-generator: True if ``target`` answers a liveness ping."""
+        cfg = self.config
+        try:
+            probe = yield from self.hub.connect(self.name, target, PING_CONN)
+        except ChannelClosed:
+            return False
+        try:
+            probe.send(Ping(1))
+            msg, _ = yield from probe.recv(timeout=cfg.ping_timeout)
+            return isinstance(msg, Pong)
+        except (ChannelClosed, ChannelTimeout):
+            return False
+        finally:
+            probe.close()
+
+
+class ProtoLink:
+    """Generator-style port of the runtime's DownstreamLink."""
+
+    def __init__(self, node: ProtoNode, state: NodeTransferState) -> None:
+        self.node = node
+        self.state = state
+        self.end = None
+        self.target: Optional[str] = None
+        self.dead: set[str] = set()
+        self.sent_offset = 0
+        self.downstream_aborted = False
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _mark_dead(self, node: str, reason: str) -> None:
+        if node not in self.dead:
+            self.dead.add(node)
+            self.state.record_failure(node, reason)
+
+    def _drop(self) -> None:
+        if self.end is not None:
+            self.end.close()
+        self.end = None
+        self.target = None
+
+    def _send_frame(self, msg, payload: bytes = b""):
+        """Windowed send with stall detection + ping, like the runtime."""
+        cfg = self.node.config
+        while True:
+            try:
+                yield from self.end.send_wait(msg, payload,
+                                              timeout=cfg.io_timeout)
+                return
+            except ChannelTimeout:
+                alive = yield from self.node.ping(self.target)
+                if not alive:
+                    raise ChannelClosed(
+                        f"{self.target}: write stalled, ping unanswered"
+                    )
+
+    def _recv_gated(self, reason: str):
+        cfg = self.node.config
+        while True:
+            try:
+                return (yield from self.end.recv(timeout=cfg.io_timeout))
+            except ChannelTimeout:
+                alive = yield from self.node.ping(self.target)
+                if not alive:
+                    raise ChannelClosed(
+                        f"{self.target}: {reason}: silent, ping unanswered"
+                    )
+
+    # -- connection / handshake -------------------------------------------
+
+    def _ensure_connected(self):
+        cfg = self.node.config
+        while not self.downstream_aborted:
+            if self.end is not None:
+                return True
+            target = next_alive(self.node.plan, self.node.name, self.dead,
+                                cfg.max_connect_attempts)
+            if target is None:
+                return False
+            try:
+                end = yield from self.node.hub.connect(
+                    self.node.name, target, DATA_CONN)
+            except ChannelClosed as exc:
+                self._mark_dead(target, f"connect-failed: {exc}")
+                continue
+            try:
+                msg, _ = yield from end.recv(
+                    timeout=cfg.connect_timeout + cfg.io_timeout)
+            except (ChannelTimeout, ChannelClosed) as exc:
+                end.close()
+                self._mark_dead(target, f"no-handshake: {exc}")
+                continue
+            if isinstance(msg, Quit):
+                end.close()
+                self.downstream_aborted = True
+                return False
+            if not isinstance(msg, Get):
+                end.close()
+                self._mark_dead(target, f"bad-handshake: {type(msg).__name__}")
+                continue
+            self.end, self.target = end, target
+            ok = yield from self._serve_handshake(msg.offset)
+            if ok:
+                return True
+        return False
+
+    def _serve_handshake(self, requested: int):
+        try:
+            offer = self.state.answer_get(requested)
+        except ValueError as exc:
+            self._mark_dead(self.target, f"bad-get: {exc}")
+            self._drop()
+            return False
+        try:
+            if offer.kind is OfferKind.SERVE_FROM_BUFFER:
+                self.sent_offset = offer.resume_at
+                for off, piece in self.state.buffer.iter_chunks_from(
+                        offer.resume_at):
+                    yield from self._send_frame(Data(off, len(piece)), piece)
+                    self.sent_offset = off + len(piece)
+                return True
+            yield from self._send_frame(Forget(offer.resume_at))
+            msg, _ = yield from self._recv_gated("awaiting GET after FORGET")
+            if isinstance(msg, Quit):
+                self.downstream_aborted = True
+                self._drop()
+                return False
+            if isinstance(msg, Get):
+                return (yield from self._serve_handshake(msg.offset))
+            raise ChannelClosed(f"expected GET/QUIT after FORGET, got {msg!r}")
+        except (ChannelTimeout, ChannelClosed) as exc:
+            self._mark_dead(self.target, f"handshake-lost: {exc}")
+            self._drop()
+            return False
+
+    # -- public ops ---------------------------------------------------------
+
+    def send_data(self, offset: int, payload: bytes):
+        while True:
+            ok = yield from self._ensure_connected()
+            if not ok:
+                return False
+            if self.sent_offset >= offset + len(payload):
+                return True
+            try:
+                yield from self._send_frame(Data(offset, len(payload)),
+                                            payload)
+                self.sent_offset = offset + len(payload)
+                return True
+            except ChannelClosed as exc:
+                self._mark_dead(self.target, str(exc))
+                self._drop()
+
+    def finish(self, *, total: int, quit_first: bool):
+        while True:
+            ok = yield from self._ensure_connected()
+            if not ok:
+                return "tail"
+            try:
+                report_bytes = self.state.report.encode()
+                yield from self._send_frame(Quit() if quit_first
+                                            else End(total))
+                yield from self._send_frame(Report(len(report_bytes)),
+                                            report_bytes)
+                msg, _ = yield from self._recv_gated("awaiting PASSED")
+                if isinstance(msg, Passed):
+                    return "passed"
+                if isinstance(msg, Quit):
+                    self.downstream_aborted = True
+                    self._drop()
+                    return "tail"
+                raise ChannelClosed(f"expected PASSED, got {msg!r}")
+            except (ChannelTimeout, ChannelClosed) as exc:
+                self._mark_dead(self.target, str(exc))
+                self._drop()
+
+    def send_quit_best_effort(self) -> None:
+        if self.end is not None:
+            try:
+                self.end.send(Quit())
+            except ChannelClosed:
+                pass
+        self._drop()
+
+
+class ProtoHead(ProtoNode):
+    """The sending node."""
+
+    def __init__(self, name, plan, hub, config, engine, source: Source):
+        super().__init__(name, plan, hub, config, engine)
+        self.source = source
+        self.state = NodeTransferState(name, config,
+                                       source_kind=source.kind)
+        self.link = ProtoLink(self, self.state)
+        self.final_report: Optional[TransferReport] = None
+        self._ring_event = engine.event(name=f"ring:{name}")
+
+    def serve_special(self, kind: bytes, end):
+        if kind == PGET_CONN:
+            yield from self._serve_pget(end)
+        else:
+            yield from self._handle_ring(end)
+
+    def _serve_pget(self, end):
+        cfg = self.config
+        try:
+            msg, _ = yield from end.recv(
+                timeout=cfg.io_timeout + cfg.connect_timeout)
+            if not isinstance(msg, PGet):
+                raise ChannelClosed(f"expected PGET, got {msg!r}")
+            offer = self.state.answer_pget(msg.offset, msg.until)
+            if offer.kind is OfferKind.FORGET:
+                end.send(Forget(offer.resume_at))
+                return
+            pos = msg.offset
+            while pos < msg.until:
+                size = min(cfg.chunk_size, msg.until - pos)
+                piece = self.source.read_range(pos, size)
+                yield from end.send_wait(Data(pos, len(piece)), piece,
+                                         timeout=cfg.report_timeout)
+                pos += len(piece)
+        except (ChannelTimeout, ChannelClosed):
+            pass
+        finally:
+            end.close()
+
+    def _handle_ring(self, end):
+        cfg = self.config
+        try:
+            msg, payload = yield from end.recv(
+                timeout=cfg.io_timeout + cfg.connect_timeout)
+            if isinstance(msg, Report):
+                self.final_report = TransferReport.decode(payload)
+                end.send(Passed())
+                if not self._ring_event.triggered:
+                    self._ring_event.succeed(None)
+        except (ChannelTimeout, ChannelClosed):
+            pass
+        finally:
+            end.close()
+
+    def run(self):
+        cfg = self.config
+        state = self.state
+        while True:
+            chunk = self.source.read_chunk(cfg.chunk_size)
+            if not chunk:
+                break
+            off = state.offset
+            state.on_data(off, chunk)
+            delivered = yield from self.link.send_data(off, chunk)
+            if not delivered:
+                break
+        total = state.offset
+        state.on_end(total)
+        state.attach_source_digest()
+        outcome = yield from self.link.finish(total=total, quit_first=False)
+        if outcome == "passed" and not self._ring_event.triggered:
+            # Bounded wait for the tail's ring connection.
+            token = self.engine.call_after(
+                cfg.report_timeout,
+                lambda: self._ring_event.succeed(None)
+                if not self._ring_event.triggered else None,
+            )
+            yield self._ring_event
+            self.engine._cancel_timeout(token)
+        if self.final_report is None:
+            self.final_report = state.report
+        self.ok = outcome == "passed"
+        self.bytes_received = total
+        self.done = True
+
+
+class ProtoReceiver(ProtoNode):
+    """A receiving node: stores and forwards."""
+
+    def __init__(self, name, plan, hub, config, engine, sink: Sink,
+                 crash_gate=None):
+        super().__init__(name, plan, hub, config, engine)
+        self.sink = sink
+        self.crash_gate = crash_gate
+        self.state = NodeTransferState(name, config)
+        self.link = ProtoLink(self, self.state)
+        self.upstream = None
+
+    # -- helpers ------------------------------------------------------------
+
+    def _consume_chunk(self, offset: int, payload: bytes):
+        self.state.on_data(offset, payload)
+        self.sink.write_chunk(payload)
+        self.bytes_received = self.state.offset
+        yield from self.link.send_data(offset, payload)
+        if self.crash_gate is not None:
+            mode = self.crash_gate(self.state.offset)
+            if mode is not None:
+                raise CrashNow(mode)
+
+    def _fetch_hole(self, until: int):
+        cfg = self.config
+        try:
+            end = yield from self.hub.connect(
+                self.name, self.plan.head, PGET_CONN)
+        except ChannelClosed:
+            return False
+        try:
+            end.send(PGet(self.state.offset, until))
+            while self.state.offset < until:
+                msg, payload = yield from end.recv(timeout=cfg.report_timeout)
+                if isinstance(msg, Forget):
+                    return False
+                if not isinstance(msg, Data):
+                    return False
+                yield from self._consume_chunk(msg.offset, payload)
+            return True
+        except (ChannelTimeout, ChannelClosed):
+            return False
+        finally:
+            end.close()
+
+    def _hard_abort(self, reason: str):
+        if self.upstream is not None:
+            try:
+                self.upstream.send(Quit())
+            except ChannelClosed:
+                pass
+        self.link.send_quit_best_effort()
+        self.sink.abort()
+        self.error = reason
+        if self.upstream is not None:
+            self.upstream.close()
+        self.done = True
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self):
+        cfg = self.config
+        state = self.state
+        upstream_report: Optional[bytes] = None
+        last_progress = self.engine.now
+
+        while True:
+            if state.phase is Phase.ENDED and upstream_report is not None:
+                break
+            if self.upstream is None:
+                try:
+                    self.upstream = yield from self.await_data_conn(
+                        cfg.report_timeout)
+                except ChannelTimeout:
+                    self._hard_abort("no upstream connection arrived")
+                    return
+                try:
+                    self.upstream.send(Get(state.offset))
+                except ChannelClosed:
+                    self.upstream = None
+                last_progress = self.engine.now
+                continue
+            try:
+                msg, payload = yield from self.upstream.recv(
+                    timeout=cfg.io_timeout)
+            except ChannelTimeout:
+                replacement = self.poll_data_conn()
+                if replacement is not None:
+                    self.upstream.close()
+                    self.upstream = replacement
+                    try:
+                        self.upstream.send(Get(state.offset))
+                    except ChannelClosed:
+                        self.upstream = None
+                    last_progress = self.engine.now
+                elif self.engine.now - last_progress > cfg.report_timeout:
+                    self._hard_abort("upstream silent beyond deadline")
+                    return
+                continue
+            except ChannelClosed:
+                self.upstream.close()
+                self.upstream = None
+                continue
+            last_progress = self.engine.now
+
+            if isinstance(msg, Data):
+                yield from self._consume_chunk(msg.offset, payload)
+            elif isinstance(msg, End):
+                if state.phase is Phase.STREAMING:
+                    state.on_end(msg.total)
+                # duplicate END from a rerouted upstream: ignore
+            elif isinstance(msg, Report):
+                upstream_report = payload
+            elif isinstance(msg, Forget):
+                recovered = yield from self._fetch_hole(msg.min_offset)
+                if not recovered:
+                    self._hard_abort("data lost beyond recovery (FORGET)")
+                    return
+                try:
+                    self.upstream.send(Get(state.offset))
+                except ChannelClosed:
+                    self.upstream.close()
+                    self.upstream = None
+            elif isinstance(msg, Quit):
+                state.on_quit()
+                try:
+                    rmsg, rpayload = yield from self.upstream.recv(
+                        timeout=cfg.io_timeout)
+                except (ChannelTimeout, ChannelClosed):
+                    self._hard_abort("upstream quit without report")
+                    return
+                if isinstance(rmsg, Report):
+                    upstream_report = rpayload
+                    break
+                self._hard_abort("upstream quit without report")
+                return
+            else:
+                self._hard_abort(f"unexpected {msg!r} from upstream")
+                return
+
+        aborted = state.phase is Phase.ABORTED
+        state.merge_upstream_report(upstream_report)
+        digest_ok = state.verify_against_report()
+        if digest_ok is False:
+            state.record_failure(self.name, "digest-mismatch")
+            self.error = "stored data failed digest verification"
+        outcome = yield from self.link.finish(
+            total=state.offset, quit_first=aborted)
+        if outcome == "tail":
+            yield from self._ring_deliver(state.report.encode())
+        if self.upstream is not None:
+            try:
+                self.upstream.send(Passed())
+            except ChannelClosed:
+                pass
+            self.upstream.close()
+        state.on_passed()
+        if aborted:
+            self.sink.abort()
+        else:
+            self.sink.finish()
+        self.ok = not aborted and state.complete and digest_ok is not False
+        self.done = True
+
+    def _ring_deliver(self, report_bytes: bytes):
+        cfg = self.config
+        try:
+            end = yield from self.hub.connect(
+                self.name, self.plan.head, RING_CONN)
+        except ChannelClosed:
+            return
+        try:
+            end.send(Report(len(report_bytes)), report_bytes)
+            yield from end.recv(timeout=cfg.report_timeout)
+        except (ChannelTimeout, ChannelClosed):
+            pass
+        finally:
+            end.close()

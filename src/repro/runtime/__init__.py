@@ -1,0 +1,27 @@
+"""Real TCP implementation of the Kascade protocol, runnable on localhost.
+
+Every pipeline node is a thread with its own listening socket; the wire
+protocol of the paper (GET/PGET/FORGET/DATA/END/QUIT/REPORT/PASSED plus
+PING/PONG liveness probes) runs byte-for-byte over real TCP connections.
+"""
+
+from .cluster import BroadcastResult, CrashPlan, LocalBroadcast, broadcast
+from .node import HeadNode, NodeOutcome, ReceiverNode
+from .registry import Registry
+from .transport import Address, Listener, SocketStream, WriteStalled, connect
+
+__all__ = [
+    "BroadcastResult",
+    "CrashPlan",
+    "LocalBroadcast",
+    "broadcast",
+    "HeadNode",
+    "ReceiverNode",
+    "NodeOutcome",
+    "Registry",
+    "Address",
+    "Listener",
+    "SocketStream",
+    "WriteStalled",
+    "connect",
+]

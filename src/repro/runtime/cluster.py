@@ -1,0 +1,192 @@
+"""Local broadcast orchestration: run a real Kascade pipeline on localhost.
+
+Each pipeline node is a thread with its own listening TCP socket, so the
+full wire protocol — framing, GET handshakes, ping probes, PGET recovery,
+ring-closure report — is exercised byte-for-byte.  This is the runtime
+behind the ``kascade`` CLI and the integration test suite; the paper's
+*performance* experiments use :mod:`repro.simnet` instead (a laptop
+loopback device says nothing about a 200-node fat tree).
+
+Crash injection reproduces the Distem experiments' failure modes:
+
+* ``"close"`` — process death: every socket is closed (peers see RST);
+* ``"silent"`` — hang/partition: sockets stay open but the node stops
+  reading, writing, and answering pings, so peers must detect the death
+  via the timeout + ping mechanism of §III-D1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.config import DEFAULT_CONFIG, KascadeConfig
+from ..core.errors import KascadeError
+from ..core.pipeline import PipelinePlan
+from ..core.report import TransferReport
+from ..core.sinks import NullSink, Sink
+from ..core.sources import Source
+from .node import HeadNode, NodeOutcome, ReceiverNode
+from .registry import Registry
+from .transport import Listener
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Kill ``node`` once it has received ``after_bytes`` of the stream."""
+
+    node: str
+    after_bytes: int
+    mode: str = "close"  # "close" | "silent"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("close", "silent"):
+            raise ValueError(f"unknown crash mode {self.mode!r}")
+        if self.after_bytes < 0:
+            raise ValueError("after_bytes must be >= 0")
+
+
+@dataclass
+class BroadcastResult:
+    """Outcome of one local broadcast."""
+
+    ok: bool
+    duration: float
+    total_bytes: int
+    report: TransferReport
+    outcomes: Dict[str, NodeOutcome] = field(default_factory=dict)
+
+    @property
+    def completed_nodes(self) -> List[str]:
+        return [n for n, o in self.outcomes.items() if o.ok]
+
+    @property
+    def failed_nodes(self) -> List[str]:
+        return [n for n, o in self.outcomes.items() if not o.ok]
+
+    @property
+    def throughput(self) -> float:
+        """Bytes per second, the paper's metric (size / transfer time)."""
+        return self.total_bytes / self.duration if self.duration > 0 else 0.0
+
+
+class LocalBroadcast:
+    """One Kascade broadcast over localhost TCP.
+
+    Parameters
+    ----------
+    source:
+        What the head streams (file, bytes, synthetic pattern...).
+    receivers:
+        Receiver node names, e.g. ``["n2", "n3", "n4"]``.
+    sink_factory:
+        Called once per receiver name to build its output sink.
+    config:
+        Protocol tunables; tests shrink chunk size and timeouts.
+    head:
+        Name of the sending node.
+    order:
+        Node ordering strategy passed to :meth:`PipelinePlan.build`.
+    crashes:
+        Failure injection plans (see :class:`CrashPlan`).
+    """
+
+    def __init__(
+        self,
+        source: Source,
+        receivers: Sequence[str],
+        *,
+        sink_factory: Optional[Callable[[str], Sink]] = None,
+        config: KascadeConfig = DEFAULT_CONFIG,
+        head: str = "n1",
+        order: str = "given",
+        crashes: Sequence[CrashPlan] = (),
+    ) -> None:
+        self.source = source
+        self.config = config
+        self.plan = PipelinePlan.build(head, receivers, order=order)
+        self.sink_factory = sink_factory or (lambda name: NullSink())
+        self.crashes = {c.node: c for c in crashes}
+        unknown = set(self.crashes) - set(self.plan.receivers)
+        if unknown:
+            raise KascadeError(f"crash plans for unknown nodes: {sorted(unknown)}")
+        self.sinks: Dict[str, Sink] = {}
+        self.nodes: Dict[str, object] = {}
+
+    def _crash_gate(self, node: str) -> Optional[Callable[[int], Optional[str]]]:
+        plan = self.crashes.get(node)
+        if plan is None:
+            return None
+
+        def gate(received: int, _plan: CrashPlan = plan) -> Optional[str]:
+            return _plan.mode if received >= _plan.after_bytes else None
+
+        return gate
+
+    def run(self, timeout: float = 120.0) -> BroadcastResult:
+        """Execute the broadcast and gather every node's outcome."""
+        listeners = {name: Listener() for name in self.plan.chain}
+        registry = Registry({n: l.address for n, l in listeners.items()})
+
+        head = HeadNode(
+            self.plan.head, self.plan, registry,
+            listeners[self.plan.head], self.config, self.source,
+        )
+        receivers: List[ReceiverNode] = []
+        for name in self.plan.receivers:
+            sink = self.sink_factory(name)
+            self.sinks[name] = sink
+            receivers.append(
+                ReceiverNode(
+                    name, self.plan, registry, listeners[name], self.config,
+                    sink, crash_gate=self._crash_gate(name),
+                )
+            )
+        self.nodes = {head.name: head, **{r.name: r for r in receivers}}
+
+        started = time.monotonic()
+        for node in receivers:
+            node.start()
+        head.start()
+
+        deadline = started + timeout
+        head.join(timeout)
+        for node in receivers:
+            node.join(max(0.0, deadline - time.monotonic()) + 1.0)
+        duration = time.monotonic() - started
+
+        # Force shutdown of anything still alive (e.g. silent crash remains).
+        for node in (head, *receivers):
+            node.shutdown()
+
+        outcomes = {n.name: n.outcome for n in (head, *receivers)}
+        # NB: TransferReport is falsy when it has no failures — test
+        # identity, not truth, or a clean run's report (and its source
+        # digest) would be silently replaced.
+        report = (
+            head.final_report if head.final_report is not None
+            else TransferReport()
+        )
+        intended = [r for r in receivers if r.name not in self.crashes]
+        ok = (
+            head.outcome.ok
+            and all(r.outcome.ok for r in intended)
+            and not head.thread.is_alive()
+        )
+        return BroadcastResult(
+            ok=ok,
+            duration=duration,
+            total_bytes=head.outcome.bytes_received,
+            report=report,
+            outcomes=outcomes,
+        )
+
+
+def broadcast(
+    source: Source,
+    receivers: Sequence[str],
+    **kwargs,
+) -> BroadcastResult:
+    """One-call convenience wrapper around :class:`LocalBroadcast`."""
+    return LocalBroadcast(source, receivers, **kwargs).run()

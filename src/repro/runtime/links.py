@@ -1,0 +1,305 @@
+"""Sender-side downstream link: connection management, replay, failure
+detection and rerouting (§III-D).
+
+Both the head and every relay own a :class:`DownstreamLink`.  It hides the
+messy part of the protocol behind three operations:
+
+* :meth:`send_data` — forward one stream chunk, transparently detecting a
+  dead downstream (write stall + liveness ping, or socket error),
+  rerouting to the next alive node, and replaying missed bytes from the
+  node's ring buffer;
+* :meth:`finish` — after the stream ends, deliver END/QUIT plus the
+  failure report and collect PASSED, with the same rerouting;
+* :attr:`is_effective_tail` — true once no alive downstream exists, in
+  which case the owner must perform the tail's ring-closure duty.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional, Set
+
+from ..core.config import KascadeConfig
+from ..core.errors import NodeFailedError, ProtocolError
+from ..core.messages import Data, End, Get, Passed, Pong, Ping, Quit, Report, Forget
+from ..core.node_state import NodeTransferState
+from ..core.pipeline import PipelinePlan
+from ..core.recovery import OfferKind, next_alive
+from .registry import Registry
+from .transport import DATA_CONN, PING_CONN, SocketStream, WriteStalled, connect
+
+logger = logging.getLogger(__name__)
+
+
+class DownstreamLink:
+    """Manages this node's connection to its (current) downstream neighbour."""
+
+    def __init__(
+        self,
+        owner: str,
+        plan: PipelinePlan,
+        registry: Registry,
+        config: KascadeConfig,
+        state: NodeTransferState,
+    ) -> None:
+        self.owner = owner
+        self.plan = plan
+        self.registry = registry
+        self.config = config
+        self.state = state
+        self.stream: Optional[SocketStream] = None
+        self.target: Optional[str] = None
+        self.dead: Set[str] = set()
+        self.sent_offset = 0
+        #: Downstream deliberately quit (unrecoverable data loss after
+        #: FORGET): stop forwarding, do NOT treat as a failure.
+        self.downstream_aborted = False
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    @property
+    def is_effective_tail(self) -> bool:
+        """No alive, non-aborted downstream remains."""
+        if self.downstream_aborted:
+            return True
+        if self.stream is not None:
+            return False
+        return next_alive(self.plan, self.owner, self.dead,
+                          self.config.max_connect_attempts) is None
+
+    def _mark_dead(self, node: str, reason: str) -> None:
+        if node not in self.dead:
+            self.dead.add(node)
+            self.state.record_failure(node, reason)
+            logger.info("%s: declared %s dead (%s)", self.owner, node, reason)
+
+    def _drop(self) -> None:
+        if self.stream is not None:
+            self.stream.close()
+        self.stream = None
+        self.target = None
+
+    def close(self) -> None:
+        self._drop()
+
+    def _ensure_connected(self) -> bool:
+        """Connect to the next alive downstream and complete its GET
+        handshake (replaying buffered bytes).  Returns False when this
+        node has become the effective tail."""
+        while not self.downstream_aborted:
+            if self.stream is not None:
+                return True
+            target = next_alive(self.plan, self.owner, self.dead,
+                                self.config.max_connect_attempts)
+            if target is None:
+                return False
+            try:
+                stream = connect(self.registry.address_of(target), DATA_CONN,
+                                 self.config.connect_timeout)
+            except NodeFailedError as exc:
+                self._mark_dead(target, f"connect-failed: {exc.reason}")
+                continue
+            # The receiver sends GET(offset) on *every* new connection —
+            # the paper's deadlock-avoidance rule (§III-D2).
+            try:
+                msg, _ = stream.recv_message(
+                    self.config.connect_timeout + self.config.io_timeout
+                )
+            except (TimeoutError, ConnectionError) as exc:
+                stream.close()
+                self._mark_dead(target, f"no-handshake: {exc}")
+                continue
+            if isinstance(msg, Quit):
+                stream.close()
+                self.downstream_aborted = True
+                return False
+            if not isinstance(msg, Get):
+                stream.close()
+                self._mark_dead(target, f"bad-handshake: {type(msg).__name__}")
+                continue
+            self.stream, self.target = stream, target
+            if self._serve_handshake(msg.offset):
+                return True
+            # handshake/replay failed; _serve_handshake dropped the stream
+        return False
+
+    def _serve_handshake(self, requested: int) -> bool:
+        """Answer a GET(requested): replay from the buffer or send FORGET
+        and wait for the receiver's follow-up GET after its PGET fetch."""
+        assert self.stream is not None and self.target is not None
+        try:
+            offer = self.state.answer_get(requested)
+        except ValueError as exc:
+            # The receiver claims bytes beyond our live edge — poisoned
+            # state; declare it dead rather than corrupt the stream.
+            self._mark_dead(self.target, f"bad-get: {exc}")
+            self._drop()
+            return False
+        try:
+            if offer.kind is OfferKind.SERVE_FROM_BUFFER:
+                self.sent_offset = offer.resume_at
+                for off, piece in self.state.buffer.iter_chunks_from(offer.resume_at):
+                    self._send_frame(Data(off, len(piece)), piece)
+                    self.sent_offset = off + len(piece)
+                return True
+            # Relay (or stream-head) cannot serve: FORGET(min); the
+            # receiver PGETs the hole from the head then re-GETs.
+            self._send_frame(Forget(offer.resume_at))
+            msg, _ = self._recv_gated("awaiting GET after FORGET")
+            if isinstance(msg, Quit):
+                # Receiver could not recover (head answered FORGET).
+                self.downstream_aborted = True
+                self._drop()
+                return False
+            if isinstance(msg, Get):
+                return self._serve_handshake(msg.offset)
+            raise ProtocolError(f"expected GET/QUIT after FORGET, got {msg!r}")
+        except (TimeoutError, ConnectionError, NodeFailedError, ProtocolError) as exc:
+            self._mark_dead(self.target, f"handshake-lost: {exc}")
+            self._drop()
+            return False
+
+    # ------------------------------------------------------------------
+    # Frame sending with stall detection (write timeout + liveness ping)
+    # ------------------------------------------------------------------
+
+    def _ping_target(self) -> bool:
+        """§III-D1: open a side connection and ping; True if peer answers."""
+        assert self.target is not None
+        try:
+            probe = connect(self.registry.address_of(self.target), PING_CONN,
+                            self.config.ping_timeout)
+        except NodeFailedError:
+            return False
+        try:
+            probe.send_message(Ping(1), timeout=self.config.ping_timeout)
+            msg, _ = probe.recv_message(self.config.ping_timeout)
+            return isinstance(msg, Pong)
+        except (TimeoutError, ConnectionError, WriteStalled):
+            return False
+        finally:
+            probe.close()
+
+    def _send_frame(self, msg, payload: bytes = b"") -> None:
+        """Send one frame, tolerating stalls while the peer stays alive.
+
+        A stalled write can mean: the peer died, a *later* node died and
+        backpressure propagated, or plain congestion (§III-D1).  We ping;
+        while the peer answers we keep waiting (the cluster-level run
+        timeout is the ultimate guard), otherwise raise
+        :class:`NodeFailedError` immediately.
+        """
+        assert self.stream is not None and self.target is not None
+        try:
+            self.stream.send_message(msg, payload, timeout=self.config.io_timeout)
+            return
+        except WriteStalled:
+            pass
+        while True:
+            if not self._ping_target():
+                raise NodeFailedError(self.target, "write-stalled, ping unanswered")
+            try:
+                self.stream.flush_pending(timeout=self.config.io_timeout)
+                return
+            except WriteStalled:
+                continue
+
+    def _recv_gated(self, wait_reason: str):
+        """Receive one frame, tolerating silence while the peer stays alive.
+
+        On each read timeout the peer is pinged: a live peer (merely
+        waiting on *its* downstream) buys more time; a dead one raises
+        :class:`NodeFailedError` after roughly ``io + ping`` seconds —
+        this is what keeps failure detection latency flat instead of
+        cascading one ``report_timeout`` per pipeline position.
+        """
+        assert self.stream is not None and self.target is not None
+        while True:
+            try:
+                return self.stream.recv_message(self.config.io_timeout)
+            except TimeoutError:
+                if not self._ping_target():
+                    raise NodeFailedError(
+                        self.target, f"{wait_reason}: silent, ping unanswered"
+                    ) from None
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+
+    def send_data(self, offset: int, payload: bytes) -> bool:
+        """Forward one chunk downstream; True unless no downstream remains.
+
+        Reroutes to the next alive node on failure; the replacement's GET
+        handshake replays whatever it is missing, after which chunks the
+        replay already covered are skipped here (``sent_offset`` check).
+        """
+        while True:
+            if not self._ensure_connected():
+                return False
+            if self.sent_offset >= offset + len(payload):
+                return True  # replay already delivered this chunk
+            if self.sent_offset != offset:
+                raise ProtocolError(
+                    f"{self.owner}: forward desync: sent {self.sent_offset}, "
+                    f"chunk at {offset}"
+                )
+            try:
+                self._send_frame(Data(offset, len(payload)), payload)
+                self.sent_offset = offset + len(payload)
+                return True
+            except (ConnectionError, NodeFailedError) as exc:
+                reason = exc.reason if isinstance(exc, NodeFailedError) else str(exc)
+                self._mark_dead(self.target, reason)
+                self._drop()
+
+    def finish(self, *, total: int, quit_first: bool) -> str:
+        """Deliver stream end + report, collect PASSED.
+
+        Returns ``"passed"`` when the downstream acknowledged, ``"tail"``
+        when no downstream remains (owner must do the ring closure).
+        ``quit_first`` selects the user-interrupt path (QUIT instead of
+        END).
+
+        The report payload is re-encoded from the node state on *every*
+        attempt: a downstream death is often only detected here (writes to
+        a freshly-dead peer succeed into the kernel socket buffer), and
+        the replacement neighbour must receive a report that includes it.
+        """
+        while True:
+            if not self._ensure_connected():
+                return "tail"
+            try:
+                if self.sent_offset != total:
+                    raise ProtocolError(
+                        f"{self.owner}: finishing at {self.sent_offset}, "
+                        f"stream total {total}"
+                    )
+                report_bytes = self.state.report.encode()
+                self._send_frame(Quit() if quit_first else End(total))
+                self._send_frame(Report(len(report_bytes)), report_bytes)
+                msg, _ = self._recv_gated("awaiting PASSED")
+                if isinstance(msg, Passed):
+                    return "passed"
+                if isinstance(msg, Quit):
+                    # Downstream aborted after the stream ended.
+                    self.downstream_aborted = True
+                    self._drop()
+                    return "tail"
+                raise ProtocolError(f"expected PASSED, got {msg!r}")
+            except (TimeoutError, ConnectionError, NodeFailedError, ProtocolError) as exc:
+                reason = exc.reason if isinstance(exc, NodeFailedError) else str(exc)
+                self._mark_dead(self.target, reason)
+                self._drop()
+
+    def send_quit_best_effort(self) -> None:
+        """Hard-abort path: tell the downstream to quit, ignoring errors."""
+        if self.stream is None:
+            return
+        try:
+            self.stream.send_message(Quit(), timeout=self.config.io_timeout)
+        except (WriteStalled, ConnectionError):
+            pass
+        self._drop()

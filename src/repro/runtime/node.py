@@ -1,0 +1,596 @@
+"""Kascade node roles for the real TCP runtime.
+
+A node is one participant of the broadcast pipeline, run as a pair of
+threads: an *acceptor* owning the listen socket, and the role's main loop
+(:class:`HeadNode` streams the source; :class:`ReceiverNode` receives,
+stores, and forwards).
+
+The message flow implements §III-C/§III-D of the paper:
+
+* receivers send ``GET(offset)`` on **every** new upstream connection
+  (deadlock-avoidance rule);
+* relays forward DATA chunk-by-chunk, which gives natural backpressure —
+  the pipeline never runs faster than its slowest link;
+* on upstream loss a receiver simply waits for a replacement inbound
+  connection: the node *before* the dead one routes around it;
+* ``FORGET`` answers send the receiver to the head with ``PGET``; if the
+  head cannot serve (stdin source), the receiver hard-aborts and QUITs
+  both neighbours;
+* after END/QUIT the report travels down the chain, the tail closes the
+  ring to the head, and PASSED flows back up.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core.config import KascadeConfig
+from ..core.errors import (
+    FramingError,
+    NodeFailedError,
+    ProtocolError,
+    TransferAborted,
+)
+from ..core.messages import (
+    Data,
+    End,
+    Forget,
+    Get,
+    Passed,
+    PGet,
+    Ping,
+    Pong,
+    Quit,
+    Report,
+)
+from ..core.node_state import NodeTransferState, Phase
+from ..core.pipeline import PipelinePlan
+from ..core.recovery import OfferKind
+from ..core.report import TransferReport
+from ..core.sinks import Sink
+from ..core.sources import Source
+from .links import DownstreamLink
+from .registry import Registry
+from .transport import (
+    DATA_CONN,
+    PGET_CONN,
+    PING_CONN,
+    RING_CONN,
+    Listener,
+    SocketStream,
+    WriteStalled,
+    connect,
+)
+
+logger = logging.getLogger(__name__)
+
+
+class InjectedCrash(Exception):
+    """Raised inside a node's main loop by a test/benchmark crash gate."""
+
+    def __init__(self, mode: str) -> None:
+        super().__init__(f"injected crash ({mode})")
+        self.mode = mode
+
+
+#: Crash gate callback: given bytes received so far, return a crash mode
+#: (``"close"`` or ``"silent"``) to kill the node now, or ``None``.
+CrashGate = Callable[[int], Optional[str]]
+
+
+@dataclass
+class NodeOutcome:
+    """What one node reports after the broadcast (or its own death)."""
+
+    name: str
+    ok: bool = False
+    bytes_received: int = 0
+    crashed: bool = False
+    error: Optional[str] = None
+    failures_detected: List = field(default_factory=list)
+
+
+class _Acceptor:
+    """Listen-socket thread: answers pings, queues data/ring connections."""
+
+    def __init__(self, node: "_BaseNode") -> None:
+        self.node = node
+        self.thread = threading.Thread(
+            target=self._run, name=f"accept-{node.name}", daemon=True
+        )
+
+    def start(self) -> None:
+        self.thread.start()
+
+    def _run(self) -> None:
+        node = self.node
+        while not node.stop_event.is_set():
+            try:
+                kind, stream = node.listener.accept(timeout=0.1)
+            except TimeoutError:
+                continue
+            except ConnectionError:
+                return
+            if node.silent:  # crashed "silently": swallow, never answer
+                node._orphans.append(stream)
+                continue
+            try:
+                self._dispatch(kind, stream)
+            except Exception:  # noqa: BLE001 - acceptor must survive anything
+                stream.close()
+
+    def _dispatch(self, kind: bytes, stream: SocketStream) -> None:
+        node = self.node
+        if kind == PING_CONN:
+            # Liveness probe: answer inline and close (§III-D1).
+            try:
+                msg, _ = stream.recv_message(node.config.ping_timeout)
+                if isinstance(msg, Ping):
+                    stream.send_message(Pong(msg.nonce),
+                                        timeout=node.config.ping_timeout)
+            except (TimeoutError, ConnectionError, WriteStalled):
+                pass
+            stream.close()
+        elif kind == DATA_CONN:
+            node.data_inbox.put(stream)
+        elif kind == PGET_CONN and node.serves_pget:
+            t = threading.Thread(
+                target=node.serve_pget, args=(stream,),
+                name=f"pget-{node.name}", daemon=True,
+            )
+            t.start()
+        elif kind == RING_CONN and node.serves_pget:
+            node.handle_ring(stream)
+        else:
+            stream.close()
+
+
+class _BaseNode:
+    """State and helpers shared by head and receivers."""
+
+    serves_pget = False
+
+    def __init__(
+        self,
+        name: str,
+        plan: PipelinePlan,
+        registry: Registry,
+        listener: Listener,
+        config: KascadeConfig,
+    ) -> None:
+        self.name = name
+        self.plan = plan
+        self.registry = registry
+        self.listener = listener
+        self.config = config
+        self.data_inbox: "queue.Queue[SocketStream]" = queue.Queue()
+        self.stop_event = threading.Event()
+        self.silent = False
+        self.outcome = NodeOutcome(name=name)
+        self._orphans: List[SocketStream] = []  # kept open after silent crash
+        self._acceptor = _Acceptor(self)
+        self.thread = threading.Thread(
+            target=self._run_wrapper, name=f"node-{name}", daemon=True
+        )
+
+    def start(self) -> None:
+        self._acceptor.start()
+        self.thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self.thread.join(timeout)
+
+    def shutdown(self) -> None:
+        self.stop_event.set()
+        if not self.silent:
+            self.listener.close()
+
+    # -- crash injection ------------------------------------------------
+
+    def _die(self, mode: str) -> None:
+        """Terminate this node as if it crashed (test/benchmark injection)."""
+        self.outcome.crashed = True
+        self.outcome.error = f"injected crash ({mode})"
+        if mode == "silent":
+            # Leave every socket open but stop all activity: peers must
+            # discover the death via timeouts + unanswered pings.
+            self.silent = True
+            self.stop_event.set()
+        else:
+            # Abrupt process death: the OS closes everything (RST).
+            self.stop_event.set()
+            self.listener.close()
+            self._close_everything()
+
+    def _close_everything(self) -> None:
+        raise NotImplementedError
+
+    def _run_wrapper(self) -> None:
+        try:
+            self._run()
+        except InjectedCrash as crash:
+            self._die(crash.mode)
+        except Exception as exc:  # noqa: BLE001 - node must record, not raise
+            logger.exception("%s: node failed", self.name)
+            self.outcome.error = f"{type(exc).__name__}: {exc}"
+            self.shutdown()
+
+    def _run(self) -> None:
+        raise NotImplementedError
+
+
+class HeadNode(_BaseNode):
+    """The sending node: streams the source, serves PGET, owns the ring."""
+
+    serves_pget = True
+
+    def __init__(
+        self,
+        name: str,
+        plan: PipelinePlan,
+        registry: Registry,
+        listener: Listener,
+        config: KascadeConfig,
+        source: Source,
+    ) -> None:
+        super().__init__(name, plan, registry, listener, config)
+        self.source = source
+        self.state = NodeTransferState(name, config, source_kind=source.kind)
+        self.link = DownstreamLink(name, plan, registry, config, self.state)
+        self.quit_requested = threading.Event()
+        self.final_report: Optional[TransferReport] = None
+        self._ring_event = threading.Event()
+        self._ring_report: Optional[TransferReport] = None
+
+    def request_quit(self) -> None:
+        """User interruption: stop after the current chunk (QUIT path)."""
+        self.quit_requested.set()
+
+    # -- PGET and ring service (acceptor-driven) ------------------------
+
+    def serve_pget(self, stream: SocketStream) -> None:
+        """Serve a recovery range request from a rerouted receiver."""
+        cfg = self.config
+        try:
+            msg, _ = stream.recv_message(cfg.io_timeout + cfg.connect_timeout)
+            if not isinstance(msg, PGet):
+                raise ProtocolError(f"expected PGET, got {msg!r}")
+            offer = self.state.answer_pget(msg.offset, msg.until)
+            if offer.kind is OfferKind.FORGET:
+                stream.send_message(Forget(offer.resume_at), timeout=cfg.io_timeout)
+                return
+            pos = msg.offset
+            while pos < msg.until:
+                size = min(cfg.chunk_size, msg.until - pos)
+                piece = self.source.read_range(pos, size)
+                stream.send_message(Data(pos, len(piece)), piece,
+                                    timeout=cfg.report_timeout)
+                pos += len(piece)
+        except (TimeoutError, ConnectionError, WriteStalled, ProtocolError,
+                NodeFailedError) as exc:
+            logger.info("%s: PGET service aborted: %s", self.name, exc)
+        finally:
+            stream.close()
+
+    def handle_ring(self, stream: SocketStream) -> None:
+        """Receive the tail's final report on the ring-closure connection."""
+        cfg = self.config
+        try:
+            msg, payload = stream.recv_message(cfg.io_timeout + cfg.connect_timeout)
+            if not isinstance(msg, Report):
+                raise ProtocolError(f"expected REPORT on ring, got {msg!r}")
+            self._ring_report = TransferReport.decode(payload)
+            stream.send_message(Passed(), timeout=cfg.io_timeout)
+            self._ring_event.set()
+        except (TimeoutError, ConnectionError, WriteStalled, ProtocolError) as exc:
+            logger.info("%s: ring report failed: %s", self.name, exc)
+        finally:
+            stream.close()
+
+    # -- main loop -------------------------------------------------------
+
+    def _run(self) -> None:
+        cfg = self.config
+        state = self.state
+        bucket = None
+        if cfg.bandwidth_limit is not None:
+            from ..core.pacing import TokenBucket
+            bucket = TokenBucket(cfg.bandwidth_limit)
+        while not self.quit_requested.is_set():
+            chunk = self.source.read_chunk(cfg.chunk_size)
+            if not chunk:
+                break
+            if bucket is not None:
+                delay = bucket.reserve(len(chunk), time.monotonic())
+                if delay > 0 and self.quit_requested.wait(delay):
+                    break
+            off = state.offset
+            state.on_data(off, chunk)
+            if not self.link.send_data(off, chunk):
+                # Every receiver is dead or aborted: stop streaming.
+                break
+        total = state.offset
+        aborting = self.quit_requested.is_set()
+        if aborting:
+            state.on_quit()
+        else:
+            state.on_end(total)
+            state.attach_source_digest()  # integrity mode: publish digest
+        outcome = self.link.finish(total=total, quit_first=aborting)
+        if outcome == "passed":
+            # The tail's ring connection may still be in flight.
+            self._ring_event.wait(cfg.report_timeout)
+        if self._ring_report is not None:
+            self.final_report = self._ring_report
+        else:
+            self.final_report = state.report
+        self.outcome.ok = outcome == "passed" and not aborting
+        self.outcome.bytes_received = total
+        self.outcome.failures_detected = list(state.report.failures)
+        if outcome != "passed":
+            self.outcome.error = "no downstream completed the transfer"
+        state.on_passed() if state.phase in (Phase.ENDED, Phase.ABORTED) else None
+        self.shutdown()
+
+    def _close_everything(self) -> None:
+        self.link.close()
+
+
+class ReceiverNode(_BaseNode):
+    """A receiving node: stores the stream and forwards it downstream."""
+
+    def __init__(
+        self,
+        name: str,
+        plan: PipelinePlan,
+        registry: Registry,
+        listener: Listener,
+        config: KascadeConfig,
+        sink: Sink,
+        crash_gate: Optional[CrashGate] = None,
+    ) -> None:
+        super().__init__(name, plan, registry, listener, config)
+        self.sink = sink
+        self.crash_gate = crash_gate
+        self.state = NodeTransferState(name, config)
+        self.link = DownstreamLink(name, plan, registry, config, self.state)
+        self.upstream: Optional[SocketStream] = None
+
+    # -- upstream management ----------------------------------------------
+
+    def _acquire_upstream(self) -> None:
+        """Block until an inbound data connection exists, then GET on it."""
+        deadline = time.monotonic() + self.config.report_timeout
+        while self.upstream is None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransferAborted(
+                    f"{self.name}: no upstream connection arrived"
+                )
+            try:
+                stream = self.data_inbox.get(timeout=min(remaining, 0.2))
+            except queue.Empty:
+                if self.stop_event.is_set():
+                    raise TransferAborted(f"{self.name}: shut down while idle")
+                continue
+            try:
+                stream.send_message(Get(self.state.offset),
+                                    timeout=self.config.io_timeout)
+                self.upstream = stream
+            except (WriteStalled, ConnectionError):
+                stream.close()
+
+    def _switch_upstream_if_replaced(self) -> bool:
+        """If a newer inbound connection was queued, adopt it (the previous
+        upstream was routed around).  Returns True if switched."""
+        try:
+            stream = self.data_inbox.get_nowait()
+        except queue.Empty:
+            return False
+        if self.upstream is not None:
+            self.upstream.close()
+        self.upstream = None
+        try:
+            stream.send_message(Get(self.state.offset),
+                                timeout=self.config.io_timeout)
+            self.upstream = stream
+            return True
+        except (WriteStalled, ConnectionError):
+            stream.close()
+            return False
+
+    def _drop_upstream(self) -> None:
+        if self.upstream is not None:
+            self.upstream.close()
+            self.upstream = None
+
+    # -- recovery: PGET hole fetch ----------------------------------------
+
+    def _fetch_hole_from_head(self, until: int) -> bool:
+        """Fetch [offset, until) from the head after a FORGET (§III-D2).
+
+        Returns False when the head answers FORGET too — the data is
+        unrecoverable and this node (and everything downstream) aborts.
+        """
+        cfg = self.config
+        head_addr = self.registry.address_of(self.plan.head)
+        try:
+            stream = connect(head_addr, PGET_CONN, cfg.connect_timeout)
+        except NodeFailedError:
+            return False
+        try:
+            stream.send_message(PGet(self.state.offset, until),
+                                timeout=cfg.io_timeout)
+            while self.state.offset < until:
+                msg, payload = stream.recv_message(cfg.report_timeout)
+                if isinstance(msg, Forget):
+                    return False
+                if not isinstance(msg, Data):
+                    raise ProtocolError(f"expected DATA from PGET, got {msg!r}")
+                self._consume_chunk(msg.offset, payload)
+            return True
+        except (TimeoutError, ConnectionError, WriteStalled, ProtocolError):
+            return False
+        finally:
+            stream.close()
+
+    # -- data plane ---------------------------------------------------------
+
+    def _consume_chunk(self, offset: int, payload: bytes) -> None:
+        self.state.on_data(offset, payload)
+        self.sink.write_chunk(payload)
+        self.outcome.bytes_received = self.state.offset
+        self.link.send_data(offset, payload)
+        if self.crash_gate is not None:
+            mode = self.crash_gate(self.state.offset)
+            if mode is not None:
+                raise InjectedCrash(mode)
+
+    def _hard_abort(self, reason: str) -> None:
+        """Unrecoverable data loss: QUIT both neighbours and die failed."""
+        logger.info("%s: aborting: %s", self.name, reason)
+        if self.upstream is not None:
+            try:
+                self.upstream.send_message(Quit(), timeout=self.config.io_timeout)
+            except (WriteStalled, ConnectionError):
+                pass
+        self.link.send_quit_best_effort()
+        self.sink.abort()
+        self.outcome.error = reason
+        self._drop_upstream()
+        self.shutdown()
+
+    # -- main loop ------------------------------------------------------------
+
+    def _run(self) -> None:
+        cfg = self.config
+        state = self.state
+        upstream_report: Optional[bytes] = None
+        last_progress = time.monotonic()
+
+        while True:
+            if state.phase is Phase.ENDED and upstream_report is not None:
+                break
+            if self.upstream is None:
+                self._acquire_upstream()
+                last_progress = time.monotonic()
+                continue
+            try:
+                msg, payload = self.upstream.recv_message(cfg.io_timeout)
+            except TimeoutError:
+                if self._switch_upstream_if_replaced():
+                    last_progress = time.monotonic()
+                elif time.monotonic() - last_progress > cfg.report_timeout:
+                    self._hard_abort("upstream silent beyond deadline")
+                    return
+                continue
+            except FramingError as exc:
+                # A poisoned byte stream cannot be resynchronised: drop
+                # the connection and wait for a clean reconnect, exactly
+                # as if the peer had died.  Garbage from a confused or
+                # malicious peer must never take the node down.
+                logger.info("%s: dropping upstream on bad frame: %s",
+                            self.name, exc)
+                self._drop_upstream()
+                continue
+            except ConnectionError:
+                self._drop_upstream()
+                continue
+            last_progress = time.monotonic()
+
+            if isinstance(msg, Data):
+                self._consume_chunk(msg.offset, payload)
+            elif isinstance(msg, End):
+                if state.phase is Phase.STREAMING:
+                    state.on_end(msg.total)
+                elif state.total_size != msg.total:
+                    raise ProtocolError(
+                        f"{self.name}: conflicting END totals "
+                        f"{state.total_size} vs {msg.total}"
+                    )
+                # else: duplicate END from a rerouted upstream — ignore.
+            elif isinstance(msg, Report):
+                upstream_report = payload
+            elif isinstance(msg, Forget):
+                if not self._fetch_hole_from_head(msg.min_offset):
+                    self._hard_abort("data lost beyond recovery (FORGET)")
+                    return
+                # Hole filled; re-request the live stream from upstream.
+                try:
+                    self.upstream.send_message(Get(state.offset),
+                                               timeout=cfg.io_timeout)
+                except (WriteStalled, ConnectionError):
+                    self._drop_upstream()
+            elif isinstance(msg, Quit):
+                state.on_quit()
+                # Graceful (user-interrupt) aborts are followed by a REPORT.
+                try:
+                    rmsg, rpayload = self.upstream.recv_message(cfg.io_timeout)
+                except (TimeoutError, ConnectionError):
+                    self._hard_abort("upstream quit without report")
+                    return
+                if isinstance(rmsg, Report):
+                    upstream_report = rpayload
+                    break
+                self._hard_abort("upstream quit without report")
+                return
+            else:
+                raise ProtocolError(f"{self.name}: unexpected {msg!r} from upstream")
+
+        # ---- report exchange phase ----
+        aborted = state.phase is Phase.ABORTED
+        state.merge_upstream_report(upstream_report)
+        digest_ok = state.verify_against_report()
+        if digest_ok is False:
+            # Corrupted local copy: flag ourselves before forwarding the
+            # report so the head learns, and fail this node's outcome.
+            state.record_failure(self.name, "digest-mismatch")
+            self.outcome.error = "stored data failed digest verification"
+        outcome = self.link.finish(total=state.offset, quit_first=aborted)
+        if outcome == "tail":
+            self._ring_deliver(state.report.encode())
+        if self.upstream is not None:
+            try:
+                self.upstream.send_message(Passed(), timeout=cfg.io_timeout)
+            except (WriteStalled, ConnectionError):
+                pass
+        state.on_passed()
+        if aborted:
+            self.sink.abort()
+        else:
+            self.sink.finish()
+        self.outcome.ok = (
+            not aborted and state.complete and digest_ok is not False
+        )
+        self.outcome.failures_detected = list(state.report.failures)
+        self._drop_upstream()
+        self.shutdown()
+
+    def _ring_deliver(self, report_bytes: bytes) -> None:
+        """Tail duty: close the ring and deliver the report to the head."""
+        cfg = self.config
+        try:
+            stream = connect(self.registry.address_of(self.plan.head),
+                             RING_CONN, cfg.connect_timeout)
+        except NodeFailedError:
+            logger.info("%s: head unreachable for ring report", self.name)
+            return
+        try:
+            stream.send_message(Report(len(report_bytes)), report_bytes,
+                                timeout=cfg.report_timeout)
+            msg, _ = stream.recv_message(cfg.report_timeout)
+            if not isinstance(msg, Passed):
+                logger.info("%s: unexpected ring answer %r", self.name, msg)
+        except (TimeoutError, ConnectionError, WriteStalled) as exc:
+            logger.info("%s: ring delivery failed: %s", self.name, exc)
+        finally:
+            stream.close()
+
+    def _close_everything(self) -> None:
+        self._drop_upstream()
+        self.link.close()

@@ -1,0 +1,37 @@
+"""Node name → TCP address registry.
+
+On a real deployment this is derived from the host list given to
+``kascade -N``; in the local runtime each "node" is a thread listening on
+an ephemeral localhost port.  The registry is the only piece of global
+knowledge every node receives at startup (the paper copies the node list
+to all targets before the transfer, §III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from ..core.errors import PipelineError
+from .transport import Address
+
+
+class Registry:
+    """Immutable mapping of node names to their listen addresses."""
+
+    def __init__(self, entries: Mapping[str, Address]) -> None:
+        self._entries: Dict[str, Address] = dict(entries)
+
+    def address_of(self, node: str) -> Address:
+        try:
+            return self._entries[node]
+        except KeyError:
+            raise PipelineError(f"unknown node {node!r} in registry") from None
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> Iterable[str]:
+        return self._entries.keys()

@@ -1,0 +1,237 @@
+"""TCP transport for the real Kascade runtime.
+
+Connections carry a one-byte *preamble* identifying their purpose, sent by
+the initiating side immediately after connect:
+
+========  =====================================================
+``D``     data connection: upstream pushes the stream; the
+          *accepting* node speaks first with GET(offset) (§III-C)
+``P``     liveness probe: initiator sends PING, expects PONG
+``G``     PGET recovery fetch (to the head node)
+``R``     ring-closure report connection (tail → head)
+========  =====================================================
+
+The paper's protocol needs failure detection via timeouts on stalled reads
+and writes (§III-D1).  Timeouts must not corrupt framing, so this module
+provides :class:`SocketStream`, whose receive path feeds a
+:class:`~repro.core.framing.FrameDecoder` (partial frames survive a
+timeout) and whose send path keeps its position across timeouts so a
+write can resume after a successful liveness ping.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.errors import NodeFailedError, ProtocolError
+from ..core.framing import FrameDecoder, encode_header, payload_size
+from ..core.messages import Message
+
+#: Connection preamble bytes.
+DATA_CONN = b"D"
+PING_CONN = b"P"
+PGET_CONN = b"G"
+RING_CONN = b"R"
+
+_RECV_SIZE = 256 * 1024
+
+
+class WriteStalled(Exception):
+    """A send did not complete within the I/O timeout.
+
+    The pending bytes stay queued in the :class:`SocketStream`; calling
+    ``flush_pending`` resumes exactly where the send stopped, so a
+    false-positive stall (congestion, not death) loses no data.
+    """
+
+
+@dataclass(frozen=True)
+class Address:
+    host: str
+    port: int
+
+    def as_tuple(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+
+class SocketStream:
+    """Framed, timeout-aware wrapper around a connected TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._decoder = FrameDecoder()
+        self._pending_send = b""
+        self._closed = False
+        # Disable Nagle: control messages (GET, PING, PASSED) are tiny and
+        # latency-critical; bulk DATA frames are large enough not to care.
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP sockets in tests
+            pass
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    def recv_message(self, timeout: Optional[float]) -> Tuple[Message, bytes]:
+        """Receive one complete frame.
+
+        Raises ``TimeoutError`` if no complete frame arrives in time
+        (already-buffered partial bytes are kept for the next call),
+        ``ConnectionError`` if the peer closed or reset the connection.
+        """
+        while True:
+            item = self._decoder.try_pop()
+            if item is not None:
+                return item
+            self._sock.settimeout(timeout)
+            try:
+                data = self._sock.recv(_RECV_SIZE)
+            except socket.timeout:
+                raise TimeoutError("read stalled") from None
+            except OSError as exc:
+                raise ConnectionError(f"receive failed: {exc}") from exc
+            if not data:
+                raise ConnectionError("peer closed connection")
+            self._decoder.feed(data)
+
+    def try_recv_message(self) -> Optional[Tuple[Message, bytes]]:
+        """Non-blocking poll for an already-buffered frame."""
+        return self._decoder.try_pop()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send_message(
+        self,
+        msg: Message,
+        payload: bytes = b"",
+        *,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Queue and send one frame; raises :class:`WriteStalled` on timeout.
+
+        After a stall, the caller decides (via ping) whether to retry with
+        :meth:`flush_pending` or declare the peer dead.
+        """
+        expected = payload_size(msg)
+        if len(payload) != expected:
+            raise ProtocolError(
+                f"{msg!r} requires {expected} payload bytes, got {len(payload)}"
+            )
+        self._pending_send += encode_header(msg) + payload
+        self.flush_pending(timeout=timeout)
+
+    def send_raw(self, data: bytes, *, timeout: Optional[float] = None) -> None:
+        """Queue and send raw bytes (used for the connection preamble)."""
+        self._pending_send += data
+        self.flush_pending(timeout=timeout)
+
+    def flush_pending(self, *, timeout: Optional[float] = None) -> None:
+        """Push queued bytes; resumable across :class:`WriteStalled`."""
+        while self._pending_send:
+            self._sock.settimeout(timeout)
+            try:
+                sent = self._sock.send(self._pending_send)
+            except socket.timeout:
+                raise WriteStalled(
+                    f"{len(self._pending_send)} bytes still pending"
+                ) from None
+            except OSError as exc:
+                raise ConnectionError(f"send failed: {exc}") from exc
+            self._pending_send = self._pending_send[sent:]
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._pending_send)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "SocketStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect(addr: Address, kind: bytes, timeout: float) -> SocketStream:
+    """Open a connection to ``addr`` and send the preamble ``kind``.
+
+    Raises :class:`NodeFailedError` if the peer is unreachable — the
+    caller treats that as a dead node (§III-D: connect-refused counts as
+    a detected failure).
+    """
+    try:
+        sock = socket.create_connection(addr.as_tuple(), timeout=timeout)
+    except OSError as exc:
+        raise NodeFailedError(f"{addr.host}:{addr.port}", f"connect failed: {exc}")
+    stream = SocketStream(sock)
+    try:
+        stream.send_raw(kind, timeout=timeout)
+    except (ConnectionError, WriteStalled) as exc:
+        stream.close()
+        raise NodeFailedError(f"{addr.host}:{addr.port}", f"preamble failed: {exc}")
+    return stream
+
+
+class Listener:
+    """Listening socket accepting preambled connections."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 64):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self._closed = False
+        self.address = Address(*self._sock.getsockname()[:2])
+
+    def accept(self, timeout: Optional[float]) -> Tuple[bytes, SocketStream]:
+        """Accept one connection and read its preamble byte.
+
+        Returns ``(kind, stream)``.  Raises ``TimeoutError`` if nothing
+        arrives, ``ConnectionError`` once closed.
+        """
+        self._sock.settimeout(timeout)
+        try:
+            conn, _peer = self._sock.accept()
+        except socket.timeout:
+            raise TimeoutError("accept timed out") from None
+        except OSError as exc:
+            raise ConnectionError(f"listener closed: {exc}") from exc
+        conn.settimeout(timeout if timeout is not None else 5.0)
+        try:
+            kind = conn.recv(1)
+        except OSError as exc:
+            conn.close()
+            raise ConnectionError(f"preamble read failed: {exc}") from exc
+        if not kind:
+            conn.close()
+            raise ConnectionError("peer closed before preamble")
+        return kind, SocketStream(conn)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -1,0 +1,46 @@
+"""Fluid-flow discrete-event network simulator.
+
+Substitute for the paper's Grid'5000 testbed: topologies from
+:mod:`repro.topology`, a generator-coroutine DES kernel, and a weighted
+max–min fair bandwidth allocator with chain-coupled streams that model
+store-and-forward pipelines.
+"""
+
+from .engine import Engine, Event, Interrupted, Process, Timeout
+from .fabric import (
+    Fabric,
+    FixedSupply,
+    HostDied,
+    Stream,
+    StreamCancelled,
+    StreamSupply,
+    Supply,
+)
+from .flows import FlowSpec, MaxMinProblem, solve_max_min
+from .nodes import HeadRx, NodeRx
+from .trace import FabricTracer, StreamTrace
+from .validation import chunk_pipeline_completion, chunk_pipeline_times
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "Timeout",
+    "Interrupted",
+    "Fabric",
+    "Stream",
+    "Supply",
+    "FixedSupply",
+    "StreamSupply",
+    "HostDied",
+    "StreamCancelled",
+    "FlowSpec",
+    "MaxMinProblem",
+    "solve_max_min",
+    "NodeRx",
+    "FabricTracer",
+    "StreamTrace",
+    "chunk_pipeline_completion",
+    "chunk_pipeline_times",
+    "HeadRx",
+]

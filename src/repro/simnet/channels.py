@@ -1,0 +1,340 @@
+"""Message channels for protocol-exact simulation.
+
+Where the fluid fabric abstracts data into rates, these channels carry
+the protocol's *actual messages* (header objects + payload bytes) with
+in-order delivery, per-message service time, and failure semantics that
+mirror TCP's:
+
+* a message occupies the channel for ``header/bw + payload/bw`` after a
+  one-way latency — deliveries serialize like a byte stream;
+* when an endpoint's host dies, the other side's pending and future
+  receives raise :class:`ChannelClosed` (a reset), and sends into the
+  void raise once the death is known;
+* receives take an optional timeout, raising :class:`ChannelTimeout` —
+  the primitive the protocol's failure detection is built on.
+
+Connection establishment mimics the runtime's preamble scheme: a
+:class:`SimNetHub` owns per-node listeners; ``connect`` yields a pair of
+endpoints after the path latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..core.errors import KascadeError
+from .engine import Engine, Event, Timeout
+
+_HEADER_BYTES = 32  # generous per-message framing cost
+
+
+class ChannelClosed(KascadeError):
+    """The peer closed the connection or its host died (TCP reset)."""
+
+
+class ChannelTimeout(KascadeError):
+    """No message arrived within the receive timeout."""
+
+
+class _Endpoint:
+    """One side of a bidirectional channel."""
+
+    def __init__(self, channel: "SimChannel", side: int) -> None:
+        self._channel = channel
+        self._side = side
+        self.inbox: Deque[Tuple[object, bytes]] = deque()
+        self.inbox_bytes = 0
+        self._recv_waiter: Optional[Event] = None
+        self._drain_waiter: Optional[Event] = None
+        self.closed = False
+
+    # -- sending ---------------------------------------------------------
+
+    def send(self, msg: object, payload: bytes = b"") -> None:
+        """Fire-and-forget send for small control messages.
+
+        Ignores the flow-control window (control frames are tiny);
+        raises :class:`ChannelClosed` on a dead channel.
+        """
+        self._channel._transmit(self._side, msg, payload)
+
+    def send_wait(self, msg: object, payload: bytes = b"",
+                  timeout: Optional[float] = None):
+        """Sub-generator: windowed send — the data-plane primitive.
+
+        Blocks while the peer's receive window is full, exactly like a
+        TCP send against a non-reading peer; raises
+        :class:`ChannelTimeout` if the stall outlasts ``timeout`` (the
+        runtime's ``WriteStalled``) and :class:`ChannelClosed` on reset.
+        """
+        channel = self._channel
+        peer = channel.ends[1 - self._side]
+        size = _HEADER_BYTES + len(payload)
+        while True:
+            if channel.failed or self.closed or peer.closed:
+                raise ChannelClosed("send on dead channel")
+            outstanding = (
+                peer.inbox_bytes + channel._in_flight[self._side]
+            )
+            if outstanding + size <= channel.window or outstanding == 0:
+                channel._transmit(self._side, msg, payload)
+                return
+            drained = channel.engine.event(name="chan-drain")
+            self._drain_waiter_set(peer, drained)
+            token = None
+            if timeout is not None:
+                token = channel.engine.call_after(
+                    timeout,
+                    lambda ev=drained: ev.fail(ChannelTimeout("send stalled"))
+                    if not ev.triggered else None,
+                )
+            try:
+                yield drained
+            finally:
+                if peer._drain_waiter is drained:
+                    peer._drain_waiter = None
+                if token is not None:
+                    channel.engine._cancel_timeout(token)
+
+    @staticmethod
+    def _drain_waiter_set(peer: "_Endpoint", event: Event) -> None:
+        peer._drain_waiter = event
+
+    # -- receiving ---------------------------------------------------------
+
+    def recv(self, timeout: Optional[float] = None):
+        """Sub-generator (use ``yield from``): next ``(msg, payload)``.
+
+        Raises :class:`ChannelTimeout` after ``timeout`` simulated
+        seconds, :class:`ChannelClosed` when the peer is gone and the
+        inbox is drained.
+        """
+        engine = self._channel.engine
+        peer = self._channel.ends[1 - self._side]
+        while True:
+            if self.inbox:
+                msg, payload = self.inbox.popleft()
+                self.inbox_bytes -= _HEADER_BYTES + len(payload)
+                self._wake_drainer()
+                return msg, payload
+            # A graceful peer close still delivers in-flight messages
+            # (TCP semantics: close after send flushes); a failure does
+            # not (a reset drops the queue).
+            in_flight = self._channel._in_flight[1 - self._side]
+            if self.closed or self._channel.failed or (
+                    peer.closed and in_flight == 0):
+                raise ChannelClosed("peer gone")
+            arrival = engine.event(name="chan-recv")
+            self._recv_waiter = arrival
+            token = None
+            if timeout is not None:
+                token = engine.call_after(
+                    timeout,
+                    lambda ev=arrival: ev.fail(ChannelTimeout("recv timeout"))
+                    if not ev.triggered else None,
+                )
+            try:
+                yield arrival
+            finally:
+                self._recv_waiter = None
+                if token is not None:
+                    engine._cancel_timeout(token)
+            # Loop: either a message arrived or the channel failed (the
+            # notification re-checks state at the top).
+
+    def _wake_drainer(self) -> None:
+        waiter, self._drain_waiter = self._drain_waiter, None
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(None)
+
+    def _notify(self) -> None:
+        waiter, self._recv_waiter = self._recv_waiter, None
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(None)
+        self._wake_drainer()
+
+    def close(self) -> None:
+        """Close this side; the peer sees ChannelClosed once drained."""
+        if not self.closed:
+            self.closed = True
+            self._channel._on_side_closed(self._side)
+
+
+class SimChannel:
+    """A bidirectional, in-order message channel between two hosts."""
+
+    def __init__(self, engine: Engine, a: str, b: str,
+                 bandwidth: float, latency: float,
+                 window: float = 512 * 1024,
+                 hub: "Optional[SimNetHub]" = None) -> None:
+        self.engine = engine
+        self.hub = hub
+        self.hosts = (a, b)
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.window = window
+        self.failed = False
+        self.ends = (_Endpoint(self, 0), _Endpoint(self, 1))
+        self._busy_until = [0.0, 0.0]   # per direction
+        self._in_flight = [0, 0]        # bytes scheduled, not delivered
+
+    def _transmit(self, side: int, msg: object, payload: bytes) -> None:
+        if self.failed or self.ends[side].closed:
+            raise ChannelClosed("send on dead channel")
+        if self.ends[1 - side].closed:
+            raise ChannelClosed("peer closed")
+        engine = self.engine
+        if self.hub is not None and self.hub.message_log is not None:
+            self.hub.message_log.append(
+                (engine.now, self.hosts[side], self.hosts[1 - side],
+                 msg, len(payload))
+            )
+        size = _HEADER_BYTES + len(payload)
+        service = size / self.bandwidth
+        start = max(engine.now, self._busy_until[side])
+        done = start + service
+        self._busy_until[side] = done
+        self._in_flight[side] += size
+        deliver_at = done + self.latency
+
+        def deliver() -> None:
+            self._in_flight[side] -= size
+            if self.failed:
+                return
+            peer = self.ends[1 - side]
+            if peer.closed:
+                return
+            peer.inbox.append((msg, payload))
+            peer.inbox_bytes += size
+            peer._notify()
+
+        engine.call_at(deliver_at, deliver)
+
+    def _on_side_closed(self, side: int) -> None:
+        # Wake a peer blocked in recv/send so it observes the close.
+        self.ends[1 - side]._notify()
+        self.ends[side]._wake_drainer()
+
+    def fail(self) -> None:
+        """Hard failure (host death): both sides reset immediately.
+
+        In-flight and queued messages are lost, matching a crashed
+        process whose kernel resets the connection.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        for end in self.ends:
+            end.inbox.clear()
+            end.inbox_bytes = 0
+            end._notify()
+
+
+class SimListener:
+    """Accept queue for inbound connections to one node."""
+
+    def __init__(self, engine: Engine, name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self._queue: Deque[Tuple[bytes, _Endpoint]] = deque()
+        self._waiter: Optional[Event] = None
+        self.closed = False
+
+    def accept(self, timeout: Optional[float] = None):
+        """Sub-generator: next ``(kind, endpoint)`` inbound connection."""
+        while True:
+            if self._queue:
+                return self._queue.popleft()
+            if self.closed:
+                raise ChannelClosed("listener closed")
+            arrival = self.engine.event(name=f"accept:{self.name}")
+            self._waiter = arrival
+            token = None
+            if timeout is not None:
+                token = self.engine.call_after(
+                    timeout,
+                    lambda ev=arrival: ev.fail(ChannelTimeout("accept timeout"))
+                    if not ev.triggered else None,
+                )
+            try:
+                yield arrival
+            finally:
+                self._waiter = None
+                if token is not None:
+                    self.engine._cancel_timeout(token)
+
+    def _offer(self, kind: bytes, endpoint: _Endpoint) -> None:
+        self._queue.append((kind, endpoint))
+        waiter, self._waiter = self._waiter, None
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(None)
+
+    def close(self) -> None:
+        self.closed = True
+        waiter, self._waiter = self._waiter, None
+        if waiter is not None and not waiter.triggered:
+            waiter.fail(ChannelClosed("listener closed"))
+
+
+class SimNetHub:
+    """Registry of nodes, listeners, and live channels."""
+
+    def __init__(self, engine: Engine, *, bandwidth: float = 125e6,
+                 latency: float = 1e-4) -> None:
+        self.engine = engine
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.listeners: Dict[str, SimListener] = {}
+        self.dead: set[str] = set()
+        self.channels: list[SimChannel] = []
+        #: When not None, every transmitted message is appended as
+        #: ``(send_time, src, dst, message, payload_len)`` — the raw
+        #: material for message sequence charts.
+        self.message_log: Optional[list] = None
+
+    def start_tracing(self) -> list:
+        self.message_log = []
+        return self.message_log
+
+    def register(self, name: str) -> SimListener:
+        listener = SimListener(self.engine, name)
+        self.listeners[name] = listener
+        return listener
+
+    def connect(self, src: str, dst: str, kind: bytes):
+        """Sub-generator: connect ``src`` → ``dst``; returns the client
+        endpoint after one latency.  Raises :class:`ChannelClosed` when
+        the destination is dead or not listening (connection refused)."""
+        yield Timeout(self.latency)
+        if src in self.dead:
+            raise ChannelClosed(f"{src} is dead")
+        if dst in self.dead or dst not in self.listeners:
+            raise ChannelClosed(f"connect refused by {dst}")
+        listener = self.listeners[dst]
+        if listener.closed:
+            raise ChannelClosed(f"connect refused by {dst}")
+        channel = SimChannel(self.engine, src, dst,
+                             self.bandwidth, self.latency, hub=self)
+        self.channels.append(channel)
+        listener._offer(kind, channel.ends[1])
+        return channel.ends[0]
+
+    def kill(self, name: str) -> None:
+        """Host death: reset every channel touching it, close its
+        listener (silent deaths keep the listener: see ``kill_silent``)."""
+        self.dead.add(name)
+        listener = self.listeners.get(name)
+        if listener is not None:
+            listener.close()
+        for channel in self.channels:
+            if name in channel.hosts:
+                channel.fail()
+
+    def kill_silent(self, name: str) -> None:
+        """Hang, not crash: channels stay up but nothing answers.
+
+        The node's processes must be stopped by the caller; peers can
+        only discover the death through timeouts and unanswered pings.
+        """
+        self.dead.add(name)

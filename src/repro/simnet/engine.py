@@ -1,0 +1,298 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic, generator-coroutine engine in the style of
+SimPy, purpose-built for this reproduction (SimPy itself is not available
+offline, and we need far fewer features than it offers):
+
+* :class:`Engine` — binary-heap event queue with deterministic
+  tie-breaking ``(time, seq)``; no wall-clock anywhere.
+* :class:`Process` — a Python generator that ``yield``s waitables
+  (:class:`Timeout`, :class:`Event`, or another :class:`Process`) and is
+  resumed with the waitable's value — or has an exception thrown into it
+  when the waitable fails (how simulated node crashes propagate).
+* :class:`Event` — one-shot synchronisation cell with ``succeed`` /
+  ``fail``.
+
+Example::
+
+    eng = Engine()
+
+    def worker(eng):
+        yield Timeout(1.5)
+        return eng.now
+
+    p = eng.spawn(worker(eng))
+    eng.run()
+    assert p.value == 1.5
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from ..core.errors import SimulationError
+
+
+class Interrupted(Exception):
+    """Thrown into a process whose wait was cancelled (e.g. host died)."""
+
+
+class Timeout:
+    """Waitable: resume the process after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+
+
+class Event:
+    """One-shot event: processes wait on it; someone succeeds/fails it."""
+
+    __slots__ = ("_engine", "_done", "_value", "_exc", "_waiters", "name")
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self._engine = engine
+        self._done = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._waiters: List["Process"] = []
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        if self._done:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._done = True
+        self._value = value
+        self._flush()
+
+    def fail(self, exc: BaseException) -> None:
+        if self._done:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._done = True
+        self._exc = exc
+        self._flush()
+
+    def _flush(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            if self._exc is not None:
+                self._engine._schedule_throw(proc, self._exc)
+            else:
+                self._engine._schedule_resume(proc, self._value)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._done:
+            if self._exc is not None:
+                self._engine._schedule_throw(proc, self._exc)
+            else:
+                self._engine._schedule_resume(proc, self._value)
+        else:
+            self._waiters.append(proc)
+
+    def _discard_waiter(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+
+class Process:
+    """A running generator coroutine inside the engine."""
+
+    __slots__ = ("engine", "gen", "name", "done", "value", "exc",
+                 "_completion", "_waiting_on", "_timeout_seq")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str) -> None:
+        self.engine = engine
+        self.gen = gen
+        self.name = name
+        self.done = False
+        self.value: Any = None
+        self.exc: Optional[BaseException] = None
+        self._completion: Optional[Event] = None
+        self._waiting_on: Optional[Event] = None
+        self._timeout_seq: Optional[int] = None  # pending Timeout identity
+
+    @property
+    def completion(self) -> Event:
+        """Event triggered when this process returns (value = return value)."""
+        if self._completion is None:
+            self._completion = Event(self.engine, name=f"done:{self.name}")
+            if self.done:
+                if self.exc is not None:
+                    self._completion.fail(self.exc)
+                else:
+                    self._completion.succeed(self.value)
+        return self._completion
+
+    def interrupt(self, exc: Optional[BaseException] = None) -> None:
+        """Cancel this process's current wait and throw into it now."""
+        if self.done:
+            return
+        if exc is None:
+            exc = Interrupted(f"{self.name} interrupted")
+        # Detach from whatever it is waiting on so it is not resumed twice.
+        if self._waiting_on is not None:
+            self._waiting_on._discard_waiter(self)
+            self._waiting_on = None
+        if self._timeout_seq is not None:
+            self.engine._cancel_timeout(self._timeout_seq)
+            self._timeout_seq = None
+        self.engine._schedule_throw(self, exc)
+
+    def kill(self) -> None:
+        """Terminate the process silently (a dead node's code just stops)."""
+        if self.done:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._discard_waiter(self)
+            self._waiting_on = None
+        if self._timeout_seq is not None:
+            self.engine._cancel_timeout(self._timeout_seq)
+            self._timeout_seq = None
+        self.done = True
+        self.gen.close()
+        # A killed process never completes its completion event: anyone
+        # waiting on it must be interrupted separately by the killer.
+
+
+class Engine:
+    """The simulation kernel."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._cancelled: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> int:
+        """Schedule ``fn()`` at absolute simulated time ``when``.
+
+        Returns a token usable with :meth:`_cancel_timeout`.
+        """
+        if when < self.now - 1e-12:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, fn))
+        return self._seq
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> int:
+        return self.call_at(self.now + delay, fn)
+
+    def _cancel_timeout(self, seq: int) -> None:
+        self._cancelled.add(seq)
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "proc") -> Process:
+        proc = Process(self, gen, name)
+        self._schedule_resume(proc, None)
+        return proc
+
+    def _schedule_resume(self, proc: Process, value: Any) -> None:
+        self.call_at(self.now, lambda: self._step(proc, value, None))
+
+    def _schedule_throw(self, proc: Process, exc: BaseException) -> None:
+        self.call_at(self.now, lambda: self._step(proc, None, exc))
+
+    def _step(self, proc: Process, value: Any, exc: Optional[BaseException]) -> None:
+        if proc.done:
+            return
+        proc._waiting_on = None
+        proc._timeout_seq = None
+        try:
+            if exc is not None:
+                target = proc.gen.throw(exc)
+            else:
+                target = proc.gen.send(value)
+        except StopIteration as stop:
+            proc.done = True
+            proc.value = stop.value
+            if proc._completion is not None:
+                proc._completion.succeed(stop.value)
+            return
+        except Interrupted:
+            # Interrupt not caught by the process: it dies quietly.
+            proc.done = True
+            return
+        except Exception as err:  # noqa: BLE001 - propagate to completion
+            proc.done = True
+            proc.exc = err
+            if proc._completion is not None:
+                proc._completion.fail(err)
+            else:
+                raise SimulationError(
+                    f"process {proc.name!r} raised with no-one waiting: {err!r}"
+                ) from err
+            return
+        self._wait_on(proc, target)
+
+    def _wait_on(self, proc: Process, target: Any) -> None:
+        if isinstance(target, Timeout):
+            proc._timeout_seq = self.call_after(
+                target.delay, lambda: self._resume_if_pending(proc)
+            )
+        elif isinstance(target, Event):
+            proc._waiting_on = target
+            target._add_waiter(proc)
+        elif isinstance(target, Process):
+            ev = target.completion
+            proc._waiting_on = ev
+            ev._add_waiter(proc)
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded non-waitable {target!r}"
+            )
+
+    def _resume_if_pending(self, proc: Process) -> None:
+        if not proc.done:
+            self._step(proc, None, None)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains (or simulated time passes ``until``).
+
+        Returns the final simulated time.
+        """
+        while self._heap:
+            when, seq, fn = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            if when < self.now - 1e-9:
+                raise SimulationError("time went backwards")
+            self.now = max(self.now, when)
+            fn()
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for (_, s, _) in self._heap if s not in self._cancelled)

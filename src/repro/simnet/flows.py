@@ -1,0 +1,259 @@
+"""Weighted max–min fair bandwidth allocation (progressive filling).
+
+The fluid model at the core of the simulator: at any instant, every active
+flow gets a rate such that
+
+* no capacity constraint is violated (links, host copy budgets, disks);
+* no per-flow rate limit is exceeded (TCP window caps, chain coupling);
+* the allocation is max–min fair: a flow's rate can only be increased by
+  decreasing that of a flow with an equal or smaller rate.
+
+Constraints are generic capacity pools.  A flow consumes each of its
+constraints at ``weight × rate`` — weights express that, e.g., a byte
+written to disk costs more of a host's budget than a byte forwarded from
+memory.
+
+The algorithm is classic progressive filling: grow a common rate ``t``
+for all unfrozen flows; freeze flows when they hit their individual limit
+or when one of their constraints saturates.  Runs in
+``O(iterations × (flows + constraint usage))`` with at most one freeze
+group per iteration — microseconds for the few hundred flows our
+experiments create.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.errors import SimulationError
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow to allocate.
+
+    ``constraints`` lists ``(constraint_key, weight)`` pairs; ``limit`` is
+    an individual rate cap (``inf`` when unconstrained).
+    """
+
+    key: Hashable
+    constraints: Tuple[Tuple[Hashable, float], ...]
+    limit: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.limit < 0:
+            raise SimulationError(f"negative limit on flow {self.key!r}")
+        for _c, w in self.constraints:
+            if w <= 0:
+                raise SimulationError(
+                    f"non-positive constraint weight on flow {self.key!r}"
+                )
+
+
+class MaxMinProblem:
+    """A reusable max–min instance: flows + capacities indexed once.
+
+    The fluid fabric re-solves the same flow set many times per
+    simulated instant (the coupling fixpoint) and across consecutive
+    events; constructing the membership index each time dominated the
+    profile, so it lives here and :meth:`solve` only copies the mutable
+    per-solve state.
+    """
+
+    def __init__(
+        self,
+        flows: Sequence[FlowSpec],
+        capacities: Dict[Hashable, float],
+    ) -> None:
+        self.flows = list(flows)
+        self.capacities = capacities
+        self.members: Dict[Hashable, List[Tuple[int, float]]] = {}
+        for idx, flow in enumerate(self.flows):
+            seen = set()
+            for ckey, weight in flow.constraints:
+                if ckey not in capacities:
+                    raise SimulationError(
+                        f"flow {flow.key!r} references unknown "
+                        f"constraint {ckey!r}"
+                    )
+                if ckey in seen:
+                    raise SimulationError(
+                        f"flow {flow.key!r} lists constraint {ckey!r} twice"
+                    )
+                seen.add(ckey)
+                self.members.setdefault(ckey, []).append((idx, weight))
+        self._wsum0: Dict[Hashable, float] = {}
+        for ckey, flws in self.members.items():
+            cap = capacities[ckey]
+            if cap < 0:
+                raise SimulationError(f"negative capacity for {ckey!r}")
+            self._wsum0[ckey] = sum(w for _i, w in flws)
+
+    def solve(
+        self, limits: Optional[Dict[Hashable, float]] = None
+    ) -> Dict[Hashable, float]:
+        rates, _causes = _solve_indexed(self, limits)
+        return rates
+
+    def solve_explained(
+        self, limits: Optional[Dict[Hashable, float]] = None
+    ) -> Tuple[Dict[Hashable, float], Dict[Hashable, object]]:
+        """Like :meth:`solve`, also returning what froze each flow:
+        ``"limit"`` (its own rate cap), ``("constraint", key)`` (a
+        saturated capacity), or ``"unbounded"``."""
+        return _solve_indexed(self, limits)
+
+
+def solve_max_min(
+    flows: Sequence[FlowSpec],
+    capacities: Dict[Hashable, float],
+    limits: Optional[Dict[Hashable, float]] = None,
+) -> Dict[Hashable, float]:
+    """Allocate max–min fair rates (one-shot convenience wrapper).
+
+    ``capacities`` maps constraint keys to available capacity; every
+    constraint referenced by a flow must be present.  ``limits``
+    optionally overrides per-flow limits by flow key.  Returns
+    ``{flow_key: rate}``.  For repeated solves over the same flow set,
+    build a :class:`MaxMinProblem` once and call ``solve``.
+    """
+    return MaxMinProblem(flows, capacities).solve(limits)
+
+
+def _solve_indexed(
+    problem: MaxMinProblem,
+    limits: Optional[Dict[Hashable, float]],
+) -> Tuple[Dict[Hashable, float], Dict[Hashable, object]]:
+    """Progressive filling with two lazy priority queues — one over flow
+    limits (pre-sorted), one over constraint saturation times (heap with
+    versioned entries) — and lazily-materialised capacity consumption,
+    so a solve costs ``O((flows + constraints) · log)``."""
+    flows = problem.flows
+    if not flows:
+        return {}, {}
+    members = problem.members
+
+    n = len(flows)
+    limit_of = [
+        (limits.get(f.key, f.limit) if limits is not None else f.limit)
+        for f in flows
+    ]
+    for f, lim in zip(flows, limit_of):
+        if lim < 0:
+            raise SimulationError(f"negative limit for flow {f.key!r}")
+
+    rates = [0.0] * n
+    frozen = [False] * n
+    causes: List[object] = [None] * n
+    remaining: Dict[Hashable, float] = {
+        ckey: problem.capacities[ckey] for ckey in members
+    }
+    wsum: Dict[Hashable, float] = dict(problem._wsum0)
+    version: Dict[Hashable, int] = dict.fromkeys(members, 0)
+    last_t: Dict[Hashable, float] = dict.fromkeys(members, 0.0)
+
+    # Heap of constraint saturation times, lazily invalidated by version.
+    cheap: List[Tuple[float, int, Hashable, int]] = []
+    seq = 0
+    t = 0.0
+
+    def refresh(ckey: Hashable) -> None:
+        """Bring a constraint's remaining capacity up to time ``t``.
+
+        Consumption is linear while the constraint's unfrozen weight is
+        unchanged, so remaining capacity is only materialised when the
+        constraint is actually touched — the whole solve never iterates
+        all constraints per round.
+        """
+        lt = last_t[ckey]
+        if t > lt:
+            w = wsum[ckey]
+            if w > _EPS:
+                remaining[ckey] = max(0.0, remaining[ckey] - w * (t - lt))
+            last_t[ckey] = t
+
+    def push_constraint(ckey: Hashable) -> None:
+        nonlocal seq
+        w = wsum[ckey]
+        if w > _EPS:
+            seq += 1
+            heapq.heappush(
+                cheap, (t + remaining[ckey] / w, seq, ckey, version[ckey])
+            )
+
+    for ckey in members:
+        push_constraint(ckey)
+
+    # Flows sorted by limit; a moving pointer yields the next limit freeze.
+    by_limit = sorted(range(n), key=lambda i: limit_of[i])
+    lim_ptr = 0
+    n_unfrozen = n
+
+    def freeze(idx: int, rate: float, cause: object) -> None:
+        nonlocal n_unfrozen
+        if frozen[idx]:
+            return
+        frozen[idx] = True
+        rates[idx] = rate
+        causes[idx] = cause
+        n_unfrozen -= 1
+        for ckey, weight in flows[idx].constraints:
+            refresh(ckey)          # settle consumption at the old weight
+            wsum[ckey] -= weight
+            version[ckey] += 1
+            push_constraint(ckey)
+
+    while n_unfrozen > 0:
+        while lim_ptr < n and frozen[by_limit[lim_ptr]]:
+            lim_ptr += 1
+        limit_cand = limit_of[by_limit[lim_ptr]] if lim_ptr < n else math.inf
+
+        constraint_cand = math.inf
+        while cheap:
+            t_sat, _s, ckey, ver = cheap[0]
+            if ver != version[ckey] or wsum[ckey] <= _EPS:
+                heapq.heappop(cheap)
+                continue
+            constraint_cand = t_sat
+            break
+
+        t_next = min(limit_cand, constraint_cand)
+        if math.isinf(t_next):
+            for idx in range(n):
+                if not frozen[idx]:
+                    freeze(idx, math.inf, "unbounded")
+            break
+        t = max(t_next, t)
+
+        if constraint_cand <= limit_cand:
+            # Freeze every unfrozen flow on the saturated constraint.
+            _t_sat, _s, ckey, _ver = heapq.heappop(cheap)
+            for idx, _w in members[ckey]:
+                if not frozen[idx]:
+                    at_limit = limit_of[idx] <= t
+                    freeze(
+                        idx, min(t, limit_of[idx]),
+                        "limit" if at_limit else ("constraint", ckey),
+                    )
+        else:
+            # Freeze the flow(s) whose limit was reached.
+            while lim_ptr < n:
+                idx = by_limit[lim_ptr]
+                if frozen[idx]:
+                    lim_ptr += 1
+                    continue
+                if limit_of[idx] <= t + _EPS:
+                    freeze(idx, limit_of[idx], "limit")
+                    lim_ptr += 1
+                else:
+                    break
+
+    return (
+        {flow.key: rates[idx] for idx, flow in enumerate(flows)},
+        {flow.key: causes[idx] for idx, flow in enumerate(flows)},
+    )

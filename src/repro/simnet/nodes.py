@@ -1,0 +1,99 @@
+"""Per-node reception tracking for simulated broadcast methods.
+
+A simulated node's "how much of the stream do I have" outlives any single
+inbound stream: after a failure its upstream is replaced and a new stream
+continues from the same absolute offset.  :class:`NodeRx` wraps a
+re-pointable :class:`~repro.simnet.fabric.StreamSupply` and adds the two
+things method controllers need:
+
+* :meth:`position` — absolute bytes received so far (frozen across gaps);
+* :meth:`wait_for` — a sub-generator (use with ``yield from``) that
+  blocks until the node has reached an absolute offset, transparently
+  surviving stream replacement and upstream death.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .engine import Engine, Event
+from .fabric import HostDied, Stream, StreamCancelled, StreamSupply
+
+_BYTE_EPS = 0.5
+
+
+class NodeRx:
+    """Reception state of one simulated node."""
+
+    def __init__(self, engine: Engine, name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self.supply = StreamSupply()
+        self._attach_event: Event = engine.event(name=f"attach:{name}")
+        self.aborted = False
+
+    # ------------------------------------------------------------------
+
+    def position(self) -> float:
+        """Absolute stream offset received so far."""
+        return self.supply.available()
+
+    @property
+    def stream(self) -> Optional[Stream]:
+        return self.supply._stream
+
+    def attach(self, stream: Optional[Stream]) -> None:
+        """Point this node's reception at a new inbound stream.
+
+        Bytes received on the previous stream are frozen into the
+        position; waiters blocked on :meth:`wait_for` are woken so they
+        can re-subscribe to the new stream.
+        """
+        self.supply.attach(stream)
+        prev, self._attach_event = (
+            self._attach_event,
+            self.engine.event(name=f"attach:{self.name}"),
+        )
+        if not prev.triggered:
+            prev.succeed(stream)
+
+    def abort(self) -> None:
+        """Mark the node as having given up (unrecoverable data loss)."""
+        self.aborted = True
+        self.attach(None)
+
+    # ------------------------------------------------------------------
+
+    def wait_for(self, abs_offset: float):
+        """Sub-generator: resume once ``position() >= abs_offset``.
+
+        Survives stream replacement (re-subscribes on attach) and upstream
+        death (waits for the next attach).  Never raises on stream churn;
+        raises nothing and returns the reached position.
+        """
+        while self.position() < abs_offset - _BYTE_EPS:
+            stream = self.stream
+            if stream is None or not stream.active:
+                yield self._attach_event
+                continue
+            try:
+                yield stream.when_delivered(abs_offset)
+            except (HostDied, StreamCancelled):
+                continue
+        return self.position()
+
+
+class HeadRx(NodeRx):
+    """The head node 'received' everything before the transfer started
+    (it reads a local file / RAM); position is pinned to the stream size."""
+
+    def __init__(self, engine: Engine, name: str, size: float) -> None:
+        super().__init__(engine, name)
+        self._size = size
+
+    def position(self) -> float:
+        return self._size
+
+    def wait_for(self, abs_offset: float):
+        return self._size
+        yield  # pragma: no cover - makes this a generator for symmetry

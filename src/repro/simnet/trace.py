@@ -1,0 +1,161 @@
+"""Simulation tracing: rate timelines, stream spans, bottleneck reports.
+
+Attach a :class:`FabricTracer` before running and ask it afterwards why
+the broadcast behaved the way it did::
+
+    tracer = FabricTracer(fabric)
+    engine.run()
+    print(tracer.gantt())
+    print(tracer.bottleneck_report())
+
+The tracer samples on every re-rating (a fabric observer), so timelines
+are exact piecewise-constant records, not polled approximations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from .fabric import Fabric, Stream
+
+
+@dataclass
+class StreamTrace:
+    """Everything observed about one stream."""
+
+    key: Hashable
+    src: str
+    dsts: Tuple[str, ...]
+    opened_at: float
+    #: (time, effective rate) breakpoints — piecewise constant between.
+    timeline: List[Tuple[float, float]] = field(default_factory=list)
+    closed_at: Optional[float] = None
+    final_delivered: float = 0.0
+    last_binding: object = None
+    #: The live stream object, kept so the final delivered byte count is
+    #: read after completion (the stream leaves the fabric before the
+    #: observer's last look).
+    stream: Optional[Stream] = None
+
+    @property
+    def duration(self) -> float:
+        end = self.closed_at if self.closed_at is not None else (
+            self.timeline[-1][0] if self.timeline else self.opened_at
+        )
+        return max(0.0, end - self.opened_at)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.final_delivered / self.duration if self.duration > 0 else 0.0
+
+    def rate_at(self, t: float) -> float:
+        """Effective rate at simulated time ``t`` (0 outside the span)."""
+        rate = 0.0
+        for when, value in self.timeline:
+            if when > t:
+                break
+            rate = value
+        if self.closed_at is not None and t >= self.closed_at:
+            return 0.0
+        return rate
+
+
+class FabricTracer:
+    """Records per-stream rate history from a fabric's re-ratings."""
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+        self.streams: Dict[Hashable, StreamTrace] = {}
+        fabric.observers.append(self._observe)
+
+    # ------------------------------------------------------------------
+
+    def _observe(self, fabric: Fabric) -> None:
+        now = fabric.engine.now
+        seen = set()
+        for s in fabric.streams:
+            seen.add(s.key)
+            trace = self.streams.get(s.key)
+            if trace is None:
+                trace = StreamTrace(
+                    key=s.key, src=s.src, dsts=s.dsts, opened_at=now,
+                    stream=s,
+                )
+                self.streams[s.key] = trace
+            if s.active:
+                if (not trace.timeline
+                        or abs(trace.timeline[-1][1] - s.effective_rate)
+                        > 1e-9 * max(1.0, s.effective_rate)):
+                    trace.timeline.append((now, s.effective_rate))
+                trace.final_delivered = s.delivered
+                trace.last_binding = s.binding
+        # Close spans of streams that left the fabric, reading their
+        # authoritative final position.
+        for key, trace in self.streams.items():
+            if trace.closed_at is None and key not in seen:
+                trace.closed_at = now
+                if trace.stream is not None:
+                    trace.final_delivered = trace.stream.delivered
+                    trace.last_binding = trace.stream.binding
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+
+    def horizon(self) -> float:
+        ends = [
+            t.closed_at if t.closed_at is not None
+            else (t.timeline[-1][0] if t.timeline else t.opened_at)
+            for t in self.streams.values()
+        ]
+        return max(ends, default=0.0)
+
+    def gantt(self, width: int = 64, max_rows: int = 40) -> str:
+        """Text gantt: one row per stream, ``█`` while it was moving."""
+        if not self.streams:
+            return "(no streams traced)"
+        horizon = max(self.horizon(), 1e-9)
+        lines = [f"stream spans over {horizon:.2f}s simulated:"]
+        traces = sorted(self.streams.values(), key=lambda t: t.opened_at)
+        shown = traces[:max_rows]
+        for trace in shown:
+            start = int(trace.opened_at / horizon * (width - 1))
+            end_t = trace.closed_at if trace.closed_at is not None else horizon
+            end = max(start + 1, int(end_t / horizon * (width - 1)))
+            bar = " " * start + "█" * (end - start)
+            label = f"{trace.src}->{trace.dsts[0]}"
+            lines.append(
+                f"  {label:>22.22s} |{bar:<{width}}| "
+                f"{trace.mean_rate / 1e6:7.1f} MB/s"
+            )
+        if len(traces) > max_rows:
+            lines.append(f"  ... and {len(traces) - max_rows} more")
+        return "\n".join(lines)
+
+    def bottleneck_report(self) -> str:
+        """Group finished streams by what bound their rate last."""
+        groups: Dict[str, List[StreamTrace]] = {}
+        for trace in self.streams.values():
+            binding = trace.last_binding
+            if binding is None:
+                label = "unknown"
+            elif isinstance(binding, tuple):
+                kind, ident = binding
+                label = f"{kind}:{ident}"
+            else:
+                label = str(binding)
+            groups.setdefault(label, []).append(trace)
+        lines = ["bottleneck attribution (last binding per stream):"]
+        for label, traces in sorted(groups.items(),
+                                    key=lambda kv: -len(kv[1])):
+            rates = [t.mean_rate / 1e6 for t in traces]
+            lines.append(
+                f"  {label:>28.28s}: {len(traces):3d} stream(s), "
+                f"mean {sum(rates) / len(rates):7.1f} MB/s"
+            )
+        return "\n".join(lines)
+
+    def timeline_of(self, key: Hashable) -> List[Tuple[float, float]]:
+        trace = self.streams.get(key)
+        return list(trace.timeline) if trace else []

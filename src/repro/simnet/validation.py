@@ -1,0 +1,80 @@
+"""Chunk-level reference model for validating the fluid simulator.
+
+The fluid model replaces per-chunk store-and-forward with coupled
+continuous flows.  For a *chain on dedicated links* (each hop limited
+only by its own rate — the Fig. 7 regime), the chunk-level behaviour has
+an exact closed form, the classic pipeline recurrence:
+
+    depart(i, k) = max(arrive(i, k), depart(i, k-1)) + c / r_i
+    arrive(i+1, k) = depart(i, k) + latency_i
+
+where ``c`` is the chunk size and ``r_i`` hop *i*'s service rate.  With
+monotone rates this telescopes to the familiar
+
+    completion(last) = fill + remaining work at the bottleneck rate
+
+This module implements the recurrence directly (no simulation), so the
+fluid fabric can be checked against an independent, obviously-correct
+model — see ``tests/simnet/test_validation.py``, which bounds the
+divergence on uniform, bottlenecked, and latency-heavy chains.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+
+def chunk_pipeline_times(
+    size: float,
+    chunk: float,
+    hop_rates: Sequence[float],
+    hop_latencies: Optional[Sequence[float]] = None,
+) -> List[float]:
+    """Completion time of each node in a store-and-forward chain.
+
+    ``hop_rates[i]`` is the service rate of hop *i* (node *i* → node
+    *i+1*); the returned list has one completion time per *receiving*
+    node.  The final partial chunk is modelled exactly.
+    """
+    if size < 0 or chunk <= 0:
+        raise ValueError("need size >= 0 and chunk > 0")
+    n_hops = len(hop_rates)
+    if n_hops == 0:
+        return []
+    latencies = list(hop_latencies) if hop_latencies is not None else [0.0] * n_hops
+    if len(latencies) != n_hops:
+        raise ValueError("hop_latencies length must match hop_rates")
+    if size == 0:
+        return [latencies[i] for i in range(n_hops)]
+
+    n_chunks = int(math.ceil(size / chunk))
+    sizes = [chunk] * n_chunks
+    sizes[-1] = size - chunk * (n_chunks - 1)
+
+    # arrive[k] at the head is 0 (the source is local).
+    arrive = [0.0] * n_chunks
+    completions: List[float] = []
+    for i, rate in enumerate(hop_rates):
+        if rate <= 0:
+            raise ValueError(f"hop {i} has non-positive rate")
+        depart_prev = 0.0
+        next_arrive = [0.0] * n_chunks
+        for k in range(n_chunks):
+            start = max(arrive[k], depart_prev)
+            depart_prev = start + sizes[k] / rate
+            next_arrive[k] = depart_prev + latencies[i]
+        completions.append(next_arrive[-1])
+        arrive = next_arrive
+    return completions
+
+
+def chunk_pipeline_completion(
+    size: float,
+    chunk: float,
+    hop_rates: Sequence[float],
+    hop_latencies: Optional[Sequence[float]] = None,
+) -> float:
+    """Completion time of the last node (the broadcast's finish time)."""
+    times = chunk_pipeline_times(size, chunk, hop_rates, hop_latencies)
+    return times[-1] if times else 0.0

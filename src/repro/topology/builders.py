@@ -1,0 +1,101 @@
+"""Topology builders for the paper's experimental platforms.
+
+Each builder returns a :class:`~repro.topology.graph.Network` matching one
+of the Grid'5000 setups of §IV:
+
+* :func:`build_fat_tree` — the 1 GbE clusters of Figs. 7/10/11/14:
+  30–35 hosts per top-of-the-rack switch, one 10 Gb uplink per ToR to a
+  core switch (Fig. 1);
+* :func:`build_single_switch` — the 14-node 10 GbE cluster of Fig. 8;
+* :func:`build_two_switch` — the InfiniBand fabric of Fig. 9: hosts fill
+  switch A first (120 ports), then switch B, joined by one trunk.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..core.units import GIGABIT, TEN_GIGABIT, TWENTY_GIGABIT
+from .graph import DiskSpec, Network
+
+#: Default LAN one-way latencies (the paper reports <0.2 ms intra-site ping).
+LAN_LATENCY = 50e-6
+TOR_UPLINK_LATENCY = 5e-6
+
+
+def build_fat_tree(
+    n_hosts: int,
+    *,
+    hosts_per_switch: int = 30,
+    host_rate: float = GIGABIT,
+    uplink_rate: float = TEN_GIGABIT,
+    host_copy_bw: float = math.inf,
+    disk: Optional[DiskSpec] = None,
+    host_prefix: str = "node",
+) -> Network:
+    """A two-level fat tree: ToR switches with 10 Gb uplinks to one core.
+
+    Hosts are named ``node-1 .. node-N`` and attached to ToR switches in
+    contiguous blocks — the assumption Kascade's default ordering relies
+    on ("nodes 1 to 30 are on the first switch", §III-A).
+    """
+    if n_hosts < 1:
+        raise ValueError("need at least one host")
+    net = Network(name=f"fattree-{n_hosts}")
+    net.add_switch("core")
+    n_switches = (n_hosts + hosts_per_switch - 1) // hosts_per_switch
+    for s in range(n_switches):
+        tor = net.add_switch(f"tor-{s + 1}")
+        net.add_link("core", tor, uplink_rate, TOR_UPLINK_LATENCY)
+    for i in range(n_hosts):
+        name = f"{host_prefix}-{i + 1}"
+        net.add_host(name, nic_rate=host_rate, copy_bw=host_copy_bw, disk=disk)
+        tor = f"tor-{i // hosts_per_switch + 1}"
+        net.add_link(name, tor, host_rate, LAN_LATENCY)
+    return net
+
+
+def build_single_switch(
+    n_hosts: int,
+    *,
+    host_rate: float = TEN_GIGABIT,
+    host_copy_bw: float = math.inf,
+    disk: Optional[DiskSpec] = None,
+    host_prefix: str = "node",
+) -> Network:
+    """All hosts on one non-blocking switch (the 10 GbE cluster of §IV-B)."""
+    net = Network(name=f"switch-{n_hosts}")
+    net.add_switch("sw")
+    for i in range(n_hosts):
+        name = f"{host_prefix}-{i + 1}"
+        net.add_host(name, nic_rate=host_rate, copy_bw=host_copy_bw, disk=disk)
+        net.add_link(name, "sw", host_rate, LAN_LATENCY)
+    return net
+
+
+def build_two_switch(
+    n_hosts: int,
+    *,
+    ports_per_switch: int = 120,
+    host_rate: float = TWENTY_GIGABIT,
+    trunk_rate: float = TWENTY_GIGABIT,
+    host_copy_bw: float = math.inf,
+    host_prefix: str = "node",
+) -> Network:
+    """Two switches joined by a trunk; hosts fill switch A first.
+
+    Models the InfiniBand platform of Fig. 9: reservations up to 120
+    nodes stay on one switch, larger ones spill to the second and the
+    trunk becomes the contended resource.
+    """
+    net = Network(name=f"twoswitch-{n_hosts}")
+    net.add_switch("sw-a")
+    net.add_switch("sw-b")
+    net.add_link("sw-a", "sw-b", trunk_rate, TOR_UPLINK_LATENCY)
+    for i in range(n_hosts):
+        name = f"{host_prefix}-{i + 1}"
+        net.add_host(name, nic_rate=host_rate, copy_bw=host_copy_bw)
+        switch = "sw-a" if i < ports_per_switch else "sw-b"
+        net.add_link(name, switch, host_rate, LAN_LATENCY)
+    return net

@@ -1,0 +1,26 @@
+"""Shared helpers for simulated-method tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SimSetup
+from repro.core import order_by_hostname
+from repro.topology import build_fat_tree
+
+
+@pytest.fixture
+def fat_tree_setup():
+    """Factory: a 1 GbE fat-tree setup with n clients."""
+
+    def make(n, size=2e8, **kwargs):
+        net = build_fat_tree(n + 1)
+        hosts = order_by_hostname(net.host_names())
+        return SimSetup(
+            network=net,
+            head=hosts[0],
+            receivers=tuple(hosts[1: n + 1]),
+            size=size,
+            **kwargs,
+        )
+
+    return make

@@ -1,0 +1,115 @@
+"""Tests for the shared method plumbing (SimSetup, MethodResult, model)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import KascadeSim, MethodResult, SimSetup, TakTukChain
+from repro.core import KascadeError
+from repro.topology import build_fat_tree
+from repro.topology.graph import DiskSpec
+
+
+class TestSimSetup:
+    def test_head_in_receivers_rejected(self):
+        net = build_fat_tree(3)
+        with pytest.raises(KascadeError):
+            SimSetup(network=net, head="node-1",
+                     receivers=("node-1", "node-2"), size=100)
+
+    def test_unknown_host_rejected(self):
+        net = build_fat_tree(3)
+        with pytest.raises(KascadeError):
+            SimSetup(network=net, head="node-1", receivers=("ghost",), size=1)
+
+    def test_negative_size_rejected(self):
+        net = build_fat_tree(3)
+        with pytest.raises(KascadeError):
+            SimSetup(network=net, head="node-1", receivers=("node-2",), size=-1)
+
+    def test_unknown_sink_rejected(self):
+        net = build_fat_tree(3)
+        with pytest.raises(KascadeError):
+            SimSetup(network=net, head="node-1", receivers=("node-2",),
+                     size=1, sink="tape")
+
+    def test_chain_and_clients(self):
+        net = build_fat_tree(3)
+        s = SimSetup(network=net, head="node-1",
+                     receivers=("node-2", "node-3"), size=1)
+        assert s.chain == ("node-1", "node-2", "node-3")
+        assert s.n_clients == 2
+
+
+class TestMethodResult:
+    def test_throughput(self):
+        r = MethodResult(method="x", n_clients=1, size=1000.0,
+                         startup_time=1.0, data_time=4.0)
+        assert r.total_time == 5.0
+        assert r.throughput == pytest.approx(200.0)
+
+    def test_zero_time(self):
+        r = MethodResult(method="x", n_clients=0, size=0.0,
+                         startup_time=0.0, data_time=0.0)
+        assert math.isinf(r.throughput)
+
+
+class TestHostModel:
+    def test_copy_budget_stamped(self, ):
+        net = build_fat_tree(3)
+        setup = SimSetup(network=net, head="node-1",
+                         receivers=("node-2",), size=1e6)
+        KascadeSim().run(setup)
+        assert net.host("node-2").copy_bw == KascadeSim.copy_bw
+
+    def test_copy_limit_respected(self):
+        net = build_fat_tree(3)
+        net.host("node-2").copy_limit = 1e6
+        setup = SimSetup(network=net, head="node-1",
+                         receivers=("node-2",), size=1e6)
+        KascadeSim().run(setup)
+        assert net.host("node-2").copy_bw == 1e6
+
+    def test_disk_efficiency_stamped(self):
+        net = build_fat_tree(3, disk=DiskSpec(write_bw=80e6))
+        setup = SimSetup(network=net, head="node-1",
+                         receivers=("node-2",), size=1e6, sink="disk")
+        m = KascadeSim()
+        m.run(setup)
+        assert net.host("node-2").disk.seq_efficiency == m.disk_seq_efficiency
+        assert net.host("node-2").disk.write_bw == 80e6
+
+    def test_jitter_varies_with_rng(self):
+        net = build_fat_tree(3)
+        setup = SimSetup(network=net, head="node-1", receivers=("node-2",),
+                         size=1e6, rng=np.random.default_rng(1))
+        KascadeSim().run(setup)
+        a = net.host("node-2").copy_bw
+        assert a != KascadeSim.copy_bw  # jittered
+
+    def test_no_rng_no_jitter(self):
+        net = build_fat_tree(3)
+        setup = SimSetup(network=net, head="node-1",
+                         receivers=("node-2",), size=1e6)
+        KascadeSim().run(setup)
+        assert net.host("node-2").copy_bw == KascadeSim.copy_bw
+
+
+class TestGuards:
+    def test_failures_on_non_ft_method_rejected(self, ):
+        net = build_fat_tree(3)
+        setup = SimSetup(network=net, head="node-1", receivers=("node-2",),
+                         size=1e6, failures=((1.0, "node-2"),))
+        with pytest.raises(KascadeError):
+            TakTukChain().run(setup)
+
+    def test_hop_limit_formula(self):
+        m = TakTukChain()
+        # flat cap binds on a LAN
+        assert m.hop_limit(1e-4, 125e6) == pytest.approx(42e6, rel=0.05)
+        # windowing binds on a WAN
+        wan = m.hop_limit(16e-3, 1.25e9)
+        assert wan < 42e6
+        expected = m.protocol_window / (m.protocol_window / 1.25e9 + 16e-3)
+        assert wan == pytest.approx(expected)

@@ -1,0 +1,110 @@
+"""Randomized failure-schedule fuzzing against the simulated Kascade.
+
+Hypothesis generates arbitrary chains and crash schedules; the invariants
+are the paper's §IV-G guarantee ("in all the cases, the file was
+transferred correctly") plus bookkeeping sanity:
+
+* the simulation terminates;
+* receivers partition into completed / failed / aborted / excluded;
+* every completed node has a finish time within the simulated horizon;
+* with a seekable source nothing ever aborts (PGET always recovers).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import KascadeSim, SimSetup
+from repro.core import KascadeConfig, order_by_hostname
+from repro.core.recovery import SourceKind
+from repro.topology import build_fat_tree
+
+SIZE = 5e8
+RATE = 125e6  # GbE line rate
+
+
+@st.composite
+def failure_schedules(draw):
+    n = draw(st.integers(min_value=4, max_value=30))
+    n_failures = draw(st.integers(min_value=0, max_value=min(5, n - 2)))
+    victims = draw(
+        st.lists(
+            st.integers(min_value=2, max_value=n + 1),
+            min_size=n_failures, max_size=n_failures, unique=True,
+        )
+    )
+    events = tuple(
+        (draw(st.floats(min_value=0.1, max_value=SIZE / RATE * 1.5)),
+         f"node-{v}")
+        for v in victims
+    )
+    buffer_chunks = draw(st.sampled_from([1, 2, 8, 64]))
+    return n, events, buffer_chunks
+
+
+def run_sim(n, events, buffer_chunks, source_kind):
+    net = build_fat_tree(n + 1)
+    hosts = order_by_hostname(net.host_names())
+    setup = SimSetup(
+        network=net, head=hosts[0], receivers=tuple(hosts[1: n + 1]),
+        size=SIZE, failures=events, include_startup=False,
+    )
+    method = KascadeSim(
+        config=KascadeConfig(buffer_chunks=buffer_chunks),
+        source_kind=source_kind,
+    )
+    return method.run(setup)
+
+
+class TestFuzzSeekableSource:
+    @given(failure_schedules())
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, schedule):
+        n, events, buffer_chunks = schedule
+        result = run_sim(n, events, buffer_chunks, SourceKind.SEEKABLE_FILE)
+
+        receivers = {f"node-{i}" for i in range(2, n + 2)}
+        completed = set(result.completed)
+        failed = set(result.failed)
+        aborted = set(result.aborted)
+
+        # Partition: every receiver is in exactly one bucket.
+        assert completed | failed | aborted == receivers
+        assert not completed & failed
+        assert not completed & aborted
+        # File-backed head: PGET always recovers, nothing aborts.
+        assert not aborted
+        # Everyone not killed completes (§IV-G).
+        scheduled_victims = {node for _t, node in events}
+        assert failed <= scheduled_victims
+        assert completed == receivers - failed
+        # Finite, positive timing.
+        assert 0 < result.data_time < 120
+        for node in completed:
+            assert node in result.finish_times
+            assert result.finish_times[node] <= result.data_time + 1e-6
+
+
+class TestFuzzStreamSource:
+    @given(failure_schedules())
+    @settings(max_examples=35, deadline=None)
+    def test_stream_head_never_hangs(self, schedule):
+        """With a stream-fed head, deep losses abort the suffix instead
+        of recovering — but the run must still terminate, partition
+        cleanly, and never corrupt the bookkeeping."""
+        n, events, buffer_chunks = schedule
+        result = run_sim(n, events, buffer_chunks, SourceKind.STREAM)
+
+        receivers = {f"node-{i}" for i in range(2, n + 2)}
+        completed = set(result.completed)
+        failed = set(result.failed)
+        aborted = set(result.aborted)
+        assert completed | failed | aborted == receivers
+        assert not completed & (failed | aborted)
+        assert 0 <= result.data_time < 120
+        # The first receiver can only fail if it was itself a victim.
+        first = "node-2"
+        victims = {node for _t, node in events}
+        if first not in victims and first not in aborted:
+            assert first in completed

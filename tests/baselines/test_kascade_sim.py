@@ -1,0 +1,173 @@
+"""Tests for the simulated Kascade pipeline: performance mechanics and
+fault-tolerance semantics on the fluid fabric."""
+
+import pytest
+
+from repro.baselines import KascadeSim, SimSetup
+from repro.core import KascadeConfig, order_by_hostname
+from repro.core.recovery import SourceKind
+from repro.core.units import GIGABIT, mbps
+from repro.topology import build_fat_tree
+
+
+def make_setup(n, size=2e8, **kwargs):
+    net = build_fat_tree(n + 1)
+    hosts = order_by_hostname(net.host_names())
+    kwargs.setdefault("include_startup", False)
+    return SimSetup(network=net, head=hosts[0],
+                    receivers=tuple(hosts[1: n + 1]), size=size, **kwargs)
+
+
+class TestHappyPath:
+    def test_single_client_near_line_rate(self):
+        r = KascadeSim().run(make_setup(1, size=2e9))
+        assert r.throughput == pytest.approx(GIGABIT, rel=0.10)
+        assert r.completed == ["node-2"]
+
+    def test_pipelining_not_serialized(self):
+        # 10 clients must take barely longer than 1 (pipeline, not star).
+        t1 = KascadeSim().run(make_setup(1, size=5e8)).data_time
+        t10 = KascadeSim().run(make_setup(10, size=5e8)).data_time
+        assert t10 < t1 * 1.3
+
+    def test_all_clients_complete(self):
+        r = KascadeSim().run(make_setup(25))
+        assert len(r.completed) == 25
+        assert not r.failed and not r.aborted
+
+    def test_finish_times_monotonic_along_chain(self):
+        r = KascadeSim().run(make_setup(8))
+        times = [r.finish_times[f"node-{i}"] for i in range(2, 10)]
+        assert times == sorted(times)
+
+    def test_zero_byte_transfer(self):
+        r = KascadeSim().run(make_setup(3, size=0.0))
+        assert len(r.completed) == 3
+        assert r.data_time == pytest.approx(0.0, abs=0.1)
+
+    def test_deterministic_without_rng(self):
+        a = KascadeSim().run(make_setup(10))
+        b = KascadeSim().run(make_setup(10))
+        assert a.data_time == b.data_time
+
+
+class TestFailures:
+    def test_single_failure_completes_survivors(self):
+        r = KascadeSim().run(make_setup(10, size=1e9,
+                                        failures=((2.0, "node-5"),)))
+        assert "node-5" in r.failed
+        assert len(r.completed) == 9
+        assert all(n != "node-5" for n in r.completed)
+
+    def test_failure_costs_roughly_one_timeout(self):
+        base = KascadeSim().run(make_setup(10, size=1e9)).data_time
+        failed = KascadeSim().run(
+            make_setup(10, size=1e9, failures=((2.0, "node-5"),))
+        ).data_time
+        # Detection is io_timeout (1 s) + reconnect; recovery re-fetches
+        # the hole, so allow up to ~3 s but demand a visible cost.
+        assert base + 0.5 < failed < base + 4.0
+
+    def test_simultaneous_cheaper_than_sequential(self):
+        # The paper's §IV-G headline: staggered failures each pay their
+        # own detection timeout; simultaneous ones pipeline detection.
+        sim = KascadeSim().run(make_setup(
+            30, size=2e9,
+            failures=tuple((3.0, f"node-{i}") for i in (5, 12, 19, 26)),
+        )).data_time
+        seq = KascadeSim().run(make_setup(
+            30, size=2e9,
+            failures=tuple((3.0 + 2.5 * k, f"node-{i}")
+                           for k, i in enumerate((5, 12, 19, 26))),
+        )).data_time
+        assert sim < seq
+
+    def test_adjacent_failures(self):
+        r = KascadeSim().run(make_setup(
+            10, size=1e9, failures=((2.0, "node-5"), (2.0, "node-6")),
+        ))
+        assert set(r.failed) == {"node-5", "node-6"}
+        assert len(r.completed) == 8
+
+    def test_tail_failure(self):
+        r = KascadeSim().run(make_setup(5, size=1e9,
+                                        failures=((2.0, "node-6"),)))
+        assert r.failed == ["node-6"]
+        assert len(r.completed) == 4
+
+    def test_first_receiver_failure(self):
+        r = KascadeSim().run(make_setup(5, size=1e9,
+                                        failures=((2.0, "node-2"),)))
+        assert r.failed == ["node-2"]
+        assert len(r.completed) == 4
+
+    def test_late_failure_after_node_served(self):
+        # Node dies after receiving everything but while the chain is
+        # still running: downstream must still be re-served.
+        r = KascadeSim().run(make_setup(
+            20, size=2e9, failures=((10.0, "node-3"),),
+        ))
+        assert "node-3" in r.failed
+        assert len(r.completed) == 19
+
+    def test_stream_source_aborts_suffix_on_deep_loss(self):
+        # Tiny buffer + long detection: the replacement's offset falls
+        # behind the window and the head cannot re-read -> the orphaned
+        # suffix aborts instead of deadlocking (§III-D2 FORGET).
+        method = KascadeSim(
+            config=KascadeConfig(chunk_size=1 << 20, buffer_chunks=1,
+                                 io_timeout=3.0),
+            source_kind=SourceKind.STREAM,
+        )
+        r = method.run(make_setup(10, size=2e9, failures=((2.0, "node-5"),)))
+        assert "node-5" in r.failed
+        assert r.aborted, "expected the suffix to abort on FORGET"
+        # Nodes before the failure still complete.
+        assert "node-2" in r.completed
+        # No aborted node is reported complete.
+        assert not set(r.aborted) & set(r.completed)
+
+    def test_file_source_deep_loss_recovers_via_pget(self):
+        method = KascadeSim(
+            config=KascadeConfig(chunk_size=1 << 20, buffer_chunks=1,
+                                 io_timeout=3.0),
+            source_kind=SourceKind.SEEKABLE_FILE,
+        )
+        r = method.run(make_setup(10, size=2e9, failures=((2.0, "node-5"),)))
+        assert r.failed == ["node-5"]
+        assert not r.aborted
+        assert len(r.completed) == 9
+
+
+class TestOrderingSensitivity:
+    def test_random_order_slower_on_fat_tree(self):
+        import numpy as np
+        from repro.core import order_randomly
+        net = build_fat_tree(91)
+        hosts = order_by_hostname(net.host_names())
+        ordered = SimSetup(network=net, head=hosts[0],
+                           receivers=tuple(hosts[1:]), size=1e9,
+                           include_startup=False)
+        shuffled = SimSetup(
+            network=build_fat_tree(91), head=hosts[0],
+            receivers=tuple(order_randomly(hosts[1:],
+                                           np.random.default_rng(3))),
+            size=1e9, include_startup=False,
+        )
+        good = KascadeSim().run(ordered).throughput
+        bad = KascadeSim().run(shuffled).throughput
+        assert bad < good * 0.7, (mbps(good), mbps(bad))
+
+
+class TestRegressionZombieRecovery:
+    def test_dead_recovery_server_does_not_blame_its_target(self):
+        """Fuzz-found: a node dies while a *recovery* process is serving
+        on its behalf; the zombie's failed open_stream must not mark the
+        innocent target dead (it once flagged the tail as failed)."""
+        events = ((0.25, "node-2"), (4.0, "node-20"),
+                  (2.0, "node-22"), (1.0, "node-21"))
+        method = KascadeSim(config=KascadeConfig(buffer_chunks=1))
+        r = method.run(make_setup(22, size=5e8, failures=events))
+        assert set(r.failed) == {"node-2", "node-20", "node-21", "node-22"}
+        assert "node-23" in r.completed
+        assert len(r.completed) == 18

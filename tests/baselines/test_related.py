@@ -1,0 +1,85 @@
+"""Tests for the §II-B related-work methods (BitTorrent swarm, Dolly)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BitTorrentSwarm, DollyChain, KascadeSim, SimSetup
+from repro.core import KascadeError, order_by_hostname, order_randomly
+from repro.core.units import mbps
+from repro.topology import build_fat_tree
+
+
+def make_setup(n, size=5e8, **kwargs):
+    net = build_fat_tree(n + 1)
+    hosts = order_by_hostname(net.host_names())
+    kwargs.setdefault("include_startup", False)
+    return SimSetup(network=net, head=hosts[0],
+                    receivers=tuple(hosts[1: n + 1]), size=size, **kwargs)
+
+
+class TestBitTorrent:
+    def test_cited_throughput(self):
+        # "BitTorrent only achieves a maximum throughput of about 12 MB/s"
+        r = BitTorrentSwarm().run(make_setup(20, size=2e9))
+        assert 10 < mbps(r.throughput) < 16
+
+    def test_flat_with_scale(self):
+        small = BitTorrentSwarm().run(make_setup(10, size=2e9)).throughput
+        large = BitTorrentSwarm().run(make_setup(90, size=2e9)).throughput
+        assert large > 0.8 * small
+
+    def test_all_peers_complete(self):
+        r = BitTorrentSwarm().run(make_setup(15))
+        assert len(r.completed) == 15
+
+    def test_swarm_order_randomized_from_rng(self):
+        # Different seeds shuffle the internal peer order -> slightly
+        # different finish-time patterns, same completion set.
+        a = BitTorrentSwarm().run(
+            make_setup(12, rng=np.random.default_rng(1)))
+        b = BitTorrentSwarm().run(
+            make_setup(12, rng=np.random.default_rng(2)))
+        assert set(a.completed) == set(b.completed)
+        assert a.finish_times != b.finish_times
+
+    def test_indifferent_to_operator_ordering(self):
+        # BT ignores topology ordering: shuffling the input leaves its
+        # throughput in the same (low) band.
+        net = build_fat_tree(61)
+        hosts = order_by_hostname(net.host_names())
+        shuffled = order_randomly(hosts[1:], np.random.default_rng(3))
+        setup = SimSetup(network=net, head=hosts[0],
+                         receivers=tuple(shuffled), size=2e9,
+                         include_startup=False,
+                         rng=np.random.default_rng(3))
+        r = BitTorrentSwarm().run(setup)
+        assert 9 < mbps(r.throughput) < 17
+
+    def test_no_fault_tolerance(self):
+        with pytest.raises(KascadeError):
+            BitTorrentSwarm().run(make_setup(5, failures=((1.0, "node-3"),)))
+
+
+class TestDolly:
+    def test_matches_kascade_wire_rate(self):
+        dolly = DollyChain().run(make_setup(10, size=2e9))
+        kascade = KascadeSim().run(make_setup(10, size=2e9))
+        assert mbps(dolly.throughput) == pytest.approx(
+            mbps(kascade.throughput), rel=0.1)
+
+    def test_sequential_startup_hurts_at_scale(self):
+        small = DollyChain().run(
+            make_setup(10, size=2e9, include_startup=True))
+        large = DollyChain().run(
+            make_setup(100, size=2e9, include_startup=True))
+        assert large.startup_time > 3 * small.startup_time
+        assert mbps(large.throughput) < 0.6 * mbps(small.throughput)
+
+    def test_no_fault_tolerance(self):
+        # "(3) Dolly and Ka do not provide any fault-tolerance mechanism"
+        with pytest.raises(KascadeError):
+            DollyChain().run(make_setup(5, failures=((1.0, "node-3"),)))
+
+    def test_all_complete_on_healthy_cluster(self):
+        r = DollyChain().run(make_setup(9))
+        assert len(r.completed) == 9

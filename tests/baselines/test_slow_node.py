@@ -1,0 +1,102 @@
+"""Tests for slow-node detection and exclusion — the paper's §V future
+work ("detect malfunctioning nodes ... and exclude them from the
+transfer if their performance is lower than a specific threshold")."""
+
+import pytest
+
+from repro.baselines import KascadeSim, SimSetup, SlowNodePolicy
+from repro.core import KascadeError, order_by_hostname
+from repro.core.units import mbps
+from repro.topology import build_fat_tree
+
+
+def setup_with_laggard(n=20, laggard="node-10", laggard_copy=30e6, size=2e9):
+    net = build_fat_tree(n + 1)
+    if laggard:
+        net.host(laggard).copy_limit = laggard_copy
+    hosts = order_by_hostname(net.host_names())
+    return SimSetup(network=net, head=hosts[0],
+                    receivers=tuple(hosts[1: n + 1]), size=size,
+                    include_startup=False)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"threshold": 0.0},
+        {"threshold": -1.0},
+        {"threshold": 1e6, "grace": 0.0},
+        {"threshold": 1e6, "check_interval": -1.0},
+    ])
+    def test_invalid_policy(self, kwargs):
+        with pytest.raises(KascadeError):
+            SlowNodePolicy(**kwargs)
+
+
+class TestWithoutExclusion:
+    def test_one_laggard_drags_whole_pipeline(self):
+        """The problem statement of §V: one slow node caps everything
+        after it, so the broadcast completes at the laggard's rate."""
+        r = KascadeSim().run(setup_with_laggard())
+        assert mbps(r.throughput) < 25  # ~15 MB/s relay, not ~117
+        assert len(r.completed) == 20
+        assert not r.excluded
+
+
+class TestWithExclusion:
+    def test_laggard_excluded_throughput_restored(self):
+        policy = SlowNodePolicy(threshold=40e6, grace=3.0)
+        r = KascadeSim(slow_policy=policy).run(setup_with_laggard())
+        assert r.excluded == ["node-10"]
+        assert len(r.completed) == 19
+        assert "node-10" not in r.completed
+        # Most of the transfer runs at full pipeline speed again.
+        assert mbps(r.throughput) > 60
+
+    def test_healthy_pipeline_untouched(self):
+        """No false positives: without a laggard nobody is excluded."""
+        policy = SlowNodePolicy(threshold=40e6, grace=3.0)
+        r = KascadeSim(slow_policy=policy).run(
+            setup_with_laggard(laggard=None))
+        assert not r.excluded
+        assert len(r.completed) == 20
+        assert mbps(r.throughput) > 100
+
+    def test_only_culprit_excluded_not_starved_successors(self):
+        """Nodes downstream of the laggard also *receive* slowly, but a
+        starved sender must not blame its own receiver — exactly one
+        exclusion happens."""
+        policy = SlowNodePolicy(threshold=40e6, grace=3.0)
+        r = KascadeSim(slow_policy=policy).run(
+            setup_with_laggard(n=30, laggard="node-15"))
+        assert r.excluded == ["node-15"]
+        assert len(r.completed) == 29
+
+    def test_exclusion_recorded_separately_from_failures(self):
+        policy = SlowNodePolicy(threshold=40e6, grace=3.0)
+        r = KascadeSim(slow_policy=policy).run(setup_with_laggard())
+        assert r.excluded == ["node-10"]
+        assert not r.failed
+        assert not r.aborted
+
+    def test_exclusion_with_crash_failures_combined(self):
+        """A crash and a laggard in the same run: the crash is detected
+        by timeout, the laggard by throughput, independently."""
+        policy = SlowNodePolicy(threshold=40e6, grace=3.0)
+        setup = setup_with_laggard(n=30, laggard="node-15")
+        setup = SimSetup(
+            network=setup.network, head=setup.head,
+            receivers=setup.receivers, size=setup.size,
+            include_startup=False,
+            failures=((6.0, "node-25"),),
+        )
+        r = KascadeSim(slow_policy=policy).run(setup)
+        assert r.excluded == ["node-15"]
+        assert r.failed == ["node-25"]
+        assert len(r.completed) == 28
+
+    def test_threshold_below_laggard_rate_no_exclusion(self):
+        """A lenient threshold tolerates the slow node (tuning knob)."""
+        policy = SlowNodePolicy(threshold=5e6, grace=3.0)
+        r = KascadeSim(slow_policy=policy).run(setup_with_laggard())
+        assert not r.excluded
+        assert len(r.completed) == 20

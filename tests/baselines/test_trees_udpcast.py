@@ -1,0 +1,179 @@
+"""Tests for the baseline methods: TakTuk chain/tree, MPI, UDPCast."""
+
+import pytest
+
+from repro.baselines import (
+    MpiEthernet,
+    MpiInfiniband,
+    SimSetup,
+    TakTukChain,
+    TakTukTree,
+    UdpcastSim,
+)
+from repro.core import order_by_hostname
+from repro.core.units import mbps
+from repro.topology import build_fat_tree, build_two_switch
+
+
+def make_setup(n, size=2e8, net=None, **kwargs):
+    net = net or build_fat_tree(n + 1)
+    hosts = order_by_hostname(net.host_names())
+    kwargs.setdefault("include_startup", False)
+    return SimSetup(network=net, head=hosts[0],
+                    receivers=tuple(hosts[1: n + 1]), size=size, **kwargs)
+
+
+class TestTreeStructure:
+    def test_contiguous_split_chain(self):
+        from repro.baselines.trees import _TreeRun
+        from repro.simnet import Engine, Fabric
+        setup = make_setup(5)
+        run = _TreeRun(TakTukChain(), Engine(), Fabric(Engine(), setup.network), setup)
+        # arity 1: a pure chain
+        for i in range(5):
+            assert run.children_of(i) == [i + 1]
+        assert run.children_of(5) == []
+        assert run.depth_of(5) == 5
+
+    def test_contiguous_split_binary(self):
+        from repro.baselines.trees import _TreeRun
+        from repro.simnet import Engine, Fabric
+        setup = make_setup(6)
+        run = _TreeRun(TakTukTree(), Engine(), Fabric(Engine(), setup.network), setup)
+        # Root splits [1..6] into [1..3] and [4..6].
+        assert run.children_of(0) == [1, 4]
+        assert run.children_of(1) == [2, 4][0:1] + [3][0:1]  # [2, 3]
+        all_children = [c for i in range(7) for c in run.children_of(i)]
+        assert sorted(all_children) == list(range(1, 7))  # spanning tree
+
+    def test_heap_layout(self):
+        from repro.baselines.trees import _TreeRun
+        from repro.simnet import Engine, Fabric
+        setup = make_setup(6)
+        run = _TreeRun(MpiInfiniband(), Engine(), Fabric(Engine(), setup.network), setup)
+        assert run.children_of(0) == [1, 2]
+        assert run.children_of(1) == [3, 4]
+        assert run.children_of(2) == [5, 6]
+
+    def test_contiguous_subtrees_stay_on_switches(self):
+        # With 2 hosts/switch and a sorted order, the contiguous-split
+        # tree crosses switches O(#switches) times, not O(n).
+        from repro.baselines.trees import _TreeRun
+        from repro.simnet import Engine, Fabric
+        net = build_fat_tree(16, hosts_per_switch=4)
+        setup = make_setup(15, net=net)
+        run = _TreeRun(TakTukTree(), Engine(), Fabric(Engine(), net), setup)
+        crossings = 0
+        for i in range(16):
+            for c in run.children_of(i):
+                a, b = setup.chain[i], setup.chain[c]
+                if net.host(a).switch != net.host(b).switch:
+                    crossings += 1
+        # bounded by ~2 per switch, far below the n-1 = 15 worst case
+        assert crossings <= 8
+
+
+class TestTakTuk:
+    def test_hop_cap_binds(self):
+        r = TakTukChain().run(make_setup(10, size=5e8))
+        assert mbps(r.throughput) == pytest.approx(40, abs=5)
+
+    def test_flat_with_scale(self):
+        small = TakTukChain().run(make_setup(5, size=5e8)).throughput
+        large = TakTukChain().run(make_setup(60, size=5e8)).throughput
+        assert large > small * 0.85
+
+    def test_tree_roughly_equal_to_chain(self):
+        # "Both variations of TakTuk perform equally bad" (§IV-A).
+        chain = TakTukChain().run(make_setup(60, size=5e8)).throughput
+        tree = TakTukTree().run(make_setup(60, size=5e8)).throughput
+        assert tree == pytest.approx(chain, rel=0.25)
+
+    def test_all_complete(self):
+        r = TakTukTree().run(make_setup(30))
+        assert len(r.completed) == 30
+
+
+class TestMpi:
+    def test_ethernet_near_line_rate_on_lan(self):
+        r = MpiEthernet().run(make_setup(50, size=2e9))
+        assert mbps(r.throughput) > 95
+
+    def test_infiniband_collapses_past_one_switch(self):
+        small = MpiInfiniband().run(
+            make_setup(80, size=2e9, net=build_two_switch(81))
+        ).throughput
+        large = MpiInfiniband().run(
+            make_setup(200, size=2e9, net=build_two_switch(201))
+        ).throughput
+        assert mbps(small) > 400
+        assert large < small * 0.2
+
+    def test_all_complete(self):
+        r = MpiEthernet().run(make_setup(30))
+        assert len(r.completed) == 30
+
+
+class TestUdpcast:
+    def test_single_transmission_rate(self):
+        r = UdpcastSim().run(make_setup(10, size=2e9))
+        assert mbps(r.throughput) > 100
+
+    def test_sync_degrades_at_scale(self):
+        at_50 = UdpcastSim().run(make_setup(50, size=2e9)).throughput
+        at_200 = UdpcastSim().run(make_setup(200, size=2e9)).throughput
+        assert at_200 < at_50 * 0.6
+
+    def test_sync_time_monotonic(self):
+        m = UdpcastSim()
+        times = [m.sync_time(n, 1e-4) for n in (1, 50, 100, 200)]
+        assert times == sorted(times)
+
+    def test_not_routed(self):
+        assert not UdpcastSim.supports_routed
+
+    def test_all_complete(self):
+        r = UdpcastSim().run(make_setup(20))
+        assert len(r.completed) == 20
+
+
+class TestUdpcastUnidirectional:
+    """§II-B: the no-return-channel mode 'requires a lot of tuning' and
+    the sender cannot know whether receivers got the data."""
+
+    def _run(self, rate, fec, seed=1, n=50):
+        import numpy as np
+        from repro.baselines import UdpcastUnidirectional
+        setup = make_setup(n, size=2e9, rng=np.random.default_rng(seed))
+        return UdpcastUnidirectional(send_rate=rate, fec_overhead=fec).run(setup)
+
+    def test_conservative_tuning_is_reliable_but_slow(self):
+        r = self._run(rate=85e6, fec=0.10)
+        assert len(r.completed) == 50
+        assert not r.aborted
+        # The price: well under the ~117 MB/s the feedback mode reaches.
+        assert mbps(r.throughput) < 90
+
+    def test_aggressive_tuning_silently_loses_receivers(self):
+        r = self._run(rate=122e6, fec=0.05)
+        assert r.aborted, "pushing the line rate must cost receivers"
+        # And crucially: they are ABORTED (incomplete), not failed —
+        # nothing in the protocol told the sender.
+        assert not r.failed
+
+    def test_more_fec_buys_reliability_at_a_rate_cost(self):
+        lean = self._run(rate=116e6, fec=0.02)
+        padded = self._run(rate=116e6, fec=0.30)
+        assert len(padded.completed) > len(lean.completed)
+        assert padded.throughput < 116e6 / 1.2  # overhead tax
+
+    def test_deterministic_given_seed(self):
+        a = self._run(rate=116e6, fec=0.05, seed=3)
+        b = self._run(rate=116e6, fec=0.05, seed=3)
+        assert a.completed == b.completed
+        assert a.aborted == b.aborted
+
+    def test_no_feedback_no_failures_reported(self):
+        r = self._run(rate=125e6, fec=0.02)
+        assert not r.failed  # nothing is ever *detected*
+        assert r.data_time > 0

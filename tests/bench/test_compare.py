@@ -1,0 +1,115 @@
+"""Tests for the result-set comparison (regression) tool."""
+
+import pytest
+
+from repro.bench.compare import DiffReport, PointDiff, diff_results, diff_stores
+from repro.bench.figures import FigureResult
+from repro.bench.runner import Measurement
+from repro.bench.stats import ConfidenceInterval
+from repro.bench.store import FigureStore
+
+
+def result_with(means, hw=1.0, figure="Fig. T"):
+    result = FigureResult(figure=figure, title="t", x_label="n")
+    result.series["M"] = [
+        Measurement("M", x, ConfidenceInterval(mean, hw, 3))
+        for x, mean in means.items()
+    ]
+    return result
+
+
+class TestPointDiff:
+    def test_rel_change(self):
+        d = PointDiff("f", "m", 1, old_mean=100.0, new_mean=110.0,
+                      old_hw=1.0, new_hw=1.0)
+        assert d.rel_change == pytest.approx(0.10)
+
+    def test_significance_vs_intervals(self):
+        inside = PointDiff("f", "m", 1, 100.0, 101.5, old_hw=1.0, new_hw=1.0)
+        outside = PointDiff("f", "m", 1, 100.0, 103.0, old_hw=1.0, new_hw=1.0)
+        assert not inside.significant
+        assert outside.significant
+
+    def test_zero_baseline(self):
+        d = PointDiff("f", "m", 1, 0.0, 5.0, 0.0, 0.0)
+        assert d.rel_change == float("inf")
+
+
+class TestDiffResults:
+    def test_matched_points(self):
+        old = result_with({1: 100.0, 50: 90.0})
+        new = result_with({1: 100.5, 50: 80.0})
+        diffs = diff_results(old, new)
+        assert len(diffs) == 2
+        by_x = {d.x: d for d in diffs}
+        assert not by_x[1].significant
+        assert by_x[50].significant
+
+    def test_missing_method_skipped(self):
+        old = result_with({1: 100.0})
+        new = FigureResult(figure="Fig. T", title="t", x_label="n")
+        new.series["Other"] = [
+            Measurement("Other", 1, ConfidenceInterval(50.0, 1.0, 3))
+        ]
+        assert diff_results(old, new) == []
+
+    def test_missing_x_skipped(self):
+        old = result_with({1: 100.0, 2: 100.0})
+        new = result_with({1: 100.0})
+        assert len(diff_results(old, new)) == 1
+
+
+class TestDiffStores:
+    def test_store_comparison(self, tmp_path):
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        FigureStore(str(old_dir)).save("figA", result_with({1: 100.0}))
+        FigureStore(str(new_dir)).save("figA", result_with({1: 120.0}))
+        FigureStore(str(new_dir)).save("figB", result_with({1: 50.0}))
+        report = diff_stores(str(old_dir), str(new_dir))
+        assert not report.clean
+        assert len(report.significant) == 1
+        assert report.only_new == ["figB"]
+        text = report.format()
+        assert "+20.0%" in text
+
+    def test_clean_when_within_intervals(self, tmp_path):
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        FigureStore(str(old_dir)).save("figA", result_with({1: 100.0}, hw=3.0))
+        FigureStore(str(new_dir)).save("figA", result_with({1: 102.0}, hw=3.0))
+        report = diff_stores(str(old_dir), str(new_dir))
+        assert report.clean
+        assert "all within confidence intervals" in report.format()
+
+    def test_missing_figure_not_clean(self, tmp_path):
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        FigureStore(str(old_dir)).save("figA", result_with({1: 100.0}))
+        FigureStore(str(new_dir))  # empty
+        report = diff_stores(str(old_dir), str(new_dir))
+        assert not report.clean
+        assert "missing from new run: figA" in report.format()
+
+
+class TestCli:
+    def test_diff_cli(self, tmp_path, capsys):
+        from repro.cli.kascade_sim import main as sim_main
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        FigureStore(str(old_dir)).save("figA", result_with({1: 100.0}))
+        FigureStore(str(new_dir)).save("figA", result_with({1: 100.2}))
+        rc = sim_main(["diff", str(old_dir), str(new_dir)])
+        assert rc == 0
+        rc = sim_main(["diff", str(old_dir), str(tmp_path / "empty")])
+        assert rc == 1
+
+    def test_proto_cli(self, capsys):
+        from repro.cli.kascade_sim import main as sim_main
+        rc = sim_main(["proto", "--nodes", "3", "--size", "512KB",
+                       "--kill", "n3@50%", "--msc"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "failed node(s): n3" in out
+        assert "GET(0)" in out  # the chart
+
+    def test_proto_bad_kill_spec(self):
+        from repro.cli.kascade_sim import main as sim_main
+        with pytest.raises(SystemExit):
+            sim_main(["proto", "--kill", "garbage"])

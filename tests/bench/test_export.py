@@ -1,0 +1,143 @@
+"""Tests for figure export (CSV/JSON) and terminal plotting."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.bench import ascii_plot, flatten, to_csv, to_json
+from repro.bench.figures import FigureResult
+from repro.bench.runner import Measurement
+from repro.bench.stats import ConfidenceInterval
+
+
+def tiny_result():
+    result = FigureResult(figure="Fig. X", title="test figure", x_label="clients")
+    result.series["MethodA"] = [
+        Measurement("MethodA", 1, ConfidenceInterval(100.0, 2.0, 5)),
+        Measurement("MethodA", 50, ConfidenceInterval(90.0, 1.0, 5)),
+        Measurement("MethodA", 200, ConfidenceInterval(80.5, 0.5, 5)),
+    ]
+    result.series["MethodB"] = [
+        Measurement("MethodB", 1, ConfidenceInterval(40.0, 1.0, 5)),
+        Measurement("MethodB", 50, ConfidenceInterval(40.0, 1.0, 5)),
+        Measurement("MethodB", 200, ConfidenceInterval(39.0, 0.8, 5)),
+    ]
+    return result
+
+
+class TestCsv:
+    def test_structure(self):
+        text = to_csv(tiny_result())
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 6
+        assert rows[0]["figure"] == "Fig. X"
+        assert rows[0]["method"] == "MethodA"
+        assert float(rows[0]["mean_mbs"]) == 100.0
+        assert int(rows[0]["repetitions"]) == 5
+
+    def test_all_xs_present(self):
+        rows = list(csv.DictReader(io.StringIO(to_csv(tiny_result()))))
+        xs = {r["x"] for r in rows}
+        assert xs == {"1", "50", "200"}
+
+
+class TestJson:
+    def test_roundtrip(self):
+        doc = json.loads(to_json(tiny_result()))
+        assert doc["figure"] == "Fig. X"
+        assert doc["unit"] == "MB/s"
+        assert len(doc["series"]["MethodA"]) == 3
+        point = doc["series"]["MethodB"][2]
+        assert point == {
+            "x": 200, "mean": 39.0, "ci_half_width": 0.8, "repetitions": 5,
+        }
+
+
+class TestFlatten:
+    def test_rows(self):
+        rows = flatten(tiny_result())
+        assert len(rows) == 6
+        assert {r["method"] for r in rows} == {"MethodA", "MethodB"}
+
+
+class TestAsciiPlot:
+    def test_contains_series_markers_and_legend(self):
+        text = ascii_plot(tiny_result())
+        assert "o MethodA" in text
+        assert "x MethodB" in text
+        assert "MB/s" in text
+
+    def test_axis_labels(self):
+        text = ascii_plot(tiny_result())
+        assert "(clients)" in text
+        assert "200" in text  # last x tick
+
+    def test_higher_series_plots_higher(self):
+        lines = ascii_plot(tiny_result(), height=16).split("\n")
+        # Find first row containing 'o' (MethodA, ~100) and 'x' (~40).
+        first_o = next(i for i, l in enumerate(lines) if "o" in l and "|" in l)
+        first_x = next(i for i, l in enumerate(lines)
+                       if "x" in l and "|" in l and "MethodB" not in l)
+        assert first_o < first_x
+
+    def test_empty_series(self):
+        result = FigureResult(figure="Fig. E", title="empty", x_label="n")
+        assert "(no data)" in ascii_plot(result)
+
+    def test_single_point(self):
+        result = FigureResult(figure="Fig. S", title="one", x_label="n")
+        result.series["M"] = [
+            Measurement("M", 7, ConfidenceInterval(10.0, 0.0, 1))
+        ]
+        text = ascii_plot(result)
+        assert "o M" in text
+
+
+class TestCliIntegration:
+    def test_run_with_export(self, tmp_path, capsys):
+        from repro.cli.kascade_sim import main as sim_main
+        rc = sim_main([
+            "run", "fig15", "--quick", "--reps", "1",
+            "--plot", "--csv", str(tmp_path), "--json", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "o Kascade" in out  # the plot
+        csv_text = (tmp_path / "fig15.csv").read_text()
+        assert "no failure" in csv_text
+        doc = json.loads((tmp_path / "fig15.json").read_text())
+        assert doc["figure"] == "Fig. 15"
+
+
+class TestRendererRobustness:
+    """Renderers must never crash, whatever shape the data has."""
+
+    @pytest.mark.parametrize("means", [
+        {0: 0.0},                      # zero-valued point
+        {0: 1e-12, 1: 1e12},           # extreme dynamic range
+        {"label with spaces": 5.0},    # non-numeric x
+    ])
+    def test_ascii_plot_odd_inputs(self, means):
+        from repro.bench.runner import Measurement
+        from repro.bench.stats import ConfidenceInterval
+        result = FigureResult(figure="Fig. R", title="odd", x_label="x")
+        result.series["M"] = [
+            Measurement("M", x, ConfidenceInterval(v, 0.0, 1))
+            for x, v in means.items()
+        ]
+        text = ascii_plot(result)
+        assert "Fig. R" in text
+
+    def test_plot_many_series_markers_cycle(self):
+        from repro.bench.runner import Measurement
+        from repro.bench.stats import ConfidenceInterval
+        result = FigureResult(figure="Fig. S", title="many", x_label="x")
+        for i in range(8):
+            result.series[f"M{i}"] = [
+                Measurement(f"M{i}", 0, ConfidenceInterval(float(i + 1), 0, 1))
+            ]
+        text = ascii_plot(result)
+        for i in range(8):
+            assert f"M{i}" in text

@@ -1,0 +1,83 @@
+"""Tests for the experiment runner and figure definitions."""
+
+import pytest
+
+from repro.baselines import KascadeSim, SimSetup
+from repro.bench import ExperimentRunner, FIGURES, fig12_site_map
+from repro.bench.figures import fig15_fault_tolerance
+from repro.core import order_by_hostname
+from repro.topology import build_fat_tree
+
+
+def tiny_setup_factory(rng):
+    net = build_fat_tree(4)
+    hosts = order_by_hostname(net.host_names())
+    return SimSetup(network=net, head=hosts[0], receivers=tuple(hosts[1:]),
+                    size=1e8, rng=rng)
+
+
+class TestRunner:
+    def test_repetitions_recorded(self):
+        runner = ExperimentRunner(repetitions=4)
+        m = runner.measure(KascadeSim, tiny_setup_factory, x=3)
+        assert len(m.results) == 4
+        assert m.ci.n == 4
+        assert m.method == "Kascade"
+        assert m.x == 3
+
+    def test_deterministic_given_seed(self):
+        a = ExperimentRunner(repetitions=3, base_seed=7).measure(
+            KascadeSim, tiny_setup_factory, x=1)
+        b = ExperimentRunner(repetitions=3, base_seed=7).measure(
+            KascadeSim, tiny_setup_factory, x=1)
+        assert a.ci.mean == b.ci.mean
+
+    def test_different_seed_different_values(self):
+        a = ExperimentRunner(repetitions=3, base_seed=7).measure(
+            KascadeSim, tiny_setup_factory, x=1)
+        b = ExperimentRunner(repetitions=3, base_seed=8).measure(
+            KascadeSim, tiny_setup_factory, x=1)
+        assert a.ci.mean != b.ci.mean
+
+    def test_jitter_gives_variance(self):
+        m = ExperimentRunner(repetitions=5).measure(
+            KascadeSim, tiny_setup_factory, x=1)
+        assert m.ci.half_width > 0
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(repetitions=0)
+
+    def test_sweep(self):
+        runner = ExperimentRunner(repetitions=2)
+        out = runner.sweep(KascadeSim, [(1, tiny_setup_factory),
+                                        (2, tiny_setup_factory)])
+        assert [m.x for m in out] == [1, 2]
+
+
+class TestFigureRegistry:
+    def test_all_evaluation_figures_present(self):
+        assert set(FIGURES) == {
+            "fig07", "fig08", "fig09", "fig10", "fig11",
+            "fig13", "fig14", "fig15",
+        }
+
+    def test_fig12_site_map_text(self):
+        text = fig12_site_map()
+        assert "used 5x" in text      # Paris-Lyon reused five times
+        assert "lyon-paris" in text
+
+    def test_format_table_contains_methods(self):
+        # The cheapest figure end-to-end: Fig. 15 with 1 repetition.
+        result = fig15_fault_tolerance(quick=True, repetitions=1)
+        table = result.format_table()
+        assert "Kascade" in table
+        assert "no failure" in table
+        assert "10% seq." in table
+        assert result.means("Kascade")  # non-empty series
+
+    def test_figure_result_accessors(self):
+        result = fig15_fault_tolerance(quick=True, repetitions=1)
+        xs = result.xs("Kascade")
+        assert xs[0] == "no failure"
+        assert len(xs) == 7

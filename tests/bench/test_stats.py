@@ -1,0 +1,57 @@
+"""Tests for the Student-t confidence interval helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import ConfidenceInterval, t_confidence
+
+
+class TestTConfidence:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            t_confidence([])
+
+    def test_single_value_zero_width(self):
+        ci = t_confidence([42.0])
+        assert ci.mean == 42.0
+        assert ci.half_width == 0.0
+        assert ci.n == 1
+
+    def test_identical_values_zero_width(self):
+        ci = t_confidence([5.0, 5.0, 5.0])
+        assert ci.mean == 5.0
+        assert ci.half_width == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_case(self):
+        # Two points a, b: mean (a+b)/2; half-width = t(0.975, df=1) * sem.
+        ci = t_confidence([10.0, 20.0])
+        assert ci.mean == 15.0
+        # sem = std(ddof=1)/sqrt(2) = (7.0711)/1.4142 = 5; t=12.706
+        assert ci.half_width == pytest.approx(12.706 * 5.0, rel=1e-3)
+
+    def test_bounds(self):
+        ci = ConfidenceInterval(10.0, 2.0, 5)
+        assert ci.low == 8.0
+        assert ci.high == 12.0
+        assert "10.0 ± 2.0" == str(ci)
+
+    def test_more_samples_tighter(self):
+        rng = np.random.default_rng(0)
+        pop = rng.normal(100, 10, size=1000)
+        small = t_confidence(pop[:5])
+        large = t_confidence(pop[:100])
+        assert large.half_width < small.half_width
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_mean_inside_interval(self, values):
+        ci = t_confidence(values)
+        assert ci.low <= ci.mean <= ci.high
+        assert ci.half_width >= 0
+
+    def test_level_parameter(self):
+        vals = [1.0, 2.0, 3.0, 4.0, 5.0]
+        wide = t_confidence(vals, level=0.99)
+        narrow = t_confidence(vals, level=0.80)
+        assert wide.half_width > narrow.half_width

@@ -1,0 +1,83 @@
+"""Tests for the on-disk figure store (resume support)."""
+
+import json
+
+import pytest
+
+from repro.bench.export import to_json
+from repro.bench.figures import FigureResult
+from repro.bench.runner import Measurement
+from repro.bench.stats import ConfidenceInterval
+from repro.bench.store import FigureStore, figure_result_from_json
+
+
+def tiny_result():
+    result = FigureResult(figure="Fig. T", title="store test",
+                          x_label="clients", notes="a note")
+    result.series["M"] = [
+        Measurement("M", 1, ConfidenceInterval(100.0, 2.5, 5)),
+        Measurement("M", "label-x", ConfidenceInterval(90.0, 1.0, 5)),
+    ]
+    return result
+
+
+class TestRoundtrip:
+    def test_json_roundtrip(self):
+        original = tiny_result()
+        restored = figure_result_from_json(to_json(original))
+        assert restored.figure == original.figure
+        assert restored.title == original.title
+        assert restored.notes == "a note"
+        assert restored.xs("M") == [1, "label-x"]
+        assert restored.means("M") == [100.0, 90.0]
+        assert restored.series["M"][0].ci.half_width == 2.5
+        assert restored.series["M"][0].ci.n == 5
+
+    def test_restored_result_formats_and_plots(self):
+        from repro.bench import ascii_plot
+        restored = figure_result_from_json(to_json(tiny_result()))
+        assert "Fig. T" in restored.format_table()
+        assert "o M" in ascii_plot(restored)
+
+
+class TestStore:
+    def test_save_load(self, tmp_path):
+        store = FigureStore(str(tmp_path))
+        assert not store.has("figT")
+        assert store.load("figT") is None
+        path = store.save("figT", tiny_result())
+        assert store.has("figT")
+        loaded = store.load("figT")
+        assert loaded.means("M") == [100.0, 90.0]
+        assert path.endswith("figT.json")
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        store = FigureStore(str(tmp_path))
+        (tmp_path / "bad.json").write_text("{not json")
+        assert store.load("bad") is None
+
+    def test_keys(self, tmp_path):
+        store = FigureStore(str(tmp_path))
+        store.save("figA", tiny_result())
+        store.save("figB", tiny_result())
+        assert list(store.keys()) == ["figA", "figB"]
+
+    def test_atomic_no_tmp_left(self, tmp_path):
+        store = FigureStore(str(tmp_path))
+        store.save("figT", tiny_result())
+        assert not any(p.suffix == ".tmp" for p in tmp_path.iterdir())
+
+
+class TestCliCache:
+    def test_second_run_hits_cache(self, tmp_path, capsys):
+        from repro.cli.kascade_sim import main as sim_main
+        args = ["run", "fig15", "--quick", "--reps", "1",
+                "--cache", str(tmp_path)]
+        assert sim_main(args) == 0
+        first = capsys.readouterr().out
+        assert "regenerated in" in first
+        assert sim_main(args) == 0
+        second = capsys.readouterr().out
+        assert "loaded from cache" in second
+        # Same table either way.
+        assert "no failure" in second

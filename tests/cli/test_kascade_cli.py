@@ -1,0 +1,212 @@
+"""Tests for the ``kascade`` command-line interface."""
+
+import threading
+
+import pytest
+
+from repro.cli.kascade import main, parse_registry
+from repro.runtime.transport import Address
+
+
+class TestParseRegistry:
+    def test_basic(self):
+        names, addrs = parse_registry("n1=10.0.0.1:3640,n2=10.0.0.2:3641")
+        assert names == ["n1", "n2"]
+        assert addrs["n1"] == Address("10.0.0.1", 3640)
+        assert addrs["n2"].port == 3641
+
+    def test_whitespace_tolerated(self):
+        names, _ = parse_registry(" n1=h:1 , n2=h:2 ")
+        assert names == ["n1", "n2"]
+
+    def test_bad_entry(self):
+        with pytest.raises(SystemExit):
+            parse_registry("n1=oops")
+        with pytest.raises(SystemExit):
+            parse_registry("garbage")
+
+    def test_single_node_rejected(self):
+        with pytest.raises(SystemExit):
+            parse_registry("n1=h:1")
+
+    def test_ipv6ish_host(self):
+        _, addrs = parse_registry("n1=host.example:1,n2=other:2")
+        assert addrs["n1"].host == "host.example"
+
+
+class TestDemo:
+    def test_demo_to_files(self, tmp_path, capsys):
+        src = tmp_path / "payload.bin"
+        src.write_bytes(b"kascade-demo-payload" * 1000)
+        out = tmp_path / "out-{node}.bin"
+        rc = main([
+            "demo", "-n", "3", "-i", str(src), "-o", str(out),
+            "--chunk-size", "4096", "--timeout", "0.5",
+        ])
+        assert rc == 0
+        for node in ("n2", "n3", "n4"):
+            copy = tmp_path / f"out-{node}.bin"
+            assert copy.read_bytes() == src.read_bytes()
+        captured = capsys.readouterr()
+        assert "no failures" in captured.out
+
+    def test_demo_null_sink(self, tmp_path, capsys):
+        src = tmp_path / "x.bin"
+        src.write_bytes(b"z" * 100)
+        rc = main(["demo", "-n", "2", "-i", str(src)])
+        assert rc == 0
+
+    def test_demo_command_sink(self, tmp_path):
+        src = tmp_path / "x.bin"
+        src.write_bytes(b"piped-data")
+        rc = main([
+            "demo", "-n", "2", "-i", str(src),
+            "-O", f"cat > {tmp_path}/{{node}}.copy",
+        ])
+        assert rc == 0
+        assert (tmp_path / "n2.copy").read_bytes() == b"piped-data"
+
+
+class TestSendRecv:
+    def test_multi_process_style_pipeline(self, tmp_path):
+        """send + two recv mains, each in its own thread, real TCP."""
+        import socket
+
+        def free_port():
+            s = socket.socket()
+            s.bind(("127.0.0.1", 0))
+            port = s.getsockname()[1]
+            s.close()
+            return port
+
+        ports = [free_port() for _ in range(3)]
+        nodes = ",".join(
+            f"n{i + 1}=127.0.0.1:{p}" for i, p in enumerate(ports)
+        )
+        src = tmp_path / "in.bin"
+        src.write_bytes(bytes(range(256)) * 200)
+
+        results = {}
+
+        def recv(name, out):
+            results[name] = main([
+                "recv", "--name", name, "--nodes", nodes,
+                "-o", str(out), "--timeout", "2.0",
+            ])
+
+        outs = {n: tmp_path / f"{n}.out" for n in ("n2", "n3")}
+        threads = [
+            threading.Thread(target=recv, args=(n, outs[n])) for n in outs
+        ]
+        for t in threads:
+            t.start()
+        send_rc = main([
+            "send", "--name", "n1", "--nodes", nodes,
+            "-i", str(src), "--timeout", "2.0",
+        ])
+        for t in threads:
+            t.join(timeout=60)
+        assert send_rc == 0
+        assert results == {"n2": 0, "n3": 0}
+        for out in outs.values():
+            assert out.read_bytes() == src.read_bytes()
+
+    def test_send_must_be_head(self):
+        with pytest.raises(SystemExit):
+            main(["send", "--name", "n2", "--nodes", "n1=h:1,n2=h:2"])
+
+    def test_recv_unknown_name(self):
+        with pytest.raises(SystemExit):
+            main(["recv", "--name", "ghost", "--nodes", "n1=h:1,n2=h:2"])
+
+
+class TestSimCli:
+    def test_list(self, capsys):
+        from repro.cli.kascade_sim import main as sim_main
+        assert sim_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "fig15" in out
+
+    def test_map(self, capsys):
+        from repro.cli.kascade_sim import main as sim_main
+        assert sim_main(["map"]) == 0
+        assert "lyon-paris" in capsys.readouterr().out
+
+    def test_unknown_figure(self):
+        from repro.cli.kascade_sim import main as sim_main
+        with pytest.raises(SystemExit):
+            sim_main(["run", "fig99"])
+
+    def test_run_quick_figure(self, capsys):
+        from repro.cli.kascade_sim import main as sim_main
+        assert sim_main(["run", "fig15", "--quick", "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "no failure" in out
+        assert "regenerated in" in out
+
+
+class TestCompare:
+    def test_compare_basic(self, capsys):
+        from repro.cli.kascade_sim import main as sim_main
+        rc = sim_main([
+            "compare", "--clients", "10", "--size", "100MB",
+            "--methods", "Kascade,TakTuk/chain", "--no-startup",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Kascade" in out and "TakTuk/chain" in out
+        assert "10/10" in out
+
+    def test_compare_unknown_method(self):
+        from repro.cli.kascade_sim import main as sim_main
+        with pytest.raises(SystemExit):
+            sim_main(["compare", "--methods", "Carrier-Pigeon"])
+
+    def test_compare_disk_sink(self, capsys):
+        from repro.cli.kascade_sim import main as sim_main
+        rc = sim_main([
+            "compare", "--clients", "5", "--size", "200MB",
+            "--sink", "disk", "--methods", "Kascade", "--no-startup",
+        ])
+        assert rc == 0
+
+    def test_compare_random_order(self, capsys):
+        from repro.cli.kascade_sim import main as sim_main
+        rc = sim_main([
+            "compare", "--clients", "40", "--size", "500MB",
+            "--order", "random", "--methods", "Kascade", "--no-startup",
+        ])
+        assert rc == 0
+
+
+class TestHelpSurfaces:
+    """Every subcommand's --help must render (argparse wiring sanity)."""
+
+    @pytest.mark.parametrize("argv", [
+        ["--help"],
+        ["demo", "--help"], ["recv", "--help"], ["send", "--help"],
+    ])
+    def test_kascade_help(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 0
+        assert "usage" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("argv", [
+        ["--help"], ["list", "--help"], ["map", "--help"],
+        ["run", "--help"], ["all", "--help"], ["compare", "--help"],
+        ["proto", "--help"], ["fuzz", "--help"], ["diff", "--help"],
+    ])
+    def test_kascade_sim_help(self, argv, capsys):
+        from repro.cli.kascade_sim import main as sim_main
+        with pytest.raises(SystemExit) as exc:
+            sim_main(argv)
+        assert exc.value.code == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_versions(self, capsys):
+        from repro.cli.kascade_sim import main as sim_main
+        for entry in (main, sim_main):
+            with pytest.raises(SystemExit) as exc:
+                entry(["--version"])
+            assert exc.value.code == 0

@@ -1,0 +1,166 @@
+"""Tests for the recovery ring buffer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ChunkRingBuffer, ChunkStoreError
+
+
+class TestBasics:
+    def test_initial_state(self):
+        buf = ChunkRingBuffer(capacity=100)
+        assert buf.min_offset == 0
+        assert buf.end_offset == 0
+        assert len(buf) == 0
+        assert buf.covers(0)
+
+    def test_start_offset(self):
+        buf = ChunkRingBuffer(capacity=100, start_offset=500)
+        assert buf.min_offset == 500
+        assert buf.end_offset == 500
+        assert not buf.covers(499)
+        assert buf.covers(500)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ChunkStoreError):
+            ChunkRingBuffer(capacity=0)
+        with pytest.raises(ChunkStoreError):
+            ChunkRingBuffer(capacity=10, start_offset=-1)
+
+    def test_append_and_read(self):
+        buf = ChunkRingBuffer(capacity=100)
+        buf.append(b"hello")
+        buf.append(b"world")
+        assert buf.end_offset == 10
+        assert buf.read_from(0) == b"helloworld"
+        assert buf.read_from(3) == b"loworld"
+        assert buf.read_from(10) == b""
+
+    def test_read_with_limit(self):
+        buf = ChunkRingBuffer(capacity=100)
+        buf.append(b"abcdefgh")
+        assert buf.read_from(2, limit=3) == b"cde"
+
+    def test_empty_append_is_noop(self):
+        buf = ChunkRingBuffer(capacity=10)
+        buf.append(b"")
+        assert buf.end_offset == 0
+
+
+class TestEviction:
+    def test_eviction_advances_min(self):
+        buf = ChunkRingBuffer(capacity=10)
+        buf.append(b"aaaa")   # [0, 4)
+        buf.append(b"bbbb")   # [0, 8)
+        buf.append(b"cccc")   # evicts "aaaa" -> [4, 12)
+        assert buf.min_offset == 4
+        assert buf.end_offset == 12
+        assert buf.read_from(4) == b"bbbbcccc"
+
+    def test_read_before_min_raises(self):
+        buf = ChunkRingBuffer(capacity=8)
+        buf.append(b"aaaa")
+        buf.append(b"bbbb")
+        buf.append(b"cc")  # evicts aaaa
+        with pytest.raises(ChunkStoreError):
+            buf.read_from(0)
+
+    def test_read_beyond_end_raises(self):
+        buf = ChunkRingBuffer(capacity=8)
+        buf.append(b"aa")
+        with pytest.raises(ChunkStoreError):
+            buf.read_from(3)
+
+    def test_chunk_bigger_than_capacity_rejected(self):
+        buf = ChunkRingBuffer(capacity=4)
+        with pytest.raises(ChunkStoreError):
+            buf.append(b"too-big!")
+
+    def test_whole_chunks_evicted(self):
+        # Eviction never splits a chunk: after overflow the window starts
+        # at a chunk boundary.
+        buf = ChunkRingBuffer(capacity=6)
+        buf.append(b"abc")
+        buf.append(b"def")
+        buf.append(b"g")  # 7 bytes total -> evict "abc" entirely
+        assert buf.min_offset == 3
+        assert buf.read_from(3) == b"defg"
+
+
+class TestIterChunks:
+    def test_iter_from_boundary(self):
+        buf = ChunkRingBuffer(capacity=100)
+        buf.append(b"abc")
+        buf.append(b"defg")
+        pieces = list(buf.iter_chunks_from(3))
+        assert pieces == [(3, b"defg")]
+
+    def test_iter_from_mid_chunk(self):
+        buf = ChunkRingBuffer(capacity=100)
+        buf.append(b"abc")
+        buf.append(b"defg")
+        pieces = list(buf.iter_chunks_from(1))
+        assert pieces == [(1, b"bc"), (3, b"defg")]
+
+    def test_iter_from_live_edge_is_empty(self):
+        buf = ChunkRingBuffer(capacity=100)
+        buf.append(b"abc")
+        assert list(buf.iter_chunks_from(3)) == []
+
+    def test_iter_outside_window_raises(self):
+        buf = ChunkRingBuffer(capacity=100)
+        buf.append(b"abc")
+        with pytest.raises(ChunkStoreError):
+            list(buf.iter_chunks_from(4))
+
+
+class TestClear:
+    def test_clear_keeps_position(self):
+        buf = ChunkRingBuffer(capacity=100)
+        buf.append(b"abcdef")
+        buf.clear()
+        assert buf.min_offset == 6
+        assert buf.end_offset == 6
+        assert len(buf) == 0
+        buf.append(b"gh")
+        assert buf.read_from(6) == b"gh"
+
+
+class TestProperties:
+    @given(
+        st.lists(st.binary(min_size=1, max_size=20), min_size=1, max_size=50),
+        st.integers(min_value=20, max_value=100),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_window_matches_stream_suffix(self, chunks, capacity):
+        """Whatever was appended, the buffer holds a *contiguous suffix* of
+        the stream no larger than capacity, and reads return exactly the
+        stream bytes for that window."""
+        stream = b"".join(chunks)
+        buf = ChunkRingBuffer(capacity=capacity)
+        for c in chunks:
+            buf.append(c)
+        assert buf.end_offset == len(stream)
+        assert buf.end_offset - buf.min_offset <= capacity
+        window = buf.read_from(buf.min_offset)
+        assert window == stream[buf.min_offset:]
+        # iter_chunks_from reconstructs the same bytes
+        rebuilt = b"".join(d for _, d in buf.iter_chunks_from(buf.min_offset))
+        assert rebuilt == window
+
+    @given(
+        st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=30),
+        st.integers(min_value=16, max_value=64),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_covers_agrees_with_read(self, chunks, capacity, data):
+        buf = ChunkRingBuffer(capacity=capacity)
+        for c in chunks:
+            buf.append(c)
+        offset = data.draw(st.integers(min_value=0, max_value=buf.end_offset + 5))
+        if buf.covers(offset):
+            buf.read_from(offset)  # must not raise
+        else:
+            with pytest.raises(ChunkStoreError):
+                buf.read_from(offset)

@@ -1,0 +1,175 @@
+"""Tests for the wire framing: header codec, incremental decoder, and the
+blocking file-like helpers."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Data,
+    End,
+    Forget,
+    FrameDecoder,
+    FramingError,
+    Get,
+    Op,
+    PGet,
+    Passed,
+    Ping,
+    Pong,
+    Quit,
+    Report,
+    encode_header,
+    read_message,
+    write_message,
+)
+from repro.core.framing import header_size, payload_size
+
+OFFSETS = st.integers(min_value=0, max_value=2**40)
+SIZES = st.integers(min_value=0, max_value=1 << 20)
+
+
+def all_message_strategy():
+    """Strategy over every message type with valid fields and payloads."""
+    payloads = st.binary(min_size=0, max_size=200)
+    return st.one_of(
+        st.builds(Get, OFFSETS).map(lambda m: (m, b"")),
+        st.tuples(OFFSETS, st.integers(min_value=0, max_value=1000)).map(
+            lambda ot: (PGet(ot[0], ot[0] + ot[1]), b"")
+        ),
+        st.builds(Forget, OFFSETS).map(lambda m: (m, b"")),
+        st.tuples(OFFSETS, payloads).map(
+            lambda op: (Data(op[0], len(op[1])), op[1])
+        ),
+        st.builds(End, OFFSETS).map(lambda m: (m, b"")),
+        st.just((Quit(), b"")),
+        payloads.map(lambda p: (Report(len(p)), p)),
+        st.just((Passed(), b"")),
+        st.builds(Ping, OFFSETS).map(lambda m: (m, b"")),
+        st.builds(Pong, OFFSETS).map(lambda m: (m, b"")),
+    )
+
+
+class TestHeaderCodec:
+    @pytest.mark.parametrize("msg", [
+        Get(0), Get(2**40), PGet(5, 10), Forget(7), Data(3, 9),
+        End(123), Quit(), Report(4), Passed(), Ping(1), Pong(1),
+    ])
+    def test_roundtrip_single(self, msg):
+        dec = FrameDecoder()
+        dec.feed(encode_header(msg))
+        dec.feed(b"\x00" * payload_size(msg))
+        got, payload = dec.try_pop()
+        assert got == msg
+        assert len(payload) == payload_size(msg)
+
+    def test_header_size_matches_encoding(self):
+        for msg in (Get(1), PGet(1, 2), Forget(1), Data(0, 0), End(1),
+                    Quit(), Report(0), Passed(), Ping(9), Pong(9)):
+            assert len(encode_header(msg)) == header_size(msg.op)
+
+    def test_unknown_opcode_rejected(self):
+        dec = FrameDecoder()
+        dec.feed(b"\xff")
+        with pytest.raises(FramingError):
+            dec.try_pop()
+
+    def test_oversized_data_header_rejected(self):
+        # Forge a DATA header with an absurd size field.
+        import struct
+        raw = bytes([Op.DATA]) + struct.pack(">QQ", 0, 1 << 60)
+        dec = FrameDecoder()
+        dec.feed(raw)
+        with pytest.raises(FramingError):
+            dec.try_pop()
+
+    def test_reversed_pget_on_wire_rejected(self):
+        import struct
+        raw = bytes([Op.PGET]) + struct.pack(">QQ", 10, 5)
+        dec = FrameDecoder()
+        dec.feed(raw)
+        with pytest.raises(FramingError):
+            dec.try_pop()
+
+
+class TestFrameDecoder:
+    def test_empty_returns_none(self):
+        assert FrameDecoder().try_pop() is None
+
+    def test_partial_header_waits(self):
+        dec = FrameDecoder()
+        raw = encode_header(Get(77))
+        dec.feed(raw[:4])
+        assert dec.try_pop() is None
+        dec.feed(raw[4:])
+        assert dec.try_pop() == (Get(77), b"")
+
+    def test_partial_payload_waits(self):
+        dec = FrameDecoder()
+        payload = b"hello world"
+        dec.feed(encode_header(Data(0, len(payload))))
+        dec.feed(payload[:5])
+        assert dec.try_pop() is None
+        dec.feed(payload[5:])
+        assert dec.try_pop() == (Data(0, len(payload)), payload)
+
+    def test_multiple_messages_in_one_feed(self):
+        dec = FrameDecoder()
+        dec.feed(encode_header(Get(0)) + encode_header(Quit()) + encode_header(Passed()))
+        msgs = [m for m, _ in iter(dec)]
+        assert msgs == [Get(0), Quit(), Passed()]
+
+    def test_iterator_protocol(self):
+        dec = FrameDecoder()
+        dec.feed(encode_header(End(50)))
+        assert list(dec) == [(End(50), b"")]
+        assert list(dec) == []
+
+    def test_buffered_property(self):
+        dec = FrameDecoder()
+        dec.feed(b"\x01")  # GET opcode, header incomplete
+        assert dec.buffered == 1
+
+    @given(st.lists(all_message_strategy(), min_size=1, max_size=20),
+           st.integers(min_value=1, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_any_split(self, items, split):
+        """Any message sequence survives arbitrary re-chunking of the byte
+        stream — the core sans-io framing invariant."""
+        wire = b"".join(encode_header(m) + p for m, p in items)
+        dec = FrameDecoder()
+        out = []
+        for i in range(0, len(wire), split):
+            dec.feed(wire[i: i + split])
+            out.extend(iter(dec))
+        assert out == items
+
+
+class TestBlockingHelpers:
+    def test_write_read_roundtrip(self):
+        buf = io.BytesIO()
+        write_message(buf, Data(10, 3), b"abc")
+        write_message(buf, End(13))
+        buf.seek(0)
+        assert read_message(buf) == (Data(10, 3), b"abc")
+        assert read_message(buf) == (End(13), b"")
+
+    def test_payload_length_mismatch_rejected(self):
+        with pytest.raises(FramingError):
+            write_message(io.BytesIO(), Data(0, 5), b"abc")
+        with pytest.raises(FramingError):
+            write_message(io.BytesIO(), Report(2), b"abc")
+
+    def test_eof_before_frame_raises_connectionerror(self):
+        with pytest.raises(ConnectionError):
+            read_message(io.BytesIO(b""))
+
+    def test_eof_mid_frame_raises_connectionerror(self):
+        raw = encode_header(Data(0, 100)) + b"only-a-little"
+        with pytest.raises(ConnectionError):
+            read_message(io.BytesIO(raw))
+
+    def test_unknown_opcode_via_stream(self):
+        with pytest.raises(FramingError):
+            read_message(io.BytesIO(b"\xee"))

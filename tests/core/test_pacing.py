@@ -1,0 +1,103 @@
+"""Tests for the token-bucket pacing (pure time arithmetic)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pacing import TokenBucket
+
+
+class TestReserve:
+    def test_first_burst_free(self):
+        bucket = TokenBucket(rate=100.0, burst=50.0)
+        assert bucket.reserve(50.0, now=0.0) == 0.0
+
+    def test_pacing_after_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=0.0)
+        assert bucket.reserve(100.0, now=0.0) == 0.0
+        # The line is busy until t=1.0: sending again at t=0 must wait.
+        assert bucket.reserve(100.0, now=0.0) == pytest.approx(1.0)
+        assert bucket.reserve(100.0, now=0.0) == pytest.approx(2.0)
+
+    def test_idle_earns_credit_up_to_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=30.0)
+        bucket.reserve(100.0, now=0.0)          # busy until t=1.0
+        # Long idle: at t=10 the credit is capped at burst (0.3 s worth).
+        assert bucket.reserve(30.0, now=10.0) == 0.0
+        assert bucket.reserve(30.0, now=10.0) == 0.0  # the earned burst
+        delay = bucket.reserve(100.0, now=10.0)
+        assert delay == pytest.approx(0.3, abs=0.01)
+
+    def test_sustained_rate_converges_to_limit(self):
+        bucket = TokenBucket(rate=1000.0, burst=100.0)
+        now = 0.0
+        sent = 0.0
+        for _ in range(100):
+            delay = bucket.reserve(50.0, now)
+            now += delay  # caller sleeps, then transmits instantly
+            sent += 50.0
+        assert sent / now == pytest.approx(1000.0, rel=0.05)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=10.0, burst=-1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=10.0).reserve(-1.0, now=0.0)
+
+    @given(
+        rate=st.floats(min_value=10.0, max_value=1e6),
+        chunks=st.lists(st.floats(min_value=1.0, max_value=1e5),
+                        min_size=5, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_rate_plus_burst(self, rate, chunks):
+        """Property: total bytes admitted by time T never exceeds
+        burst + rate*T (the defining token-bucket envelope)."""
+        bucket = TokenBucket(rate=rate)
+        now = 0.0
+        total = 0.0
+        for n in chunks:
+            delay = bucket.reserve(n, now)
+            now += delay
+            total += n
+            assert total <= bucket.burst + rate * now + 1e-6 * total + n
+
+
+class TestRuntimeIntegration:
+    def test_broadcast_respects_limit(self):
+        import time
+        from repro.core import KascadeConfig, PatternSource
+        from repro.runtime import LocalBroadcast
+
+        limit = 8 * 1024 * 1024  # 8 MiB/s
+        size = 4 * 1024 * 1024   # 4 MiB -> >= ~0.35 s even with burst credit
+        config = KascadeConfig(chunk_size=256 * 1024, bandwidth_limit=limit)
+        started = time.monotonic()
+        result = LocalBroadcast(
+            PatternSource(size), ["n2", "n3"], config=config,
+        ).run(timeout=60)
+        elapsed = time.monotonic() - started
+        assert result.ok
+        # burst forgives ~0.25 s worth; the rest must be paced.
+        assert elapsed >= (size - limit * 0.25) / limit * 0.9
+
+    def test_unlimited_is_fast(self):
+        import time
+        from repro.core import KascadeConfig, PatternSource
+        from repro.runtime import LocalBroadcast
+
+        size = 4 * 1024 * 1024
+        config = KascadeConfig(chunk_size=256 * 1024)
+        started = time.monotonic()
+        result = LocalBroadcast(
+            PatternSource(size), ["n2", "n3"], config=config,
+        ).run(timeout=60)
+        elapsed = time.monotonic() - started
+        assert result.ok
+        assert elapsed < 2.0
+
+    def test_invalid_limit_rejected(self):
+        from repro.core import ConfigError, KascadeConfig
+        with pytest.raises(ConfigError):
+            KascadeConfig(bandwidth_limit=0.0)

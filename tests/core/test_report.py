@@ -1,0 +1,80 @@
+"""Tests for failure report serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FailureRecord, ProtocolError, TransferReport
+
+NAMES = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=0x2FF), max_size=30
+)
+
+RECORDS = st.builds(
+    FailureRecord,
+    node=NAMES,
+    detected_by=NAMES,
+    at_offset=st.integers(min_value=0, max_value=2**50),
+    reason=st.text(max_size=50),
+)
+
+
+class TestTransferReport:
+    def test_empty_report(self):
+        rep = TransferReport()
+        assert not rep
+        assert len(rep) == 0
+        assert rep.failed_nodes == []
+        assert "no failures" in rep.summary()
+
+    def test_roundtrip_simple(self):
+        rep = TransferReport()
+        rep.add(FailureRecord("n5", "n4", 1024, "timeout"))
+        rep.add(FailureRecord("n9", "n8", 4096, "connection-reset"))
+        decoded = TransferReport.decode(rep.encode())
+        assert decoded.failures == rep.failures
+
+    def test_merge(self):
+        a = TransferReport([FailureRecord("n2", "n1", 0, "x")])
+        b = TransferReport([FailureRecord("n3", "n2", 1, "y")])
+        a.merge(b)
+        assert [r.node for r in a.failures] == ["n2", "n3"]
+
+    def test_failed_nodes_dedup_preserves_order(self):
+        rep = TransferReport([
+            FailureRecord("n5", "n4", 0, "timeout"),
+            FailureRecord("n2", "n1", 0, "timeout"),
+            FailureRecord("n5", "n6", 0, "reconfirmed"),
+        ])
+        assert rep.failed_nodes == ["n5", "n2"]
+
+    def test_summary_mentions_nodes(self):
+        rep = TransferReport([FailureRecord("n7", "n6", 0, "timeout")])
+        assert "n7" in rep.summary()
+
+    def test_decode_garbage(self):
+        with pytest.raises(ProtocolError):
+            TransferReport.decode(b"nope")
+        with pytest.raises(ProtocolError):
+            TransferReport.decode(b"")
+
+    def test_decode_bad_magic(self):
+        raw = TransferReport().encode()
+        with pytest.raises(ProtocolError):
+            TransferReport.decode(b"XXXX" + raw[4:])
+
+    def test_decode_truncated(self):
+        rep = TransferReport([FailureRecord("node-1", "node-0", 5, "timeout")])
+        raw = rep.encode()
+        with pytest.raises(ProtocolError):
+            TransferReport.decode(raw[:-3])
+
+    def test_decode_trailing_garbage(self):
+        raw = TransferReport().encode() + b"extra"
+        with pytest.raises(ProtocolError):
+            TransferReport.decode(raw)
+
+    @given(st.lists(RECORDS, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, records):
+        rep = TransferReport(list(records))
+        assert TransferReport.decode(rep.encode()).failures == records

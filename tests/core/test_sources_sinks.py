@@ -1,0 +1,188 @@
+"""Tests for head-node sources and receiver sinks."""
+
+import io
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BufferSink,
+    BytesSource,
+    DataLossError,
+    FileSource,
+    HashingSink,
+    NullSink,
+    PatternSource,
+    SourceKind,
+    StreamSource,
+    open_sink,
+)
+from repro.core.sinks import FileSink
+from repro.core.sources import open_source
+
+
+def drain(source, chunk=7):
+    out = b""
+    while True:
+        piece = source.read_chunk(chunk)
+        if not piece:
+            return out
+        out += piece
+
+
+class TestBytesSource:
+    def test_sequential_read(self):
+        src = BytesSource(b"hello world")
+        assert drain(src, 4) == b"hello world"
+
+    def test_range_read(self):
+        src = BytesSource(b"hello world")
+        assert src.read_range(6, 5) == b"world"
+
+    def test_range_beyond_end(self):
+        src = BytesSource(b"abc")
+        with pytest.raises(DataLossError):
+            src.read_range(1, 5)
+
+    def test_kind(self):
+        assert BytesSource(b"").kind is SourceKind.SEEKABLE_FILE
+
+
+class TestStreamSource:
+    def test_not_seekable(self):
+        src = StreamSource(io.BytesIO(b"data"))
+        assert src.kind is SourceKind.STREAM
+        with pytest.raises(DataLossError):
+            src.read_range(0, 2)
+
+    def test_sequential(self):
+        src = StreamSource(io.BytesIO(b"streaming-data"))
+        assert drain(src, 3) == b"streaming-data"
+
+
+class TestFileSource:
+    def test_read_and_range(self, tmp_path):
+        p = tmp_path / "blob.bin"
+        p.write_bytes(b"0123456789" * 10)
+        src = FileSource(p)
+        assert src.size == 100
+        assert src.read_chunk(10) == b"0123456789"
+        # PGET-style range read must not disturb the sequential cursor.
+        assert src.read_range(50, 5) == b"01234"
+        assert src.read_chunk(5) == b"01234"
+        src.close()
+
+    def test_open_source_path(self, tmp_path):
+        p = tmp_path / "x.bin"
+        p.write_bytes(b"zz")
+        with open_source(str(p)) as src:
+            assert drain(src) == b"zz"
+
+
+class TestPatternSource:
+    def test_size_respected(self):
+        src = PatternSource(1000, seed=3)
+        assert len(drain(src, 64)) == 1000
+
+    def test_deterministic(self):
+        a = drain(PatternSource(500, seed=1), 13)
+        b = drain(PatternSource(500, seed=1), 64)
+        assert a == b
+
+    def test_seed_changes_content(self):
+        a = drain(PatternSource(100, seed=1))
+        b = drain(PatternSource(100, seed=2))
+        assert a != b
+
+    def test_range_matches_sequential(self):
+        src = PatternSource(1000, seed=9)
+        whole = drain(src, 37)
+        fresh = PatternSource(1000, seed=9)
+        assert fresh.read_range(123, 77) == whole[123:200]
+        assert fresh.expected_bytes(0, 1000) == whole
+
+    def test_range_beyond_size(self):
+        with pytest.raises(DataLossError):
+            PatternSource(10).read_range(5, 20)
+
+    def test_zero_size(self):
+        src = PatternSource(0)
+        assert src.read_chunk(10) == b""
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            PatternSource(-1)
+
+    @given(size=st.integers(min_value=0, max_value=3000),
+           off=st.integers(min_value=0, max_value=3000),
+           n=st.integers(min_value=0, max_value=300),
+           seed=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_any_range_consistent(self, size, off, n, seed):
+        src = PatternSource(size, seed=seed)
+        whole = src.expected_bytes(0, size)
+        if off + n <= size:
+            assert src.read_range(off, n) == whole[off:off + n]
+        else:
+            with pytest.raises(DataLossError):
+                src.read_range(off, n)
+
+
+class TestSinks:
+    def test_null_sink_counts(self):
+        sink = NullSink()
+        sink.write_chunk(b"abc")
+        sink.write_chunk(b"defg")
+        assert sink.bytes_written == 7
+
+    def test_buffer_sink(self):
+        sink = BufferSink()
+        sink.write_chunk(b"ab")
+        sink.write_chunk(b"cd")
+        assert sink.getvalue() == b"abcd"
+
+    def test_hashing_sink(self):
+        import hashlib
+        sink = HashingSink()
+        sink.write_chunk(b"hello")
+        assert sink.hexdigest() == hashlib.sha256(b"hello").hexdigest()
+
+    def test_file_sink_writes(self, tmp_path):
+        p = tmp_path / "out.bin"
+        with FileSink(p) as sink:
+            sink.write_chunk(b"payload")
+        assert p.read_bytes() == b"payload"
+
+    def test_file_sink_abort_removes_partial(self, tmp_path):
+        p = tmp_path / "out.bin"
+        sink = FileSink(p)
+        sink.write_chunk(b"partial")
+        sink.abort()
+        assert not p.exists()
+
+    def test_open_sink_null(self):
+        assert isinstance(open_sink(None, None), NullSink)
+        assert isinstance(open_sink("/dev/null", None), NullSink)
+
+    def test_open_sink_file(self, tmp_path):
+        sink = open_sink(str(tmp_path / "f"), None)
+        assert isinstance(sink, FileSink)
+        sink.finish()
+
+    def test_open_sink_both_rejected(self):
+        with pytest.raises(ValueError):
+            open_sink("path", "command")
+
+    def test_command_sink(self, tmp_path):
+        from repro.core import CommandSink
+        out = tmp_path / "copy.bin"
+        with CommandSink(f"cat > {out}") as sink:
+            sink.write_chunk(b"via-pipe")
+        assert out.read_bytes() == b"via-pipe"
+
+    def test_command_sink_failure_raises(self):
+        from repro.core import CommandSink
+        sink = CommandSink("exit 3")
+        with pytest.raises(RuntimeError):
+            sink.finish()

@@ -1,0 +1,63 @@
+"""Tests for repro.core.units."""
+
+import pytest
+
+from repro.core import units
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert units.parse_size(42) == 42
+
+    def test_bare_number(self):
+        assert units.parse_size("123") == 123
+
+    def test_decimal_units(self):
+        assert units.parse_size("1KB") == 1_000
+        assert units.parse_size("2MB") == 2_000_000
+        assert units.parse_size("3GB") == 3_000_000_000
+
+    def test_binary_units(self):
+        assert units.parse_size("1KiB") == 1024
+        assert units.parse_size("2MiB") == 2 * (1 << 20)
+        assert units.parse_size("1GiB") == 1 << 30
+
+    def test_short_suffixes(self):
+        assert units.parse_size("50M") == 50_000_000
+        assert units.parse_size("2G") == 2_000_000_000
+
+    def test_case_insensitive(self):
+        assert units.parse_size("1kb") == 1_000
+        assert units.parse_size("1kib") == 1024
+
+    def test_fractional(self):
+        assert units.parse_size("1.5KB") == 1500
+
+    def test_whitespace_tolerated(self):
+        assert units.parse_size(" 2 MB ") == 2_000_000
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            units.parse_size("lots")
+        with pytest.raises(ValueError):
+            units.parse_size("12QB")
+
+
+class TestRates:
+    def test_gigabit_is_125_mbs(self):
+        assert units.GIGABIT == pytest.approx(125e6)
+
+    def test_mbps(self):
+        assert units.mbps(125e6) == pytest.approx(125.0)
+
+    def test_gbit(self):
+        assert units.gbit(125e6) == pytest.approx(1.0)
+
+    def test_fmt_rate(self):
+        assert units.fmt_rate(117_300_000) == "117.3 MB/s"
+
+    def test_fmt_size(self):
+        assert units.fmt_size(2_000_000_000) == "2.0 GB"
+        assert units.fmt_size(50_000_000) == "50.0 MB"
+        assert units.fmt_size(1_500) == "1.5 KB"
+        assert units.fmt_size(12) == "12 B"

@@ -1,0 +1,67 @@
+"""Tests for the protocol soak-testing module."""
+
+import pytest
+
+from repro.protosim import (
+    FuzzReport,
+    generate_case,
+    run_campaign,
+    run_case,
+)
+from repro.protosim.fuzz import FuzzFailure
+
+
+class TestGeneration:
+    def test_deterministic_from_seed(self):
+        a, b = generate_case(7), generate_case(7)
+        assert a == b
+
+    def test_distinct_seeds_differ(self):
+        cases = {generate_case(s) for s in range(20)}
+        assert len(cases) > 15
+
+    def test_victims_are_receivers(self):
+        for seed in range(30):
+            case = generate_case(seed)
+            receivers = {f"n{i}" for i in range(2, case.n_receivers + 2)}
+            assert {c.node for c in case.crashes} <= receivers
+
+    def test_describe_mentions_seed(self):
+        assert "seed=3" in generate_case(3).describe()
+
+
+class TestCampaign:
+    def test_small_campaign_clean(self):
+        report = run_campaign(8, base_seed=500)
+        assert report.ok, report.summary()
+        assert report.runs == 8
+        assert "OK" in report.summary()
+
+    def test_progress_callback(self):
+        seen = []
+        run_campaign(3, base_seed=600,
+                     progress=lambda d, t, p: seen.append((d, t, p)))
+        assert seen == [(1, 3, None), (2, 3, None), (3, 3, None)]
+
+    def test_failure_reporting_format(self):
+        report = FuzzReport(runs=1, crash_injections=0, failures=[
+            FuzzFailure(case=generate_case(9), problem="made-up problem")
+        ])
+        assert not report.ok
+        text = report.summary()
+        assert "made-up problem" in text
+        assert "seed=9" in text
+
+    def test_single_case_replayable(self):
+        case = generate_case(12)
+        assert run_case(case) is None
+        assert run_case(case) is None  # identical replay
+
+
+class TestCliFuzz:
+    def test_cli(self, capsys):
+        from repro.cli.kascade_sim import main as sim_main
+        rc = sim_main(["fuzz", "--runs", "4", "--seed", "700"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 randomized scenarios" in out

@@ -1,0 +1,22 @@
+"""Shared fixtures for the real TCP runtime tests.
+
+Timeouts are shrunk aggressively: failure-detection tests deliberately let
+timers expire, and nobody wants a 30 s unit test.
+"""
+
+import pytest
+
+from repro.core import KascadeConfig
+
+
+@pytest.fixture
+def fast_config():
+    """Small chunks + short timers for quick, failure-heavy tests."""
+    return KascadeConfig(
+        chunk_size=4096,
+        buffer_chunks=4,
+        io_timeout=0.25,
+        ping_timeout=0.2,
+        connect_timeout=0.5,
+        report_timeout=6.0,
+    )

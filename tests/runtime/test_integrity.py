@@ -1,0 +1,140 @@
+"""End-to-end digest verification (integrity mode) over real TCP."""
+
+import hashlib
+
+import pytest
+
+from repro.core import KascadeConfig, PatternSource, TransferReport
+from repro.core.node_state import NodeTransferState
+from repro.core.report import FailureRecord
+from repro.runtime import CrashPlan, LocalBroadcast
+
+
+def verify_config(**kwargs):
+    return KascadeConfig(
+        chunk_size=4096, buffer_chunks=4,
+        io_timeout=0.25, ping_timeout=0.2, connect_timeout=0.5,
+        report_timeout=6.0, verify_digest=True, **kwargs,
+    )
+
+
+class TestReportDigestFormat:
+    def test_v1_roundtrip_unchanged(self):
+        rep = TransferReport([FailureRecord("n2", "n1", 5, "x")])
+        raw = rep.encode()
+        assert raw[:4] == b"KRPT"
+        assert TransferReport.decode(raw).source_digest is None
+
+    def test_v2_roundtrip(self):
+        digest = hashlib.sha256(b"stream").digest()
+        rep = TransferReport([FailureRecord("n2", "n1", 5, "x")],
+                             source_digest=digest)
+        raw = rep.encode()
+        assert raw[:4] == b"KRP2"
+        decoded = TransferReport.decode(raw)
+        assert decoded.source_digest == digest
+        assert decoded.failures == rep.failures
+
+    def test_merge_preserves_digest(self):
+        digest = b"\x01" * 32
+        upstream = TransferReport(source_digest=digest)
+        local = TransferReport([FailureRecord("n3", "n2", 1, "t")])
+        local.merge(upstream)
+        assert local.source_digest == digest
+
+    def test_truncated_v2_rejected(self):
+        from repro.core import ProtocolError
+        rep = TransferReport(source_digest=b"\x02" * 32)
+        raw = rep.encode()
+        with pytest.raises(ProtocolError):
+            TransferReport.decode(raw[:6])
+
+
+class TestNodeStateDigest:
+    def test_digest_disabled_by_default(self):
+        state = NodeTransferState("n", KascadeConfig())
+        state.on_data(0, b"abc")
+        assert state.digest is None
+        assert state.verify_against_report() is None
+
+    def test_digest_tracks_stream(self):
+        state = NodeTransferState("n", verify_config())
+        state.on_data(0, b"hello ")
+        state.on_data(6, b"world")
+        assert state.digest == hashlib.sha256(b"hello world").digest()
+
+    def test_verify_roundtrip(self):
+        head = NodeTransferState("h", verify_config())
+        head.on_data(0, b"payload")
+        head.attach_source_digest()
+        raw = head.report.encode()
+
+        rx = NodeTransferState("r", verify_config())
+        rx.on_data(0, b"payload")
+        rx.merge_upstream_report(raw)
+        assert rx.verify_against_report() is True
+
+    def test_verify_detects_corruption(self):
+        head = NodeTransferState("h", verify_config())
+        head.on_data(0, b"payload")
+        head.attach_source_digest()
+        raw = head.report.encode()
+
+        rx = NodeTransferState("r", verify_config())
+        rx.on_data(0, b"paiload")  # bit rot
+        rx.merge_upstream_report(raw)
+        assert rx.verify_against_report() is False
+
+
+class TestEndToEnd:
+    def test_clean_transfer_verifies(self):
+        cfg = verify_config()
+        size = cfg.chunk_size * 8
+        bc = LocalBroadcast(PatternSource(size), ["n2", "n3", "n4"],
+                            config=cfg)
+        result = bc.run(timeout=30)
+        assert result.ok, result.outcomes
+        assert result.report.source_digest is not None
+        assert not result.report.failures
+
+    def test_verification_survives_failures(self):
+        cfg = verify_config()
+        size = cfg.chunk_size * 12
+        bc = LocalBroadcast(
+            PatternSource(size), ["n2", "n3", "n4"],
+            config=cfg,
+            crashes=[CrashPlan("n3", after_bytes=cfg.chunk_size * 3)],
+        )
+        result = bc.run(timeout=60)
+        assert result.ok, result.outcomes
+        # Survivors re-fetched data through recovery and still verified.
+        reasons = {r.reason for r in result.report.failures}
+        assert not any("digest" in r for r in reasons)
+
+    def test_forged_digest_detected_and_reported(self):
+        """Monkeypatch the head to publish a wrong digest: every receiver
+        must flag itself and the final report must carry the mismatches."""
+        cfg = verify_config()
+        size = cfg.chunk_size * 4
+        bc = LocalBroadcast(PatternSource(size), ["n2", "n3"], config=cfg)
+
+        from repro.core.node_state import NodeTransferState as NTS
+        original = NTS.attach_source_digest
+
+        def forge(self):
+            self.report.source_digest = b"\xde\xad" * 16
+
+        NTS.attach_source_digest = forge
+        try:
+            result = bc.run(timeout=30)
+        finally:
+            NTS.attach_source_digest = original
+
+        assert not result.ok
+        mismatch_nodes = {
+            r.node for r in result.report.failures
+            if r.reason == "digest-mismatch"
+        }
+        assert mismatch_nodes == {"n2", "n3"}
+        for name in ("n2", "n3"):
+            assert not result.outcomes[name].ok

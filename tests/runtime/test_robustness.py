@@ -1,0 +1,154 @@
+"""Robustness: nodes must survive malformed peers and junk connections.
+
+A broadcast daemon listens on the network; anything may connect.  These
+tests throw garbage at live nodes mid-transfer and assert the broadcast
+still completes byte-perfectly.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import HashingSink, PatternSource, Ping
+from repro.runtime import LocalBroadcast, connect
+from repro.runtime.transport import DATA_CONN, PING_CONN
+
+
+def run_with_interference(fast_config, interfere, size_chunks=30):
+    """Run a broadcast while `interfere(registry)` harasses the nodes."""
+    import hashlib
+    size = fast_config.chunk_size * size_chunks
+    source = PatternSource(size, seed=9)
+    expected = hashlib.sha256(source.expected_bytes(0, size)).hexdigest()
+    sinks = {}
+
+    def sink_factory(name):
+        sinks[name] = HashingSink()
+        return sinks[name]
+
+    bc = LocalBroadcast(source, ["n2", "n3", "n4"],
+                        sink_factory=sink_factory, config=fast_config)
+
+    stop = threading.Event()
+
+    def harass():
+        # Wait until listeners exist.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and not bc.nodes:
+            time.sleep(0.005)
+        while not stop.is_set() and bc.nodes:
+            try:
+                interfere(bc)
+            except Exception:
+                pass
+            time.sleep(0.02)
+
+    t = threading.Thread(target=harass)
+    t.start()
+    try:
+        result = bc.run(timeout=60)
+    finally:
+        stop.set()
+        t.join()
+    assert result.ok, {k: (v.ok, v.error) for k, v in result.outcomes.items()}
+    for name in ("n2", "n3", "n4"):
+        assert sinks[name].hexdigest() == expected, f"{name} corrupted"
+    return result
+
+
+def node_address(bc, name):
+    return bc.nodes[name].listener.address
+
+
+class TestJunkConnections:
+    def test_bogus_preamble(self, fast_config):
+        def interfere(bc):
+            stream = connect(node_address(bc, "n3"), b"?", timeout=0.5)
+            stream.close()
+
+        run_with_interference(fast_config, interfere)
+
+    def test_connect_and_slam(self, fast_config):
+        def interfere(bc):
+            stream = connect(node_address(bc, "n2"), DATA_CONN, timeout=0.5)
+            stream.close()  # immediately reset
+
+        run_with_interference(fast_config, interfere)
+
+    def test_garbage_bytes_on_data_connection(self, fast_config):
+        def interfere(bc):
+            stream = connect(node_address(bc, "n4"), DATA_CONN, timeout=0.5)
+            stream.send_raw(b"\xff\xfe\xfd" * 64, timeout=0.5)
+            stream.close()
+
+        run_with_interference(fast_config, interfere)
+
+    def test_ping_flood(self, fast_config):
+        def interfere(bc):
+            for name in ("n2", "n3", "n4"):
+                stream = connect(node_address(bc, name), PING_CONN,
+                                 timeout=0.5)
+                stream.send_message(Ping(99), timeout=0.5)
+                stream.recv_message(0.5)
+                stream.close()
+
+        run_with_interference(fast_config, interfere)
+
+    def test_silent_data_connection_holder(self, fast_config):
+        """A peer that opens a data connection and says nothing: the node
+        answers GET and waits — but a *newer* legitimate connection must
+        still win, and the junk one must not stall the transfer."""
+        held = []
+
+        def interfere(bc):
+            if len(held) < 2:  # hold a couple open, never speak
+                held.append(
+                    connect(node_address(bc, "n3"), DATA_CONN, timeout=0.5)
+                )
+
+        try:
+            run_with_interference(fast_config, interfere)
+        finally:
+            for s in held:
+                s.close()
+
+
+class TestAcceptorGuards:
+    """Connection types a node must refuse: PGET/ring to a non-head."""
+
+    def test_receiver_refuses_pget_and_ring(self, fast_config):
+        from repro.core import PGet, Report
+        from repro.runtime.transport import PGET_CONN, RING_CONN
+
+        def interfere(bc):
+            for kind in (PGET_CONN, RING_CONN):
+                stream = connect(node_address(bc, "n2"), kind, timeout=0.5)
+                try:
+                    # The node must close without serving.
+                    stream.send_message(PGet(0, 10), timeout=0.5)
+                    stream.recv_message(0.3)
+                except (ConnectionError, TimeoutError):
+                    pass
+                finally:
+                    stream.close()
+
+        run_with_interference(fast_config, interfere)
+
+    def test_head_pget_out_of_range_is_safe(self, fast_config):
+        from repro.core import PGet
+        from repro.runtime.transport import PGET_CONN
+
+        def interfere(bc):
+            stream = connect(node_address(bc, "n1"), PGET_CONN, timeout=0.5)
+            try:
+                # Range far beyond anything produced: the head must
+                # reject it without dying.
+                stream.send_message(PGet(0, 1 << 40), timeout=0.5)
+                stream.recv_message(0.3)
+            except (ConnectionError, TimeoutError):
+                pass
+            finally:
+                stream.close()
+
+        run_with_interference(fast_config, interfere)

@@ -1,0 +1,119 @@
+"""Tests for bounded-buffer backpressure in the fluid fabric."""
+
+import math
+
+import pytest
+
+from repro.simnet.engine import Engine, Timeout
+from repro.simnet.fabric import Fabric, StreamSupply
+from repro.topology import Network
+
+
+def star_net(n=4, rate=100.0):
+    net = Network()
+    net.add_switch("sw")
+    for i in range(1, n + 1):
+        net.add_host(f"h{i}", nic_rate=rate)
+        net.add_link(f"h{i}", "sw", rate, 0.0)
+    return net
+
+
+@pytest.fixture
+def env():
+    eng = Engine()
+    fab = Fabric(eng, star_net())
+    return eng, fab
+
+
+class TestBackpressureBasics:
+    def test_sender_stalls_at_capacity_with_no_consumer(self, env):
+        eng, fab = env
+        consumer = StreamSupply()  # nothing attached: consumption = 0
+        s = fab.open_stream("h1", "h2", 1000.0,
+                            bp_supply=consumer, bp_capacity=200.0)
+        eng.run(until=50.0)
+        # Only the buffer capacity could be shipped.
+        assert s.delivered == pytest.approx(200.0, abs=1.0)
+        assert not s.done
+
+    def test_consumption_releases_backpressure(self, env):
+        eng, fab = env
+        consumer = StreamSupply()
+        s1 = fab.open_stream("h1", "h2", 1000.0,
+                             bp_supply=consumer, bp_capacity=200.0)
+
+        def start_forwarding():
+            yield Timeout(5.0)
+            s2 = fab.open_stream("h2", "h3", 1000.0,
+                                 supply=StreamSupply(s1), depth=1)
+            consumer.attach(s2)
+            yield s2.completed
+
+        eng.spawn(start_forwarding())
+        eng.run()
+        assert s1.done
+        # 200 bytes by t=2 (rate 100), stall until t=5, then both at 100:
+        # remaining 800 bytes -> s1 done at t=13.
+        assert eng.now == pytest.approx(15.0, rel=0.05)
+
+    def test_slow_consumer_throttles_sender(self, env):
+        eng, fab = env
+        consumer = StreamSupply()
+        s1 = fab.open_stream("h1", "h2", 1000.0,
+                             bp_supply=consumer, bp_capacity=100.0)
+        s2 = fab.open_stream("h2", "h3", 1000.0, limit=20.0,
+                             supply=StreamSupply(s1), depth=1)
+        consumer.attach(s2)
+        eng.run()
+        # Once the 100-byte buffer fills, s1 runs at s2's 20 B/s.
+        # s2 finishes 1000 bytes at ~1000/20 = 50 s; s1 a touch earlier.
+        assert eng.now == pytest.approx(50.0, rel=0.05)
+
+    def test_unbounded_supply_disables_backpressure(self, env):
+        eng, fab = env
+        consumer = StreamSupply()
+        consumer.mark_unbounded()
+        s = fab.open_stream("h1", "h2", 1000.0,
+                            bp_supply=consumer, bp_capacity=10.0)
+        eng.run()
+        assert s.done
+        assert eng.now == pytest.approx(10.0, rel=0.01)
+
+    def test_infinite_capacity_is_noop(self, env):
+        eng, fab = env
+        consumer = StreamSupply()  # zero consumption...
+        s = fab.open_stream("h1", "h2", 1000.0,
+                            bp_supply=consumer, bp_capacity=math.inf)
+        eng.run()
+        assert s.done  # ...but infinite buffer: no stall
+
+
+class TestKascadeBackpressure:
+    def _run(self, bp, laggard=True):
+        from repro.baselines import KascadeSim, SimSetup
+        from repro.core import order_by_hostname
+        from repro.topology import build_fat_tree
+        net = build_fat_tree(16)
+        if laggard:
+            net.host("node-8").copy_limit = 30e6
+        hosts = order_by_hostname(net.host_names())
+        setup = SimSetup(network=net, head=hosts[0],
+                         receivers=tuple(hosts[1:]), size=5e8,
+                         include_startup=False)
+        return KascadeSim(model_backpressure=bp).run(setup)
+
+    def test_upstream_throttled_by_downstream_laggard(self):
+        free = self._run(bp=False)
+        held = self._run(bp=True)
+        # Completion time of the whole broadcast is the same: the laggard
+        # gates its suffix either way.
+        assert held.data_time == pytest.approx(free.data_time, rel=0.05)
+        # But with backpressure, an *upstream* node can no longer finish
+        # long before the laggard.
+        assert free.finish_times["node-4"] < 0.3 * held.finish_times["node-4"]
+
+    def test_healthy_pipeline_unchanged(self):
+        free = self._run(bp=False, laggard=False)
+        held = self._run(bp=True, laggard=False)
+        assert held.data_time == pytest.approx(free.data_time, rel=0.02)
+        assert len(held.completed) == 15

@@ -1,0 +1,265 @@
+"""Tests for the protocol-exact simulation channels."""
+
+import pytest
+
+from repro.core import Data, Get, Ping
+from repro.simnet.channels import (
+    ChannelClosed,
+    ChannelTimeout,
+    SimNetHub,
+)
+from repro.simnet.engine import Engine, Timeout
+
+
+def hub_pair():
+    eng = Engine()
+    hub = SimNetHub(eng, bandwidth=1e6, latency=1e-3)
+    listener = hub.register("b")
+    hub.register("a")
+    return eng, hub, listener
+
+
+def run_proc(eng, gen):
+    proc = eng.spawn(gen)
+    eng.run()
+    if proc.exc is not None:
+        raise proc.exc
+    return proc.value
+
+
+class TestConnect:
+    def test_connect_and_exchange(self):
+        eng, hub, listener = hub_pair()
+
+        def client():
+            end = yield from hub.connect("a", "b", b"D")
+            end.send(Get(0))
+            msg, _ = yield from end.recv(timeout=1.0)
+            return msg
+
+        def server():
+            kind, end = yield from listener.accept(timeout=1.0)
+            assert kind == b"D"
+            msg, _ = yield from end.recv(timeout=1.0)
+            assert msg == Get(0)
+            end.send(Data(0, 3), b"abc")
+
+        eng.spawn(server())
+        p = eng.spawn(client())
+        eng.run()
+        assert p.value == Data(0, 3)
+
+    def test_connect_refused_when_dead(self):
+        eng, hub, _listener = hub_pair()
+        hub.kill("b")
+
+        def client():
+            try:
+                yield from hub.connect("a", "b", b"D")
+            except ChannelClosed:
+                return "refused"
+
+        assert run_proc(eng, client()) == "refused"
+
+    def test_connect_unknown_refused(self):
+        eng, hub, _ = hub_pair()
+
+        def client():
+            try:
+                yield from hub.connect("a", "ghost", b"D")
+            except ChannelClosed:
+                return "refused"
+
+        assert run_proc(eng, client()) == "refused"
+
+    def test_accept_timeout(self):
+        eng, _hub, listener = hub_pair()
+
+        def server():
+            try:
+                yield from listener.accept(timeout=0.5)
+            except ChannelTimeout:
+                return eng.now
+
+        assert run_proc(eng, server()) == pytest.approx(0.5)
+
+
+class TestDelivery:
+    def test_in_order_with_service_time(self):
+        eng, hub, listener = hub_pair()
+        times = []
+
+        def client():
+            end = yield from hub.connect("a", "b", b"D")
+            payload = b"x" * 1000
+            for i in range(3):
+                end.send(Data(i, len(payload)), payload)
+
+        def server():
+            _kind, end = yield from listener.accept(timeout=1.0)
+            for i in range(3):
+                msg, _ = yield from end.recv(timeout=5.0)
+                assert msg.offset == i
+                times.append(eng.now)
+
+        eng.spawn(client())
+        eng.spawn(server())
+        eng.run()
+        # ~1 ms per KB at 1 MB/s, serialized.
+        assert times == sorted(times)
+        assert times[1] - times[0] == pytest.approx(1032 / 1e6, rel=0.05)
+
+    def test_recv_timeout(self):
+        eng, hub, listener = hub_pair()
+
+        def client():
+            end = yield from hub.connect("a", "b", b"D")
+            try:
+                yield from end.recv(timeout=0.2)
+            except ChannelTimeout:
+                return "timeout"
+
+        eng.spawn(listener.accept(timeout=1.0))
+        assert run_proc(eng, client()) == "timeout"
+
+    def test_close_seen_by_peer(self):
+        eng, hub, listener = hub_pair()
+
+        def client():
+            end = yield from hub.connect("a", "b", b"D")
+            end.close()
+
+        def server():
+            _kind, end = yield from listener.accept(timeout=1.0)
+            try:
+                yield from end.recv(timeout=5.0)
+            except ChannelClosed:
+                return "closed"
+
+        eng.spawn(client())
+        p = eng.spawn(server())
+        eng.run()
+        assert p.value == "closed"
+
+
+class TestFlowControl:
+    def test_send_wait_blocks_on_full_window(self):
+        eng, hub, listener = hub_pair()
+        sent_times = []
+
+        def client():
+            end = yield from hub.connect("a", "b", b"D")
+            chunk = b"z" * 300_000
+            for i in range(4):
+                yield from end.send_wait(Data(i, len(chunk)), chunk)
+                sent_times.append(eng.now)
+
+        def server():
+            _kind, end = yield from listener.accept(timeout=1.0)
+            # A slow reader: one message per second.
+            for _ in range(4):
+                yield Timeout(1.0)
+                yield from end.recv(timeout=10.0)
+
+        eng.spawn(client())
+        eng.spawn(server())
+        eng.run()
+        # First sends fit the 512 KB window; later ones pace at ~1/s.
+        assert sent_times[-1] > 1.5
+
+    def test_send_wait_timeout_on_stalled_peer(self):
+        eng, hub, listener = hub_pair()
+
+        def client():
+            end = yield from hub.connect("a", "b", b"D")
+            chunk = b"z" * 400_000
+            try:
+                for i in range(10):
+                    yield from end.send_wait(Data(i, len(chunk)), chunk,
+                                             timeout=0.5)
+            except ChannelTimeout:
+                return ("stalled", eng.now)
+
+        def server():
+            _kind, _end = yield from listener.accept(timeout=1.0)
+            yield Timeout(100.0)  # never reads
+
+        eng.spawn(server())
+        p = eng.spawn(client())
+        eng.run(until=50.0)
+        assert p.value[0] == "stalled"
+        assert p.value[1] < 5.0
+
+    def test_send_wait_resumes_after_drain(self):
+        eng, hub, listener = hub_pair()
+
+        def client():
+            end = yield from hub.connect("a", "b", b"D")
+            chunk = b"z" * 400_000
+            for i in range(3):
+                yield from end.send_wait(Data(i, len(chunk)), chunk,
+                                         timeout=10.0)
+            return eng.now
+
+        def server():
+            _kind, end = yield from listener.accept(timeout=1.0)
+            for _ in range(3):
+                yield from end.recv(timeout=20.0)
+
+        eng.spawn(server())
+        p = eng.spawn(client())
+        eng.run()
+        assert p.value is not None
+
+
+class TestFailure:
+    def test_kill_resets_channels(self):
+        eng, hub, listener = hub_pair()
+
+        def client():
+            end = yield from hub.connect("a", "b", b"D")
+            yield Timeout(1.0)
+            try:
+                yield from end.recv(timeout=5.0)
+            except ChannelClosed:
+                return "reset"
+
+        def killer():
+            yield Timeout(0.5)
+            hub.kill("b")
+
+        eng.spawn(listener.accept(timeout=1.0))
+        eng.spawn(killer())
+        p = eng.spawn(client())
+        eng.run()
+        assert p.value == "reset"
+
+    def test_silent_kill_keeps_channels(self):
+        eng, hub, listener = hub_pair()
+
+        def client():
+            end = yield from hub.connect("a", "b", b"D")
+            hub.kill_silent("b")
+            end.send(Ping(1))  # succeeds: the socket is still "open"
+            try:
+                yield from end.recv(timeout=0.5)
+            except ChannelTimeout:
+                return "silent"
+
+        eng.spawn(listener.accept(timeout=1.0))
+        assert run_proc(eng, client()) == "silent"
+
+    def test_send_after_kill_raises(self):
+        eng, hub, listener = hub_pair()
+
+        def client():
+            end = yield from hub.connect("a", "b", b"D")
+            yield Timeout(0.1)
+            hub.kill("b")
+            try:
+                end.send(Ping(1))
+            except ChannelClosed:
+                return "dead"
+
+        eng.spawn(listener.accept(timeout=1.0))
+        assert run_proc(eng, client()) == "dead"

@@ -1,0 +1,282 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.core import SimulationError
+from repro.simnet.engine import Engine, Event, Interrupted, Timeout
+
+
+class TestScheduling:
+    def test_call_at_order(self):
+        eng = Engine()
+        log = []
+        eng.call_at(2.0, lambda: log.append("b"))
+        eng.call_at(1.0, lambda: log.append("a"))
+        eng.call_at(3.0, lambda: log.append("c"))
+        assert eng.run() == 3.0
+        assert log == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        eng = Engine()
+        log = []
+        for i in range(5):
+            eng.call_at(1.0, lambda i=i: log.append(i))
+        eng.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_cannot_schedule_in_past(self):
+        eng = Engine()
+        eng.call_at(5.0, lambda: eng.call_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_run_until(self):
+        eng = Engine()
+        log = []
+        eng.call_at(1.0, lambda: log.append(1))
+        eng.call_at(10.0, lambda: log.append(10))
+        assert eng.run(until=5.0) == 5.0
+        assert log == [1]
+        assert eng.run() == 10.0
+        assert log == [1, 10]
+
+    def test_empty_run(self):
+        assert Engine().run() == 0.0
+
+
+class TestProcesses:
+    def test_simple_timeout(self):
+        eng = Engine()
+
+        def worker():
+            yield Timeout(1.5)
+            yield Timeout(2.5)
+            return eng.now
+
+        p = eng.spawn(worker())
+        eng.run()
+        assert p.done
+        assert p.value == 4.0
+
+    def test_wait_on_event(self):
+        eng = Engine()
+        ev = eng.event()
+
+        def waiter():
+            value = yield ev
+            return value
+
+        def trigger():
+            yield Timeout(3.0)
+            ev.succeed("payload")
+
+        p = eng.spawn(waiter())
+        eng.spawn(trigger())
+        eng.run()
+        assert p.value == "payload"
+
+    def test_wait_on_already_triggered_event(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed(7)
+
+        def waiter():
+            value = yield ev
+            return value
+
+        p = eng.spawn(waiter())
+        eng.run()
+        assert p.value == 7
+
+    def test_multiple_waiters(self):
+        eng = Engine()
+        ev = eng.event()
+        results = []
+
+        def waiter(i):
+            value = yield ev
+            results.append((i, value))
+
+        for i in range(3):
+            eng.spawn(waiter(i))
+        eng.call_at(1.0, lambda: ev.succeed("x"))
+        eng.run()
+        assert sorted(results) == [(0, "x"), (1, "x"), (2, "x")]
+
+    def test_wait_on_process(self):
+        eng = Engine()
+
+        def inner():
+            yield Timeout(2.0)
+            return 42
+
+        def outer():
+            value = yield eng.spawn(inner())
+            return (eng.now, value)
+
+        p = eng.spawn(outer())
+        eng.run()
+        assert p.value == (2.0, 42)
+
+    def test_event_failure_propagates(self):
+        eng = Engine()
+        ev = eng.event()
+
+        def waiter():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        p = eng.spawn(waiter())
+        eng.call_at(1.0, lambda: ev.fail(RuntimeError("boom")))
+        eng.run()
+        assert p.value == "caught boom"
+
+    def test_process_exception_reaches_completion_waiter(self):
+        eng = Engine()
+
+        def bad():
+            yield Timeout(1.0)
+            raise ValueError("nope")
+
+        def outer():
+            try:
+                yield eng.spawn(bad())
+            except ValueError as exc:
+                return f"saw {exc}"
+
+        p = eng.spawn(outer())
+        eng.run()
+        assert p.value == "saw nope"
+
+    def test_unwaited_exception_raises(self):
+        eng = Engine()
+
+        def bad():
+            yield Timeout(1.0)
+            raise ValueError("unhandled")
+
+        eng.spawn(bad())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_yield_garbage_rejected(self):
+        eng = Engine()
+
+        def bad():
+            yield "not a waitable"
+
+        eng.spawn(bad())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+
+class TestInterrupts:
+    def test_interrupt_during_timeout(self):
+        eng = Engine()
+
+        def sleeper():
+            try:
+                yield Timeout(100.0)
+            except Interrupted:
+                return eng.now
+
+        p = eng.spawn(sleeper())
+        eng.call_at(2.0, p.interrupt)
+        eng.run()
+        assert p.value == 2.0
+
+    def test_interrupt_removes_stale_timer(self):
+        # After interruption, the original timeout must NOT fire later.
+        eng = Engine()
+        resumed_twice = []
+
+        def sleeper():
+            try:
+                yield Timeout(5.0)
+            except Interrupted:
+                pass
+            yield Timeout(100.0)
+            resumed_twice.append(True)
+
+        p = eng.spawn(sleeper())
+        eng.call_at(1.0, p.interrupt)
+        eng.run(until=50.0)
+        assert not resumed_twice  # the 5.0 timer must not resume the 100.0 wait
+
+    def test_interrupt_during_event_wait(self):
+        eng = Engine()
+        ev = eng.event()
+
+        def waiter():
+            try:
+                yield ev
+            except Interrupted:
+                return "interrupted"
+
+        p = eng.spawn(waiter())
+        eng.call_at(1.0, p.interrupt)
+        eng.run()
+        assert p.value == "interrupted"
+        # the event can still trigger without resuming the dead waiter
+        ev.succeed(1)
+
+    def test_uncaught_interrupt_kills_quietly(self):
+        eng = Engine()
+
+        def sleeper():
+            yield Timeout(100.0)
+
+        p = eng.spawn(sleeper())
+        eng.call_at(1.0, p.interrupt)
+        eng.run()
+        assert p.done
+
+    def test_kill(self):
+        eng = Engine()
+        log = []
+
+        def worker():
+            log.append("start")
+            yield Timeout(10.0)
+            log.append("never")
+
+        p = eng.spawn(worker())
+        eng.call_at(1.0, p.kill)
+        eng.run()
+        assert log == ["start"]
+        assert p.done
+
+    def test_custom_interrupt_exception(self):
+        eng = Engine()
+
+        def waiter():
+            try:
+                yield Timeout(10.0)
+            except ConnectionError as exc:
+                return str(exc)
+
+        p = eng.spawn(waiter())
+        eng.call_at(1.0, lambda: p.interrupt(ConnectionError("host died")))
+        eng.run()
+        assert p.value == "host died"
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def build():
+            eng = Engine()
+            log = []
+
+            def worker(i):
+                for k in range(3):
+                    yield Timeout(0.5 * (i + 1))
+                    log.append((eng.now, i, k))
+
+            for i in range(4):
+                eng.spawn(worker(i))
+            eng.run()
+            return log
+
+        assert build() == build()

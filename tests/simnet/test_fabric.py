@@ -1,0 +1,323 @@
+"""Tests for the fluid stream fabric: rates, coupling, thresholds, death."""
+
+import math
+
+import pytest
+
+from repro.core.units import GIGABIT
+from repro.simnet.engine import Engine, Timeout
+from repro.simnet.fabric import Fabric, FixedSupply, HostDied, StreamSupply
+from repro.topology import Network, build_fat_tree, build_single_switch
+
+
+def star_net(n=4, rate=100.0, copy_bw=math.inf):
+    """n hosts named h1..hn on one switch, link rate in bytes/s."""
+    net = Network()
+    net.add_switch("sw")
+    for i in range(1, n + 1):
+        net.add_host(f"h{i}", nic_rate=rate, copy_bw=copy_bw)
+        net.add_link(f"h{i}", "sw", rate, 0.0)
+    return net
+
+
+def make(n=4, rate=100.0, copy_bw=math.inf):
+    eng = Engine()
+    fab = Fabric(eng, star_net(n, rate, copy_bw))
+    return eng, fab
+
+
+class TestSingleStream:
+    def test_completion_time(self):
+        eng, fab = make()
+        s = fab.open_stream("h1", "h2", 1000.0)
+        eng.run()
+        assert s.done
+        assert eng.now == pytest.approx(10.0)  # 1000 bytes / 100 B/s
+
+    def test_zero_length_completes_immediately(self):
+        eng, fab = make()
+        s = fab.open_stream("h1", "h2", 0.0)
+        assert s.done
+        eng.run()
+        assert eng.now == 0.0
+
+    def test_rate_visible(self):
+        eng, fab = make()
+        s = fab.open_stream("h1", "h2", 1000.0)
+        fab.settle()
+        assert s.effective_rate == pytest.approx(100.0)
+        eng.run()
+
+    def test_limit_respected(self):
+        eng, fab = make()
+        fab.open_stream("h1", "h2", 1000.0, limit=10.0)
+        assert eng.run() == pytest.approx(100.0)
+
+    def test_tcp_window_cap(self):
+        net = Network()
+        net.add_switch("sw")
+        for h in ("a", "b"):
+            net.add_host(h)
+            net.add_link(h, "sw", 1e9, 8e-3)  # 16 ms one-way -> 32 ms RTT
+        eng = Engine()
+        fab = Fabric(eng, net)
+        s = fab.open_stream("a", "b", 1e6, tcp_window=1e5)
+        fab.settle()
+        # window/RTT = 1e5 / 0.032 = 3.125e6 B/s
+        assert s.effective_rate == pytest.approx(1e5 / 0.032)
+        eng.run()
+
+
+class TestSharing:
+    def test_two_streams_same_egress_link(self):
+        eng, fab = make()
+        a = fab.open_stream("h1", "h2", 1000.0)
+        b = fab.open_stream("h1", "h3", 1000.0)
+        fab.settle()
+        assert a.effective_rate == pytest.approx(50.0)
+        assert b.effective_rate == pytest.approx(50.0)
+        eng.run()
+        assert eng.now == pytest.approx(20.0)
+
+    def test_disjoint_streams_full_rate(self):
+        eng, fab = make()
+        a = fab.open_stream("h1", "h2", 1000.0)
+        b = fab.open_stream("h3", "h4", 1000.0)
+        fab.settle()
+        assert a.effective_rate == pytest.approx(100.0)
+        assert b.effective_rate == pytest.approx(100.0)
+
+    def test_rate_rises_after_completion(self):
+        eng, fab = make()
+        fab.open_stream("h1", "h2", 100.0)   # done at t=2 (sharing 50/50)
+        b = fab.open_stream("h1", "h3", 1000.0)
+        eng.run()
+        # b: 100 bytes at 50 B/s (2 s), then 900 bytes at 100 B/s (9 s)
+        assert eng.now == pytest.approx(11.0)
+
+    def test_copy_budget_halves_relay(self):
+        eng, fab = make(copy_bw=60.0)
+        # h2 receives and sends simultaneously: both consume h2's copy.
+        a = fab.open_stream("h1", "h2", 300.0)
+        b = fab.open_stream("h2", "h3", 300.0)
+        fab.settle()
+        assert a.effective_rate == pytest.approx(30.0)
+        assert b.effective_rate == pytest.approx(30.0)
+
+
+class TestCoupling:
+    def test_pipeline_runs_at_bottleneck(self):
+        eng, fab = make()
+        s1 = fab.open_stream("h1", "h2", 1000.0, limit=40.0, depth=0)
+        sup = StreamSupply(s1)
+        s2 = fab.open_stream("h2", "h3", 1000.0, supply=sup, depth=1)
+        eng.run()
+        # hop2 can never outrun hop1's 40 B/s.
+        assert eng.now == pytest.approx(1000.0 / 40.0, rel=1e-3)
+        assert s2.done
+
+    def test_backlog_lets_downstream_catch_up(self):
+        eng, fab = make()
+        s1 = fab.open_stream("h1", "h2", 1000.0, depth=0)
+
+        done = {}
+
+        def starter():
+            # Let hop 1 build 500 bytes of backlog, then start hop 2.
+            yield s1.when_delivered(500.0)
+            sup = StreamSupply(s1)
+            s2 = fab.open_stream("h2", "h3", 1000.0, supply=sup, depth=1)
+            yield s2.completed
+            done["t"] = eng.now
+
+        eng.spawn(starter())
+        eng.run()
+        # hop2 starts at t=5 with 500 backlog; both run at 100; hop2
+        # finishes 1000 bytes at t=15 (it drains backlog while supply live).
+        assert done["t"] == pytest.approx(15.0, rel=1e-3)
+
+    def test_fixed_supply_caps_position(self):
+        eng, fab = make()
+        sup = FixedSupply(600.0)
+        s = fab.open_stream("h1", "h2", 1000.0, supply=sup, depth=1)
+        eng.run(until=100.0)
+        # only 600 bytes available, rate drops to 0 at the supply edge
+        assert s.delivered == pytest.approx(600.0, abs=1.0)
+        assert not s.done
+
+    def test_three_hop_chain(self):
+        eng, fab = make(n=4)
+        s1 = fab.open_stream("h1", "h2", 1000.0, limit=25.0, depth=0)
+        s2 = fab.open_stream("h2", "h3", 1000.0, supply=StreamSupply(s1), depth=1)
+        s3 = fab.open_stream("h3", "h4", 1000.0, supply=StreamSupply(s2), depth=2)
+        eng.run()
+        assert s3.done
+        assert eng.now == pytest.approx(40.0, rel=1e-3)
+
+
+class TestThresholds:
+    def test_when_delivered(self):
+        eng, fab = make()
+        s = fab.open_stream("h1", "h2", 1000.0)
+        hits = []
+
+        def waiter():
+            yield s.when_delivered(250.0)
+            hits.append(eng.now)
+            yield s.when_delivered(750.0)
+            hits.append(eng.now)
+
+        eng.spawn(waiter())
+        eng.run()
+        assert hits == [pytest.approx(2.5), pytest.approx(7.5)]
+
+    def test_threshold_already_met(self):
+        eng, fab = make()
+        s = fab.open_stream("h1", "h2", 1000.0)
+        eng.run(until=5.0)
+        ev = s.when_delivered(100.0)
+        assert ev.triggered
+
+    def test_offset0_accounting(self):
+        eng, fab = make()
+        s = fab.open_stream("h1", "h2", 500.0, offset0=500.0)
+        ev = s.when_delivered(700.0)  # absolute offset
+
+        ts = {}
+
+        def waiter():
+            yield ev
+            ts["t"] = eng.now
+
+        eng.spawn(waiter())
+        eng.run()
+        assert ts["t"] == pytest.approx(2.0)  # 200 bytes at 100 B/s
+        assert s.head == pytest.approx(1000.0)
+
+
+class TestMulticast:
+    def test_rate_is_min_over_receivers(self):
+        eng, fab = make(n=4)
+        s = fab.open_stream("h1", ["h2", "h3", "h4"], 1000.0)
+        fab.settle()
+        assert s.effective_rate == pytest.approx(100.0)
+        eng.run()
+        assert eng.now == pytest.approx(10.0)
+
+    def test_slow_receiver_drags_group(self):
+        net = star_net(4, rate=100.0)
+        # h4 has a slow NIC.
+        net2 = Network()
+        net2.add_switch("sw")
+        for i, rate in ((1, 100.0), (2, 100.0), (3, 100.0), (4, 20.0)):
+            net2.add_host(f"h{i}", nic_rate=rate)
+            net2.add_link(f"h{i}", "sw", rate, 0.0)
+        eng = Engine()
+        fab = Fabric(eng, net2)
+        s = fab.open_stream("h1", ["h2", "h3", "h4"], 1000.0)
+        fab.settle()
+        assert s.effective_rate == pytest.approx(20.0)
+
+    def test_remove_dst_releases_constraint(self):
+        eng, fab = make(n=4)
+        s = fab.open_stream("h1", ["h2", "h3"], 1000.0, limit=50.0)
+        s.remove_dst("h3")
+        assert s.dsts == ("h2",)
+        eng.run()
+        assert s.done
+
+
+class TestHostDeath:
+    def test_kill_dst_fails_stream(self):
+        eng, fab = make()
+        s = fab.open_stream("h1", "h2", 1000.0)
+        outcome = {}
+
+        def watcher():
+            try:
+                yield s.completed
+            except HostDied as exc:
+                outcome["exc"] = exc
+                outcome["t"] = eng.now
+
+        eng.spawn(watcher())
+        eng.call_at(3.0, lambda: fab.kill_host("h2"))
+        eng.run()
+        assert outcome["exc"].host == "h2"
+        assert outcome["t"] == pytest.approx(3.0)
+        assert s.delivered == pytest.approx(300.0, abs=1.0)
+
+    def test_kill_src_fails_stream(self):
+        eng, fab = make()
+        s = fab.open_stream("h1", "h2", 1000.0)
+        eng.call_at(3.0, lambda: fab.kill_host("h1"))
+        eng.run()
+        assert isinstance(s.failed, HostDied)
+
+    def test_open_to_dead_host_raises(self):
+        eng, fab = make()
+        fab.kill_host("h3")
+        with pytest.raises(HostDied):
+            fab.open_stream("h1", "h3", 10.0)
+
+    def test_multicast_dst_death_drops_member(self):
+        eng, fab = make(n=4)
+        s = fab.open_stream("h1", ["h2", "h3"], 1000.0)
+        eng.call_at(1.0, lambda: fab.kill_host("h3"))
+        eng.run()
+        assert s.done
+        assert s.dsts == ("h2",)
+
+    def test_pending_threshold_fails_on_death(self):
+        eng, fab = make()
+        s = fab.open_stream("h1", "h2", 1000.0)
+        outcome = {}
+
+        def waiter():
+            try:
+                yield s.when_delivered(900.0)
+            except HostDied:
+                outcome["failed_at"] = eng.now
+
+        eng.spawn(waiter())
+        eng.call_at(2.0, lambda: fab.kill_host("h2"))
+        eng.run()
+        assert outcome["failed_at"] == pytest.approx(2.0)
+
+
+class TestOnRealTopologies:
+    def test_fat_tree_pipeline_saturates_hosts(self):
+        # A 60-host fat tree: a sorted chain crosses the uplink once and
+        # every hop runs at the 1 Gb host rate.
+        net = build_fat_tree(8, hosts_per_switch=4)
+        eng = Engine()
+        fab = Fabric(eng, net)
+        size = 1e9
+        prev = fab.open_stream("node-1", "node-2", size, depth=0)
+        streams = [prev]
+        for i in range(2, 8):
+            s = fab.open_stream(
+                f"node-{i}", f"node-{i + 1}", size,
+                supply=StreamSupply(prev), depth=i - 1,
+            )
+            streams.append(s)
+            prev = s
+        eng.run()
+        assert all(s.done for s in streams)
+        assert eng.now == pytest.approx(size / GIGABIT, rel=0.01)
+
+    def test_shared_uplink_contention(self):
+        # Random-order style: two cross-switch flows share the uplink.
+        net = build_fat_tree(60, hosts_per_switch=30, uplink_rate=2 * GIGABIT)
+        eng = Engine()
+        fab = Fabric(eng, net)
+        a = fab.open_stream("node-1", "node-31", 1e9)
+        b = fab.open_stream("node-2", "node-32", 1e9)
+        fab.settle()
+        # Each host NIC is 1 Gb; uplink 2 Gb carries both -> both at 1 Gb.
+        assert a.effective_rate == pytest.approx(GIGABIT, rel=1e-3)
+        # Now a third cross flow: uplink 2 Gb / 3 flows.
+        c = fab.open_stream("node-3", "node-33", 1e9)
+        fab.settle()
+        for s in (a, b, c):
+            assert s.effective_rate == pytest.approx(2 * GIGABIT / 3, rel=1e-3)

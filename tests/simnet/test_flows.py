@@ -1,0 +1,172 @@
+"""Tests for the weighted max-min fair allocator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SimulationError
+from repro.simnet.flows import FlowSpec, solve_max_min
+
+
+def flow(key, constraints, limit=math.inf):
+    return FlowSpec(key, tuple(constraints), limit)
+
+
+class TestBasics:
+    def test_empty(self):
+        assert solve_max_min([], {}) == {}
+
+    def test_single_flow_single_link(self):
+        rates = solve_max_min([flow("f", [("l", 1.0)])], {"l": 100.0})
+        assert rates["f"] == pytest.approx(100.0)
+
+    def test_two_flows_share_equally(self):
+        rates = solve_max_min(
+            [flow("a", [("l", 1.0)]), flow("b", [("l", 1.0)])], {"l": 100.0}
+        )
+        assert rates["a"] == pytest.approx(50.0)
+        assert rates["b"] == pytest.approx(50.0)
+
+    def test_limit_frees_capacity(self):
+        rates = solve_max_min(
+            [flow("a", [("l", 1.0)], limit=10.0), flow("b", [("l", 1.0)])],
+            {"l": 100.0},
+        )
+        assert rates["a"] == pytest.approx(10.0)
+        assert rates["b"] == pytest.approx(90.0)
+
+    def test_bottleneck_chain(self):
+        # a traverses both links; b only the fat one.
+        rates = solve_max_min(
+            [
+                flow("a", [("thin", 1.0), ("fat", 1.0)]),
+                flow("b", [("fat", 1.0)]),
+            ],
+            {"thin": 10.0, "fat": 100.0},
+        )
+        assert rates["a"] == pytest.approx(10.0)
+        assert rates["b"] == pytest.approx(90.0)
+
+    def test_unconstrained_flow_gets_inf(self):
+        rates = solve_max_min([flow("a", [])], {})
+        assert math.isinf(rates["a"])
+
+    def test_zero_capacity(self):
+        rates = solve_max_min([flow("a", [("l", 1.0)])], {"l": 0.0})
+        assert rates["a"] == pytest.approx(0.0)
+
+    def test_zero_limit(self):
+        rates = solve_max_min([flow("a", [("l", 1.0)], limit=0.0)], {"l": 10.0})
+        assert rates["a"] == pytest.approx(0.0)
+
+
+class TestWeights:
+    def test_weighted_consumption(self):
+        # One flow consumes the pool at weight 2: pool of 100 supports t
+        # with 2t + t = 100 -> both rates 33.3 (equal rates, unequal usage).
+        rates = solve_max_min(
+            [flow("heavy", [("pool", 2.0)]), flow("light", [("pool", 1.0)])],
+            {"pool": 100.0},
+        )
+        assert rates["heavy"] == pytest.approx(100 / 3)
+        assert rates["light"] == pytest.approx(100 / 3)
+
+    def test_relay_copy_budget(self):
+        # A relay host: inbound and outbound flow both consume its copy
+        # budget -> each gets half (the paper's 10 GbE memory bottleneck).
+        rates = solve_max_min(
+            [
+                flow("in", [("copy", 1.0), ("nic_in", 1.0)]),
+                flow("out", [("copy", 1.0), ("nic_out", 1.0)]),
+            ],
+            {"copy": 500.0, "nic_in": 1250.0, "nic_out": 1250.0},
+        )
+        assert rates["in"] == pytest.approx(250.0)
+        assert rates["out"] == pytest.approx(250.0)
+
+    def test_invalid_weight(self):
+        with pytest.raises(SimulationError):
+            flow("x", [("l", 0.0)])
+
+    def test_duplicate_constraint_rejected(self):
+        with pytest.raises(SimulationError):
+            solve_max_min([flow("x", [("l", 1.0), ("l", 1.0)])], {"l": 1.0})
+
+    def test_unknown_constraint_rejected(self):
+        with pytest.raises(SimulationError):
+            solve_max_min([flow("x", [("ghost", 1.0)])], {})
+
+
+class TestFairness:
+    def test_many_flows_one_link(self):
+        flows = [flow(i, [("l", 1.0)]) for i in range(10)]
+        rates = solve_max_min(flows, {"l": 100.0})
+        for i in range(10):
+            assert rates[i] == pytest.approx(10.0)
+
+    def test_parking_lot(self):
+        # Classic scenario: long flow through 3 links, one short flow per
+        # link.  Max-min: long flow gets 50 on its tightest sharing.
+        flows = [
+            flow("long", [("l1", 1.0), ("l2", 1.0), ("l3", 1.0)]),
+            flow("s1", [("l1", 1.0)]),
+            flow("s2", [("l2", 1.0)]),
+            flow("s3", [("l3", 1.0)]),
+        ]
+        rates = solve_max_min(flows, {"l1": 100.0, "l2": 100.0, "l3": 100.0})
+        assert rates["long"] == pytest.approx(50.0)
+        assert rates["s1"] == pytest.approx(50.0)
+
+    @given(
+        n_flows=st.integers(min_value=1, max_value=12),
+        n_links=st.integers(min_value=1, max_value=6),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_feasible_and_pareto(self, n_flows, n_links, data):
+        """Properties: (1) no constraint is over-consumed; (2) every flow is
+        saturated — capped by its limit or by a fully-used constraint
+        (Pareto optimality of max-min allocations)."""
+        caps = {
+            f"l{j}": data.draw(st.floats(min_value=1.0, max_value=1000.0))
+            for j in range(n_links)
+        }
+        flows = []
+        for i in range(n_flows):
+            k = data.draw(st.integers(min_value=1, max_value=n_links))
+            chosen = data.draw(
+                st.lists(
+                    st.sampled_from(sorted(caps)), min_size=k, max_size=k,
+                    unique=True,
+                )
+            )
+            weights = [
+                data.draw(st.floats(min_value=0.5, max_value=3.0))
+                for _ in chosen
+            ]
+            limit = data.draw(
+                st.one_of(st.just(math.inf),
+                          st.floats(min_value=0.0, max_value=500.0))
+            )
+            flows.append(flow(i, list(zip(chosen, weights)), limit))
+        rates = solve_max_min(flows, caps)
+
+        usage = {c: 0.0 for c in caps}
+        for f in flows:
+            for ckey, w in f.constraints:
+                usage[ckey] += w * rates[f.key]
+        for ckey, cap in caps.items():
+            assert usage[ckey] <= cap * (1 + 1e-6) + 1e-6
+
+        for f in flows:
+            r = rates[f.key]
+            assert r <= f.limit + 1e-6
+            at_limit = r >= f.limit - 1e-6
+            on_saturated = any(
+                usage[ckey] >= caps[ckey] * (1 - 1e-5) - 1e-6
+                for ckey, _w in f.constraints
+            )
+            assert at_limit or on_saturated or math.isinf(r), (
+                f"flow {f.key} not saturated: rate={r}"
+            )

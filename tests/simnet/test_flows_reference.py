@@ -1,0 +1,101 @@
+"""Cross-validation of the heap-based max-min solver against a slow,
+obviously-correct reference implementation (numeric water-filling)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.flows import FlowSpec, solve_max_min
+
+
+def reference_max_min(flows, capacities, step_count=200_000):
+    """Brute-force progressive filling by explicit iteration.
+
+    Raises the shared water level in tiny steps, freezing flows whose
+    limit is hit or whose constraints run dry.  O(steps x flows) — only
+    for tiny property-test instances.
+    """
+    rates = {f.key: 0.0 for f in flows}
+    frozen = {f.key: False for f in flows}
+    remaining = dict(capacities)
+    # Rates can exceed a capacity when weights are < 1 (a 0.5-weight
+    # flow consumes half a unit per unit of rate), so the water level
+    # bound must divide by the smallest weight in play.
+    min_weight = min(
+        [w for f in flows for _c, w in f.constraints] + [1.0]
+    )
+    bound = max(
+        [c / min_weight for c in capacities.values()] +
+        [f.limit for f in flows if math.isfinite(f.limit)] + [1.0]
+    )
+    # 5% headroom so the loop provably crosses every freeze point.
+    dt = bound * 1.05 / step_count
+    for _ in range(step_count):
+        if all(frozen.values()):
+            break
+        # Freeze at limits.
+        for f in flows:
+            if not frozen[f.key] and rates[f.key] >= f.limit - 1e-12:
+                rates[f.key] = f.limit
+                frozen[f.key] = True
+        # Freeze on exhausted constraints.
+        for f in flows:
+            if frozen[f.key]:
+                continue
+            for ckey, w in f.constraints:
+                if remaining[ckey] <= 1e-9:
+                    frozen[f.key] = True
+                    break
+        # Advance the unfrozen.
+        for f in flows:
+            if frozen[f.key]:
+                continue
+            rates[f.key] += dt
+            for ckey, w in f.constraints:
+                remaining[ckey] -= w * dt
+    for f in flows:
+        if not frozen[f.key]:
+            rates[f.key] = math.inf
+    return rates
+
+
+@given(
+    n_flows=st.integers(min_value=1, max_value=6),
+    n_links=st.integers(min_value=1, max_value=4),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_matches_reference(n_flows, n_links, data):
+    caps = {
+        f"l{j}": data.draw(st.floats(min_value=5.0, max_value=100.0))
+        for j in range(n_links)
+    }
+    flows = []
+    for i in range(n_flows):
+        k = data.draw(st.integers(min_value=0, max_value=n_links))
+        chosen = data.draw(st.lists(
+            st.sampled_from(sorted(caps)), min_size=k, max_size=k, unique=True,
+        )) if k else []
+        weights = [data.draw(st.sampled_from([0.5, 1.0, 2.0])) for _ in chosen]
+        limit = data.draw(st.one_of(
+            st.just(math.inf), st.floats(min_value=1.0, max_value=80.0)))
+        flows.append(FlowSpec(i, tuple(zip(chosen, weights)), limit))
+
+    fast = solve_max_min(flows, caps)
+    slow = reference_max_min(flows, caps)
+    for f in flows:
+        a, b = fast[f.key], slow[f.key]
+        if math.isinf(a) or math.isinf(b):
+            assert math.isinf(a) and math.isinf(b), (a, b)
+        else:
+            # The reference quantises by its step size; tolerate that.
+            assert a == pytest.approx(b, rel=0.02, abs=0.05), (
+                f"flow {f.key}: fast={a} slow={b}"
+            )
+
+
+def test_reference_sanity():
+    flows = [FlowSpec("a", (("l", 1.0),)), FlowSpec("b", (("l", 1.0),))]
+    rates = reference_max_min(flows, {"l": 100.0})
+    assert rates["a"] == pytest.approx(50.0, rel=0.02)

@@ -1,0 +1,151 @@
+"""Tests for NodeRx / HeadRx reception tracking."""
+
+import pytest
+
+from repro.simnet import Engine, Fabric, HeadRx, NodeRx, Timeout
+from repro.topology import Network
+
+
+def star_net(n=4, rate=100.0):
+    net = Network()
+    net.add_switch("sw")
+    for i in range(1, n + 1):
+        net.add_host(f"h{i}", nic_rate=rate)
+        net.add_link(f"h{i}", "sw", rate, 0.0)
+    return net
+
+
+@pytest.fixture
+def env():
+    eng = Engine()
+    fab = Fabric(eng, star_net())
+    return eng, fab
+
+
+class TestNodeRx:
+    def test_initial_position_zero(self, env):
+        eng, _ = env
+        rx = NodeRx(eng, "h2")
+        assert rx.position() == 0.0
+        assert rx.stream is None
+
+    def test_position_follows_stream(self, env):
+        eng, fab = env
+        rx = NodeRx(eng, "h2")
+        s = fab.open_stream("h1", "h2", 1000.0)
+        rx.attach(s)
+        eng.run(until=4.0)
+        fab._advance()
+        assert rx.position() == pytest.approx(400.0, abs=1.0)
+
+    def test_position_frozen_on_detach(self, env):
+        eng, fab = env
+        rx = NodeRx(eng, "h2")
+        s = fab.open_stream("h1", "h2", 1000.0)
+        rx.attach(s)
+        eng.run(until=3.0)
+        fab._advance()
+        rx.attach(None)
+        pos = rx.position()
+        assert pos == pytest.approx(300.0, abs=1.0)
+        eng.run(until=8.0)
+        assert rx.position() == pos  # frozen
+
+    def test_position_never_goes_backward(self, env):
+        eng, fab = env
+        rx = NodeRx(eng, "h2")
+        s = fab.open_stream("h1", "h2", 1000.0)
+        rx.attach(s)
+        eng.run(until=5.0)
+        fab._advance()
+        rx.attach(None)
+        # Re-attach a stream that starts where the old one stopped.
+        s2 = fab.open_stream("h1", "h2", 500.0, offset0=rx.position())
+        rx.attach(s2)
+        assert rx.position() >= 499.0
+
+    def test_wait_for_simple(self, env):
+        eng, fab = env
+        rx = NodeRx(eng, "h2")
+        times = {}
+
+        def waiter():
+            yield from rx.wait_for(500.0)
+            times["t"] = eng.now
+
+        eng.spawn(waiter())
+        s = fab.open_stream("h1", "h2", 1000.0)
+        rx.attach(s)
+        eng.run()
+        assert times["t"] == pytest.approx(5.0, abs=0.1)
+
+    def test_wait_for_survives_stream_replacement(self, env):
+        eng, fab = env
+        rx = NodeRx(eng, "h2")
+        times = {}
+
+        def waiter():
+            yield from rx.wait_for(800.0)
+            times["t"] = eng.now
+
+        def driver():
+            s1 = fab.open_stream("h1", "h2", 10_000.0)
+            rx.attach(s1)
+            yield Timeout(4.0)  # 400 bytes in
+            s1.cancel()
+            rx.attach(None)
+            yield Timeout(1.0)  # gap
+            s2 = fab.open_stream("h1", "h2", 10_000.0, offset0=rx.position())
+            rx.attach(s2)
+
+        eng.spawn(waiter())
+        eng.spawn(driver())
+        eng.run(until=30.0)
+        # 400 bytes by t=4, stall until t=5, 400 more by t=9.
+        assert times["t"] == pytest.approx(9.0, abs=0.2)
+
+    def test_wait_for_already_satisfied(self, env):
+        eng, fab = env
+        rx = NodeRx(eng, "h2")
+        s = fab.open_stream("h1", "h2", 100.0)
+        rx.attach(s)
+        eng.run()
+        done = {}
+
+        def waiter():
+            got = yield from rx.wait_for(50.0)
+            done["pos"] = got
+
+        eng.spawn(waiter())
+        eng.run()
+        assert done["pos"] >= 99.0
+
+    def test_abort_marks_and_detaches(self, env):
+        eng, fab = env
+        rx = NodeRx(eng, "h2")
+        s = fab.open_stream("h1", "h2", 100.0)
+        rx.attach(s)
+        rx.abort()
+        assert rx.aborted
+        assert rx.stream is None
+
+
+class TestHeadRx:
+    def test_position_is_size(self, env):
+        eng, _ = env
+        head = HeadRx(eng, "h1", 5000.0)
+        assert head.position() == 5000.0
+
+    def test_wait_for_returns_immediately(self, env):
+        eng, _ = env
+        head = HeadRx(eng, "h1", 5000.0)
+        done = {}
+
+        def waiter():
+            got = yield from head.wait_for(1000.0)
+            done["pos"] = got
+            yield Timeout(0.0)
+
+        eng.spawn(waiter())
+        eng.run()
+        assert done["pos"] == 5000.0

@@ -1,0 +1,112 @@
+"""Tests for the fabric tracer: timelines, gantt, bottleneck reports."""
+
+import pytest
+
+from repro.simnet import Engine, Fabric, FabricTracer, StreamSupply, Timeout
+from repro.topology import Network
+
+
+def star_net(n=4, rate=100.0, copy=None):
+    net = Network()
+    net.add_switch("sw")
+    for i in range(1, n + 1):
+        kwargs = {"nic_rate": rate}
+        if copy is not None:
+            kwargs["copy_bw"] = copy
+        net.add_host(f"h{i}", **kwargs)
+        net.add_link(f"h{i}", "sw", rate, 0.0)
+    return net
+
+
+@pytest.fixture
+def env():
+    eng = Engine()
+    fab = Fabric(eng, star_net())
+    tracer = FabricTracer(fab)
+    return eng, fab, tracer
+
+
+class TestTimeline:
+    def test_single_stream_span(self, env):
+        eng, fab, tracer = env
+        s = fab.open_stream("h1", "h2", 1000.0)
+        eng.run()
+        trace = tracer.streams[s.key]
+        assert trace.opened_at == pytest.approx(0.0)
+        assert trace.closed_at == pytest.approx(10.0)
+        assert trace.final_delivered == pytest.approx(1000.0)
+        assert trace.mean_rate == pytest.approx(100.0, rel=0.01)
+
+    def test_rate_change_recorded(self, env):
+        eng, fab, tracer = env
+        a = fab.open_stream("h1", "h2", 1000.0)
+
+        def second():
+            yield Timeout(2.0)
+            b = fab.open_stream("h1", "h3", 100.0)
+            yield b.completed
+
+        eng.spawn(second())
+        eng.run()
+        timeline = tracer.timeline_of(a.key)
+        rates = [r for _t, r in timeline]
+        # 100 alone, 50 shared, 100 again.
+        assert rates[0] == pytest.approx(100.0)
+        assert any(r == pytest.approx(50.0) for r in rates)
+        assert rates[-1] == pytest.approx(100.0)
+
+    def test_rate_at(self, env):
+        eng, fab, tracer = env
+        a = fab.open_stream("h1", "h2", 1000.0)
+        b = fab.open_stream("h1", "h3", 200.0)  # shares until t=4
+        eng.run()
+        trace = tracer.streams[a.key]
+        assert trace.rate_at(1.0) == pytest.approx(50.0)
+        assert trace.rate_at(6.0) == pytest.approx(100.0)
+        assert trace.rate_at(100.0) == 0.0  # after close
+
+
+class TestReports:
+    def test_gantt_contains_streams(self, env):
+        eng, fab, tracer = env
+        fab.open_stream("h1", "h2", 500.0)
+        fab.open_stream("h3", "h4", 1000.0)
+        eng.run()
+        text = tracer.gantt(width=40)
+        assert "h1->h2" in text
+        assert "h3->h4" in text
+        assert "█" in text
+
+    def test_empty_gantt(self, env):
+        _eng, _fab, tracer = env
+        assert "(no streams traced)" in tracer.gantt()
+
+    def test_bottleneck_constraint_attribution(self):
+        eng = Engine()
+        net = star_net(copy=40.0)  # relay copy budget binds
+        fab = Fabric(eng, net)
+        tracer = FabricTracer(fab)
+        s1 = fab.open_stream("h1", "h2", 400.0)
+        s2 = fab.open_stream("h2", "h3", 400.0, supply=StreamSupply(s1),
+                             depth=1)
+        eng.run()
+        report = tracer.bottleneck_report()
+        assert "copy" in report
+        assert "h2" in report
+
+    def test_bottleneck_limit_attribution(self, env):
+        eng, fab, tracer = env
+        fab.open_stream("h1", "h2", 100.0, limit=10.0)
+        eng.run()
+        assert "limit" in tracer.bottleneck_report()
+
+    def test_chain_coupling_attribution(self, env):
+        eng, fab, tracer = env
+        s1 = fab.open_stream("h1", "h2", 1000.0, limit=20.0)
+        s2 = fab.open_stream("h2", "h3", 1000.0, supply=StreamSupply(s1),
+                             depth=1)
+        eng.run()
+        trace = tracer.streams[s2.key]
+        assert trace.last_binding in ("chain-coupled", "limit")
+        # The downstream hop must have spent most of its life coupled.
+        assert trace.mean_rate == pytest.approx(20.0, rel=0.1)

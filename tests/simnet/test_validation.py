@@ -1,0 +1,128 @@
+"""Cross-validation: the fluid fabric against the exact chunk-level
+pipeline recurrence, on chains where the latter is the ground truth."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet import Engine, Fabric, StreamSupply, Timeout
+from repro.simnet.validation import (
+    chunk_pipeline_completion,
+    chunk_pipeline_times,
+)
+from repro.topology import Network
+
+
+class TestRecurrence:
+    def test_single_hop(self):
+        # One hop, no pipelining: plain transfer time.
+        t = chunk_pipeline_completion(1000.0, 100.0, [50.0])
+        assert t == pytest.approx(20.0)
+
+    def test_uniform_chain_closed_form(self):
+        # n hops at rate r: fill (n-1 chunks) + size/r.
+        size, chunk, r, hops = 10_000.0, 100.0, 50.0, 5
+        t = chunk_pipeline_completion(size, chunk, [r] * hops)
+        assert t == pytest.approx(size / r + (hops - 1) * chunk / r)
+
+    def test_bottleneck_hop_dominates(self):
+        # Middle hop at half rate: completion ~ size/slow + fills.
+        size, chunk = 10_000.0, 100.0
+        t = chunk_pipeline_completion(size, chunk, [100.0, 25.0, 100.0])
+        assert t >= size / 25.0
+        assert t == pytest.approx(size / 25.0 + chunk / 100.0 + chunk / 100.0,
+                                  rel=0.02)
+
+    def test_partial_final_chunk(self):
+        t = chunk_pipeline_completion(150.0, 100.0, [50.0])
+        assert t == pytest.approx(3.0)  # 100/50 + 50/50
+
+    def test_latency_added_per_hop(self):
+        base = chunk_pipeline_completion(1000.0, 100.0, [50.0, 50.0])
+        with_lat = chunk_pipeline_completion(
+            1000.0, 100.0, [50.0, 50.0], hop_latencies=[1.0, 2.0])
+        assert with_lat == pytest.approx(base + 3.0)
+
+    def test_zero_size(self):
+        assert chunk_pipeline_completion(0.0, 100.0, [50.0]) == 0.0
+
+    def test_per_node_times_monotone(self):
+        times = chunk_pipeline_times(5000.0, 100.0, [50.0] * 6)
+        assert times == sorted(times)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            chunk_pipeline_completion(100.0, 0.0, [50.0])
+        with pytest.raises(ValueError):
+            chunk_pipeline_completion(100.0, 10.0, [0.0])
+        with pytest.raises(ValueError):
+            chunk_pipeline_completion(100.0, 10.0, [5.0], hop_latencies=[1.0, 2.0])
+
+
+def fluid_chain_completion(size, quantum, hop_rates):
+    """The same chain on the fluid fabric: dedicated links per hop,
+    per-hop rate limits, store-and-forward quantum via thresholds."""
+    n_hops = len(hop_rates)
+    net = Network()
+    for i in range(n_hops + 1):
+        net.add_host(f"h{i}", nic_rate=max(hop_rates) * 10)
+    for i in range(n_hops):
+        net.add_link(f"h{i}", f"h{i + 1}", max(hop_rates) * 10, 0.0)
+    eng = Engine()
+    fab = Fabric(eng, net)
+    finish = {}
+
+    def hop_proc(i, upstream_stream):
+        if upstream_stream is not None:
+            yield upstream_stream.when_delivered(min(quantum, size))
+        supply = StreamSupply(upstream_stream) if upstream_stream else None
+        s = fab.open_stream(
+            f"h{i}", f"h{i + 1}", size, supply=supply, depth=i,
+            limit=hop_rates[i],
+        )
+        if i + 1 < n_hops:
+            eng.spawn(hop_proc(i + 1, s))
+        yield s.completed
+        finish[i] = eng.now
+
+    eng.spawn(hop_proc(0, None))
+    eng.run()
+    return finish[n_hops - 1]
+
+
+class TestFluidAgainstChunkModel:
+    """The substitution claim, measured: on chains the fluid+quantum
+    model tracks the exact chunk recurrence to within one chunk-time per
+    hop (its documented granularity error)."""
+
+    @pytest.mark.parametrize("rates", [
+        [50.0] * 4,                      # uniform
+        [100.0, 25.0, 100.0],            # mid-chain bottleneck
+        [30.0, 60.0, 90.0],              # increasing
+        [90.0, 60.0, 30.0],              # decreasing
+    ])
+    def test_matches_recurrence(self, rates):
+        size, chunk = 20_000.0, 250.0
+        exact = chunk_pipeline_completion(size, chunk, rates)
+        fluid = fluid_chain_completion(size, chunk, rates)
+        tolerance = sum(chunk / r for r in rates)  # one chunk per hop
+        assert abs(fluid - exact) <= tolerance, (fluid, exact)
+        # And both agree the bottleneck sets the scale.
+        assert fluid == pytest.approx(size / min(rates), rel=0.2)
+
+    @given(
+        rates=st.lists(st.floats(min_value=10.0, max_value=200.0),
+                       min_size=1, max_size=6),
+        chunk=st.sampled_from([100.0, 400.0]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_bounded_divergence(self, rates, chunk):
+        size = 30_000.0
+        exact = chunk_pipeline_completion(size, chunk, rates)
+        fluid = fluid_chain_completion(size, chunk, rates)
+        tolerance = sum(chunk / r for r in rates) + 1e-6
+        assert abs(fluid - exact) <= tolerance
+        # The fluid model never claims to finish before the exact model
+        # minus its fill granularity (no free lunch).
+        assert fluid >= size / min(rates) - 1e-6

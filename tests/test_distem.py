@@ -1,0 +1,106 @@
+"""Tests for the Distem-like emulated platform (§IV-G)."""
+
+import pytest
+
+from repro.baselines import KascadeSim, SimSetup
+from repro.core.units import GIGABIT, mbps
+from repro.distem import (
+    SEQUENTIAL_SCENARIOS,
+    SIMULTANEOUS_SCENARIOS,
+    build_distem_platform,
+    paper_scenarios,
+)
+
+
+class TestPlatform:
+    def test_default_dimensions(self):
+        plat = build_distem_platform()
+        assert len(plat.vnodes) == 100
+        assert plat.vnodes[0] == "n1"
+        assert plat.vnodes[-1] == "n100"
+
+    def test_contiguous_folding(self):
+        plat = build_distem_platform()
+        assert plat.pnode_of["n1"] == "pnode-1"
+        assert plat.pnode_of["n5"] == "pnode-1"
+        assert plat.pnode_of["n6"] == "pnode-2"
+        assert plat.pnode_of["n100"] == "pnode-20"
+
+    def test_vnode_copy_limit(self):
+        plat = build_distem_platform()
+        host = plat.network.host("n1")
+        assert host.copy_limit == pytest.approx(160e6)
+
+    def test_nic_shared_per_pnode(self):
+        plat = build_distem_platform()
+        # Crossing pnodes goes through two 1 Gb NIC links + cluster switch.
+        route = plat.network.route("n5", "n6")
+        caps = [l.capacity for l in route]
+        assert GIGABIT in caps
+
+    def test_intra_pnode_traffic_stays_local(self):
+        plat = build_distem_platform()
+        route = plat.network.route("n1", "n2")
+        assert all(l.capacity > GIGABIT for l in route)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            build_distem_platform(0)
+        with pytest.raises(ValueError):
+            build_distem_platform(5, 0)
+
+
+class TestScenarios:
+    def test_seven_bars(self):
+        scenarios = paper_scenarios()
+        assert len(scenarios) == 7
+        assert scenarios[0].n_failures == 0
+
+    def test_failure_counts(self):
+        assert [s.n_failures for s in SIMULTANEOUS_SCENARIOS] == [2, 5, 10]
+        assert [s.n_failures for s in SEQUENTIAL_SCENARIOS] == [2, 5, 10]
+
+    def test_simultaneous_all_at_ten_seconds(self):
+        for sc in SIMULTANEOUS_SCENARIOS:
+            assert all(t == 10.0 for t, _n in sc.events)
+
+    def test_sequential_staggered(self):
+        for sc in SEQUENTIAL_SCENARIOS:
+            times = [t for t, _n in sc.events]
+            assert times == sorted(times)
+            assert len(set(times)) == len(times)
+
+    def test_paper_victims(self):
+        assert SIMULTANEOUS_SCENARIOS[0].events == ((10.0, "n29"), (10.0, "n69"))
+
+
+class TestFig15Behaviour:
+    def _run(self, scenario):
+        plat = build_distem_platform()
+        setup = SimSetup(
+            network=plat.network, head=plat.vnodes[0],
+            receivers=plat.vnodes[1:], size=5e9,
+            failures=scenario.events, include_startup=False,
+        )
+        return KascadeSim().run(setup)
+
+    def test_reference_near_80(self):
+        r = self._run(paper_scenarios()[0])
+        assert mbps(r.throughput) == pytest.approx(80, abs=6)
+        assert len(r.completed) == 99
+
+    def test_transfer_completes_under_all_scenarios(self):
+        # "in all the cases, the file was transferred correctly" (§IV-G)
+        for sc in paper_scenarios():
+            r = self._run(sc)
+            assert len(r.completed) == 99 - sc.n_failures, sc.name
+            assert not r.aborted, sc.name
+
+    def test_sequential_worse_than_simultaneous(self):
+        sim10 = self._run(SIMULTANEOUS_SCENARIOS[2]).throughput
+        seq10 = self._run(SEQUENTIAL_SCENARIOS[2]).throughput
+        assert seq10 < sim10
+
+    def test_sequential_cost_grows_with_count(self):
+        rates = [self._run(sc).throughput for sc in SEQUENTIAL_SCENARIOS]
+        assert rates[0] > rates[1] > rates[2]

@@ -1,0 +1,56 @@
+"""Tests for the startup-time models."""
+
+import pytest
+
+from repro.launch import (
+    ClusterShellWindowed,
+    InstantLauncher,
+    Launcher,
+    MpirunLauncher,
+    SSHSequential,
+    TakTukAdaptiveTree,
+    TakTukWindowed,
+)
+
+
+class TestShapes:
+    def test_instant_is_zero(self):
+        assert InstantLauncher().startup_time(200) == 0.0
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Launcher().startup_time(-1)
+
+    @pytest.mark.parametrize("launcher", [
+        TakTukWindowed(), TakTukAdaptiveTree(), ClusterShellWindowed(),
+        SSHSequential(), MpirunLauncher(),
+    ])
+    def test_monotonic_in_nodes(self, launcher):
+        times = [launcher.startup_time(n) for n in (0, 1, 10, 50, 100, 200)]
+        assert times == sorted(times)
+
+    def test_sequential_is_linear(self):
+        ssh = SSHSequential()
+        t100 = ssh.startup_time(100)
+        t200 = ssh.startup_time(200)
+        assert t200 - t100 == pytest.approx(100 * ssh.per_node + 100 * 1e-4)
+
+    def test_windowed_much_faster_than_sequential(self):
+        assert TakTukWindowed().startup_time(200) < SSHSequential().startup_time(200) / 5
+
+    def test_tree_faster_than_windowed_at_scale(self):
+        # The adaptive tree is the faster deployment (§III-B) — Kascade
+        # still picks windowed for fault-tolerance.
+        assert (TakTukAdaptiveTree().startup_time(500)
+                < TakTukWindowed().startup_time(500))
+
+    def test_mpirun_efficient(self):
+        # Fig. 14: MPI has the efficient startup.
+        assert MpirunLauncher().startup_time(200) < TakTukWindowed().startup_time(200)
+
+    def test_paper_scale_magnitudes(self):
+        # At 200 nodes Kascade's TakTuk-windowed startup is a couple of
+        # seconds — enough to dominate a 50 MB transfer (Fig. 14) while
+        # costing a 2 GB transfer only a few percent (Fig. 7).
+        t = TakTukWindowed().startup_time(200)
+        assert 1.0 < t < 4.0

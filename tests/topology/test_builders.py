@@ -1,0 +1,113 @@
+"""Tests for the platform topology builders."""
+
+import pytest
+
+from repro.core import order_by_hostname
+from repro.core.units import GIGABIT, TEN_GIGABIT, TWENTY_GIGABIT
+from repro.topology import (
+    SITE_ORDER,
+    build_fat_tree,
+    build_multisite,
+    build_single_switch,
+    build_two_switch,
+    experiment_chain,
+    link_usage,
+)
+
+
+class TestFatTree:
+    def test_host_count_and_names(self):
+        net = build_fat_tree(65, hosts_per_switch=30)
+        assert len(net.hosts) == 65
+        assert "node-1" in net.hosts and "node-65" in net.hosts
+        # 65 hosts / 30 per switch -> 3 ToRs + core
+        assert net.switches == {"core", "tor-1", "tor-2", "tor-3"}
+
+    def test_contiguous_switch_blocks(self):
+        net = build_fat_tree(65, hosts_per_switch=30)
+        assert net.host("node-1").switch == "tor-1"
+        assert net.host("node-30").switch == "tor-1"
+        assert net.host("node-31").switch == "tor-2"
+        assert net.host("node-61").switch == "tor-3"
+
+    def test_sorted_order_minimises_crossings(self):
+        net = build_fat_tree(90, hosts_per_switch=30)
+        ordered = order_by_hostname(net.host_names())
+        assert net.crossings(ordered) == 2  # 3 switches -> 2 boundaries
+
+    def test_rates(self):
+        net = build_fat_tree(5)
+        assert net.host("node-1").nic_rate == GIGABIT
+        uplink = net.route("node-1", "node-31") if len(net.hosts) > 30 else None
+        host_link = net.route("node-1", "node-2")[0]
+        assert host_link.capacity == GIGABIT
+
+    def test_uplink_capacity(self):
+        net = build_fat_tree(60, hosts_per_switch=30)
+        route = net.route("node-1", "node-31")
+        caps = [l.capacity for l in route]
+        assert caps == [GIGABIT, TEN_GIGABIT, TEN_GIGABIT, GIGABIT]
+
+    def test_zero_hosts_rejected(self):
+        with pytest.raises(ValueError):
+            build_fat_tree(0)
+
+
+class TestSingleSwitch:
+    def test_build(self):
+        net = build_single_switch(14)
+        assert len(net.hosts) == 14
+        assert net.switches == {"sw"}
+        assert net.host("node-3").nic_rate == TEN_GIGABIT
+        assert len(net.route("node-1", "node-14")) == 2
+
+
+class TestTwoSwitch:
+    def test_fill_first_switch(self):
+        net = build_two_switch(200, ports_per_switch=120)
+        assert net.host("node-120").switch == "sw-a"
+        assert net.host("node-121").switch == "sw-b"
+
+    def test_small_reservation_single_switch(self):
+        net = build_two_switch(100, ports_per_switch=120)
+        assert all(h.switch == "sw-a" for h in net.hosts.values())
+
+    def test_trunk_on_cross_route(self):
+        net = build_two_switch(200, ports_per_switch=120)
+        route = net.route("node-1", "node-150")
+        assert [l.src for l in route] == ["node-1", "sw-a", "sw-b"]
+        assert route[1].capacity == TWENTY_GIGABIT
+
+
+class TestMultisite:
+    def test_baseline_two_home_nodes(self):
+        net = build_multisite(0)
+        assert set(net.hosts) == {"nancy-1", "nancy-2"}
+
+    def test_sites_added_in_order(self):
+        net = build_multisite(3)
+        assert set(net.hosts) == {
+            "nancy-1", "nancy-2", "lille-1", "grenoble-1", "luxembourg-1",
+        }
+
+    def test_intersite_rtt_realistic(self):
+        # The paper reports ~16 ms inter-site RTT and <0.2 ms intra-site.
+        net = build_multisite(6)
+        assert net.rtt("nancy-1", "nancy-2") < 0.2e-3
+        rtt = net.rtt("nancy-1", "sophia-1")
+        assert 10e-3 < rtt < 40e-3
+
+    def test_experiment_chain(self):
+        chain = experiment_chain(2)
+        assert chain == ["nancy-1", "nancy-2", "lille-1", "grenoble-1"]
+
+    def test_paris_lyon_reused(self):
+        # With all 6 sites in the paper's order, Paris-Lyon is crossed 5
+        # times (Fig. 12 caption).
+        net = build_multisite(6)
+        usage = link_usage(net, experiment_chain(6))
+        assert usage.get("lyon-paris") == 5
+
+    def test_invalid_site_count(self):
+        with pytest.raises(ValueError):
+            build_multisite(len(SITE_ORDER) + 1)

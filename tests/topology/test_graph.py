@@ -1,0 +1,108 @@
+"""Tests for the network graph model."""
+
+import pytest
+
+from repro.core import SimulationError
+from repro.topology import Network
+
+
+def tiny_net():
+    net = Network()
+    net.add_switch("sw1")
+    net.add_switch("sw2")
+    net.add_host("a")
+    net.add_host("b")
+    net.add_host("c")
+    net.add_link("a", "sw1", 125e6, 1e-4)
+    net.add_link("b", "sw1", 125e6, 1e-4)
+    net.add_link("c", "sw2", 125e6, 1e-4)
+    net.add_link("sw1", "sw2", 1250e6, 1e-5)
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        net = Network()
+        net.add_host("a")
+        with pytest.raises(SimulationError):
+            net.add_host("a")
+        with pytest.raises(SimulationError):
+            net.add_switch("a")
+
+    def test_link_to_unknown_rejected(self):
+        net = Network()
+        net.add_host("a")
+        with pytest.raises(SimulationError):
+            net.add_link("a", "ghost", 1e6)
+
+    def test_nonpositive_capacity_rejected(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        with pytest.raises(SimulationError):
+            net.add_link("a", "b", 0)
+
+    def test_full_duplex(self):
+        net = tiny_net()
+        # 4 physical links = 8 directed links
+        assert len(net.links) == 8
+
+    def test_switch_attachment_recorded(self):
+        net = tiny_net()
+        assert net.host("a").switch == "sw1"
+        assert net.host("c").switch == "sw2"
+
+
+class TestRouting:
+    def test_same_switch_route(self):
+        net = tiny_net()
+        route = net.route("a", "b")
+        assert [l.src for l in route] == ["a", "sw1"]
+        assert [l.dst for l in route] == ["sw1", "b"]
+
+    def test_cross_switch_route(self):
+        net = tiny_net()
+        route = net.route("a", "c")
+        assert [l.dst for l in route] == ["sw1", "sw2", "c"]
+
+    def test_route_to_self_empty(self):
+        assert tiny_net().route("a", "a") == ()
+
+    def test_routes_directional(self):
+        net = tiny_net()
+        fwd = net.route("a", "c")
+        back = net.route("c", "a")
+        assert {l.link_id for l in fwd}.isdisjoint({l.link_id for l in back})
+
+    def test_no_route_raises(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        with pytest.raises(SimulationError):
+            net.route("a", "b")
+
+    def test_unknown_host(self):
+        with pytest.raises(SimulationError):
+            tiny_net().host("ghost")
+
+    def test_latency_and_rtt(self):
+        net = tiny_net()
+        assert net.path_latency("a", "b") == pytest.approx(2e-4)
+        assert net.rtt("a", "b") == pytest.approx(4e-4)
+
+    def test_route_cached(self):
+        net = tiny_net()
+        assert net.route("a", "c") is net.route("a", "c")
+
+
+class TestGrouping:
+    def test_hosts_by_switch(self):
+        groups = tiny_net().hosts_by_switch()
+        assert sorted(groups["sw1"]) == ["a", "b"]
+        assert groups["sw2"] == ["c"]
+
+    def test_crossings(self):
+        net = tiny_net()
+        assert net.crossings(["a", "b", "c"]) == 1
+        assert net.crossings(["a", "c", "b"]) == 2
+        assert net.crossings(["a", "b"]) == 0

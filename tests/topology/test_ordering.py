@@ -1,0 +1,75 @@
+"""Tests for topology-derived pipeline ordering."""
+
+import numpy as np
+import pytest
+
+from repro.core import order_randomly
+from repro.topology import build_fat_tree, build_two_switch
+from repro.topology.ordering import (
+    audit_order,
+    crossing_count,
+    order_by_attachment,
+)
+
+
+class TestOrderByAttachment:
+    def test_minimal_crossings(self):
+        net = build_fat_tree(90, hosts_per_switch=30)
+        order = order_by_attachment(net)
+        assert crossing_count(net, order) == 2  # 3 switches
+
+    def test_permutation_of_input(self):
+        net = build_fat_tree(20, hosts_per_switch=7)
+        order = order_by_attachment(net)
+        assert sorted(order) == sorted(net.host_names())
+
+    def test_subset_of_hosts(self):
+        net = build_fat_tree(60, hosts_per_switch=30)
+        subset = ["node-31", "node-2", "node-45", "node-1"]
+        order = order_by_attachment(net, subset)
+        assert sorted(order) == sorted(subset)
+        assert crossing_count(net, order) == 1
+
+    def test_natural_sort_within_group(self):
+        net = build_fat_tree(12, hosts_per_switch=12)
+        order = order_by_attachment(net, ["node-10", "node-2", "node-1"])
+        assert order == ["node-1", "node-2", "node-10"]
+
+    def test_fixes_shuffled_order(self):
+        net = build_fat_tree(120, hosts_per_switch=30)
+        shuffled = order_randomly(net.host_names(), np.random.default_rng(5))
+        assert crossing_count(net, shuffled) > 30
+        fixed = order_by_attachment(net, shuffled)
+        assert crossing_count(net, fixed) == 3
+
+    def test_two_switch_platform(self):
+        net = build_two_switch(200, ports_per_switch=120)
+        order = order_by_attachment(net)
+        assert crossing_count(net, order) == 1
+
+    def test_deterministic(self):
+        net = build_fat_tree(50)
+        assert order_by_attachment(net) == order_by_attachment(net)
+
+
+class TestAudit:
+    def test_good_order_passes(self):
+        net = build_fat_tree(90, hosts_per_switch=30)
+        audit = audit_order(net, order_by_attachment(net))
+        assert audit.is_topology_aware
+        assert "topology-aware" in audit.summary()
+
+    def test_shuffled_order_flagged(self):
+        net = build_fat_tree(90, hosts_per_switch=30)
+        shuffled = order_randomly(net.host_names(), np.random.default_rng(1))
+        audit = audit_order(net, shuffled)
+        assert not audit.is_topology_aware
+        assert audit.proposed_crossings > audit.optimal_crossings
+        assert "expect inter-switch links" in audit.summary()
+
+    def test_single_switch_always_aware(self):
+        net = build_fat_tree(10, hosts_per_switch=30)
+        shuffled = order_randomly(net.host_names(), np.random.default_rng(2))
+        audit = audit_order(net, shuffled)
+        assert audit.optimal_crossings == 0
+        assert audit.is_topology_aware  # nothing to cross on one switch

@@ -1,0 +1,129 @@
+"""Tests for topology JSON serialization."""
+
+import json
+import math
+
+import pytest
+
+from repro.core import SimulationError
+from repro.topology import build_fat_tree
+from repro.topology.graph import DiskSpec
+from repro.topology.serialize import (
+    load_network,
+    network_from_json,
+    network_to_json,
+    parse_rate,
+)
+
+
+class TestParseRate:
+    def test_raw_number(self):
+        assert parse_rate(125e6) == 125e6
+
+    def test_bit_rates(self):
+        assert parse_rate("1Gbit") == pytest.approx(125e6)
+        assert parse_rate("10Gbit") == pytest.approx(1.25e9)
+        assert parse_rate("100Mbit") == pytest.approx(12.5e6)
+
+    def test_byte_rates(self):
+        assert parse_rate("120MB") == 120e6
+        assert parse_rate("1GiB") == 1 << 30
+
+    def test_bps_synonyms(self):
+        assert parse_rate("1Gbps") == pytest.approx(125e6)
+
+
+DOC = """
+{
+  "name": "demo",
+  "switches": ["tor-1", "tor-2", "core"],
+  "hosts": [
+    {"name": "a1", "nic_rate": "1Gbit",
+     "disk": {"write_bw": "120MB", "seq_efficiency": 0.9}},
+    {"name": "a2", "nic_rate": "1Gbit", "copy_limit": "400MB"},
+    "b1"
+  ],
+  "links": [
+    {"a": "a1", "b": "tor-1", "capacity": "1Gbit", "latency": 5e-5},
+    {"a": "a2", "b": "tor-1", "capacity": "1Gbit"},
+    {"a": "b1", "b": "tor-2", "capacity": "1Gbit"},
+    {"a": "tor-1", "b": "core", "capacity": "10Gbit"},
+    {"a": "tor-2", "b": "core", "capacity": "10Gbit"}
+  ]
+}
+"""
+
+
+class TestFromJson:
+    def test_structure(self):
+        net = network_from_json(DOC)
+        assert set(net.hosts) == {"a1", "a2", "b1"}
+        assert net.switches == {"tor-1", "tor-2", "core"}
+        assert net.host("a1").nic_rate == pytest.approx(125e6)
+        assert net.host("a1").disk.write_bw == 120e6
+        assert net.host("a2").copy_limit == 400e6
+        assert math.isinf(net.host("b1").copy_limit)
+
+    def test_routing_works(self):
+        net = network_from_json(DOC)
+        route = net.route("a1", "b1")
+        assert [l.dst for l in route] == ["tor-1", "core", "tor-2", "b1"]
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(SimulationError):
+            network_from_json("{nope")
+
+    def test_empty_hosts_rejected(self):
+        with pytest.raises(SimulationError):
+            network_from_json('{"hosts": [], "links": []}')
+
+    def test_simulates(self):
+        import numpy as np
+        from repro.baselines import KascadeSim, SimSetup
+        net = network_from_json(DOC)
+        setup = SimSetup(network=net, head="a1", receivers=("a2", "b1"),
+                         size=1e8, include_startup=False)
+        result = KascadeSim().run(setup)
+        assert len(result.completed) == 2
+
+
+class TestRoundtrip:
+    def test_builder_roundtrips(self):
+        original = build_fat_tree(9, hosts_per_switch=3,
+                                  disk=DiskSpec(write_bw=80e6))
+        text = network_to_json(original)
+        restored = network_from_json(text)
+        assert set(restored.hosts) == set(original.hosts)
+        assert restored.switches == original.switches
+        # Same number of undirected links.
+        assert len(restored.links) == len(original.links)
+        # Routes agree.
+        assert (
+            [l.dst for l in restored.route("node-1", "node-9")]
+            == [l.dst for l in original.route("node-1", "node-9")]
+        )
+        assert restored.host("node-2").disk.write_bw == 80e6
+
+    def test_json_is_valid(self):
+        doc = json.loads(network_to_json(build_fat_tree(4)))
+        assert doc["name"].startswith("fattree")
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "topo.json"
+        path.write_text(DOC)
+        net = load_network(str(path))
+        assert "a1" in net.hosts
+
+
+class TestCliIntegration:
+    def test_compare_with_topology_file(self, tmp_path, capsys):
+        from repro.cli.kascade_sim import main as sim_main
+        path = tmp_path / "topo.json"
+        path.write_text(network_to_json(build_fat_tree(13)))
+        rc = sim_main([
+            "compare", "--clients", "12", "--size", "100MB",
+            "--topology-file", str(path), "--methods", "Kascade",
+            "--no-startup",
+        ])
+        assert rc == 0
+        assert "12/12" in capsys.readouterr().out

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Run the loopback data-plane benchmarks and record a perf trajectory.
+
+Runs the same scenarios as ``benchmarks/test_runtime_loopback.py`` without
+pytest, printing per-scenario MiB/s and writing ``BENCH_loopback.json`` so
+future PRs can compare against the numbers this PR measured.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_loopback.py [--out BENCH_loopback.json]
+        [--label current] [--rounds 3] [--size MIB] [--merge existing.json]
+
+``--merge`` loads an existing JSON file and adds/replaces this run under
+``--label``, preserving other labels (e.g. a pre-PR ``baseline``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core import KascadeConfig, PatternSource
+from repro.runtime import LocalBroadcast
+
+
+def run_scenario(name: str, config: KascadeConfig, *, size: int,
+                 receivers: int, rounds: int) -> dict:
+    """Run one loopback broadcast ``rounds`` times; report the best rate."""
+    best = None
+    for _ in range(rounds):
+        result = LocalBroadcast(
+            PatternSource(size, seed=1),
+            [f"n{i}" for i in range(2, 2 + receivers)],
+            config=config,
+        ).run(timeout=120)
+        if not result.ok:
+            raise SystemExit(f"scenario {name!r} failed: {result.report.summary()}")
+        if best is None or result.duration < best:
+            best = result.duration
+    rate = size / best / 2**20
+    print(f"  {name:24s} {rate:8.1f} MiB/s  ({best:.3f} s, "
+          f"{receivers} receivers, chunk {config.chunk_size} B)")
+    return {
+        "mib_per_s": round(rate, 1),
+        "duration_s": round(best, 4),
+        "bytes": size,
+        "receivers": receivers,
+        "chunk_size": config.chunk_size,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_loopback.json")
+    parser.add_argument("--label", default="current")
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--size", type=int, default=32,
+                        help="stream size in MiB (default 32)")
+    parser.add_argument("--merge", default=None,
+                        help="existing JSON to merge this run into "
+                             "(defaults to --out when it exists)")
+    args = parser.parse_args(argv)
+
+    size = args.size * 2**20
+    print(f"loopback benchmarks: {args.size} MiB stream, "
+          f"best of {args.rounds} rounds, label {args.label!r}")
+    scenarios = {
+        "pipeline_1mib_3nodes": run_scenario(
+            "pipeline_1mib_3nodes",
+            KascadeConfig(chunk_size=1 << 20, buffer_chunks=8),
+            size=size, receivers=3, rounds=args.rounds),
+        "small_chunks_4k": run_scenario(
+            "small_chunks_4k",
+            KascadeConfig(chunk_size=4096, buffer_chunks=64),
+            size=size, receivers=2, rounds=args.rounds),
+        "digest_1mib_3nodes": run_scenario(
+            "digest_1mib_3nodes",
+            KascadeConfig(chunk_size=1 << 20, buffer_chunks=8,
+                          verify_digest=True),
+            size=size, receivers=3, rounds=args.rounds),
+    }
+
+    merge_path = args.merge or (args.out if Path(args.out).exists() else None)
+    doc = {}
+    if merge_path and Path(merge_path).exists():
+        doc = json.loads(Path(merge_path).read_text())
+    doc.setdefault("meta", {})
+    doc["meta"].update({
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "stream_mib": args.size,
+        "rounds": args.rounds,
+    })
+    doc.setdefault("runs", {})[args.label] = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scenarios": scenarios,
+    }
+    Path(args.out).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

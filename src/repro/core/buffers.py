@@ -1,0 +1,119 @@
+"""Reusable receive-buffer pool for the zero-copy data plane.
+
+The runtime receive path (:class:`repro.runtime.transport.SocketStream`)
+reads with ``recv_into`` straight into pool buffers and hands payloads out
+as :class:`memoryview` slices — to the ring buffer, the sink, and the
+vectored send queue — without ever copying them.  That raises the one hard
+question of any zero-copy design: *when may a buffer be reused?*
+
+The answer here uses CPython's buffer-export machinery instead of manual
+reference counting.  A ``bytearray`` with live ``memoryview`` exports
+refuses to be resized (``BufferError``), which makes "is anyone still
+holding a view into this buffer?" directly observable: the pool probes a
+candidate with a zero-cost resize attempt and only reuses buffers whose
+every view has been garbage-collected or released.  Consumers therefore
+need no explicit release contract — they hold views exactly as long as
+they need them (the ring buffer until eviction, the send queue until
+flushed) and drop them naturally.
+
+The trade-off is granularity: one 4 KiB view pins its whole segment.  The
+pool bounds that by capping how many maybe-still-pinned buffers it keeps
+around (``max_idle``); beyond the cap, buffers are simply dropped and the
+garbage collector reclaims them once their views die.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .perfstats import PerfStats, get_stats
+
+#: Default segment size: large enough to hold dozens of small-chunk frames
+#: per buffer rotation, small enough that a pinned segment is cheap.
+DEFAULT_SEGMENT = 256 * 1024
+
+
+def _has_exports(buf: bytearray) -> bool:
+    """Whether any live memoryview still references ``buf``.
+
+    A ``bytearray`` with buffer exports cannot be resized; probing with an
+    append/pop pair detects exports without touching the contents.
+    """
+    try:
+        buf.append(0)
+    except BufferError:
+        return True
+    buf.pop()
+    return False
+
+
+class BufferPool:
+    """Recycles receive buffers once no memoryview references them.
+
+    Parameters
+    ----------
+    segment_size:
+        Preferred buffer size.  ``acquire(min_size)`` ratchets it up when
+        a single frame needs more, so a stream of 1 MiB chunks promotes
+        the pool to multi-MiB segments after the first frame.
+    max_idle:
+        How many returned-but-possibly-pinned buffers to retain for
+        reuse probing before simply dropping the oldest.
+    stats:
+        Counter sink; defaults to the process-global :func:`get_stats`.
+    """
+
+    def __init__(
+        self,
+        segment_size: int = DEFAULT_SEGMENT,
+        *,
+        max_idle: int = 16,
+        stats: Optional[PerfStats] = None,
+    ) -> None:
+        if segment_size <= 0:
+            raise ValueError(f"segment_size must be positive, got {segment_size}")
+        self.segment_size = segment_size
+        self.max_idle = max_idle
+        self.stats = stats if stats is not None else get_stats()
+        self._idle: List[bytearray] = []
+
+    def acquire(self, min_size: int = 0) -> bytearray:
+        """Return a buffer of at least ``min_size`` (≥ ``segment_size``) bytes.
+
+        Prefers recycling an idle buffer whose views are all gone; falls
+        back to allocating.  The returned buffer's *contents* are
+        unspecified — callers track their own fill position.
+        """
+        if min_size > self.segment_size:
+            # Ratchet: this stream carries frames bigger than the segment.
+            size = self.segment_size
+            while size < min_size:
+                size *= 2
+            self.segment_size = size
+        for i, buf in enumerate(self._idle):
+            if len(buf) >= min_size and not _has_exports(buf):
+                del self._idle[i]
+                self.stats.pool_reuses += 1
+                return buf
+        self.stats.pool_allocations += 1
+        return bytearray(self.segment_size)
+
+    def recycle(self, buf: bytearray) -> None:
+        """Return a buffer the producer is done filling.
+
+        Views into it may still be alive; the buffer only becomes
+        reusable once :func:`_has_exports` clears at ``acquire`` time.
+        Undersized buffers (from before a segment-size ratchet) and
+        overflow beyond ``max_idle`` are dropped.
+        """
+        if len(buf) < self.segment_size:
+            return
+        self._idle.append(buf)
+        if len(self._idle) > self.max_idle:
+            # Drop the oldest — likely the longest-pinned.
+            del self._idle[0]
+
+    @property
+    def idle_buffers(self) -> int:
+        """Buffers currently held for reuse (pinned or not)."""
+        return len(self._idle)

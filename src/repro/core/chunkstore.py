@@ -9,14 +9,28 @@ why the protocol needs the FORGET message — a request below
 
 The buffer stores contiguous stream data only; offsets are absolute
 positions in the broadcast stream.
+
+Zero-copy contract: chunks are retained exactly as handed in — ``bytes``
+or ``memoryview`` — without a defensive copy.  The runtime passes
+memoryviews into pooled receive buffers; holding them here is what keeps
+those buffers from being recycled while a replay might still need them
+(see :mod:`repro.core.buffers` and ``docs/PROTOCOL.md``).  A caller that
+appends a view therefore promises not to mutate the viewed bytes for as
+long as they sit inside the window.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Iterator, Tuple
+from bisect import bisect_right
+from typing import Iterator, List, Optional, Tuple, Union
 
 from .errors import ChunkStoreError
+
+Chunk = Union[bytes, memoryview]
+
+#: Compact the backing lists once this many evicted slots accumulate (and
+#: they outnumber the live chunks) — keeps append amortised O(1).
+_COMPACT_THRESHOLD = 64
 
 
 class ChunkRingBuffer:
@@ -38,7 +52,11 @@ class ChunkRingBuffer:
         if start_offset < 0:
             raise ChunkStoreError(f"negative start offset: {start_offset}")
         self._capacity = capacity
-        self._chunks: Deque[Tuple[int, bytes]] = deque()  # (offset, data)
+        # Parallel arrays indexed together; slots below _first are evicted
+        # (data refs dropped eagerly so pooled buffers can recycle).
+        self._offsets: List[int] = []
+        self._data: List[Optional[Chunk]] = []
+        self._first = 0  # index of the oldest live chunk
         self._min = start_offset  # oldest buffered byte
         self._end = start_offset  # one past the newest buffered byte
 
@@ -79,25 +97,46 @@ class ChunkRingBuffer:
     # Mutation
     # ------------------------------------------------------------------
 
-    def append(self, data: bytes) -> None:
+    def append(self, data: Chunk) -> None:
         """Append the next stream chunk, evicting old chunks if needed.
+
+        The chunk is retained **by reference** (no copy): callers handing
+        in a memoryview of a pooled buffer must not recycle the underlying
+        bytes while the chunk remains in the window — the runtime's buffer
+        pool guarantees this by probing for live views before reuse.
 
         Chunks larger than the whole capacity are rejected — a node that
         cannot hold even one chunk cannot participate in recovery, and this
         is a configuration error (chunk_size > buffer_bytes).
         """
-        if len(data) > self._capacity:
+        size = len(data)
+        if size > self._capacity:
             raise ChunkStoreError(
-                f"chunk of {len(data)} bytes exceeds buffer capacity {self._capacity}"
+                f"chunk of {size} bytes exceeds buffer capacity {self._capacity}"
             )
-        if not data:
+        if size == 0:
             return
-        self._chunks.append((self._end, bytes(data)))
-        self._end += len(data)
+        self._offsets.append(self._end)
+        self._data.append(data)
+        self._end += size
         while self._end - self._min > self._capacity:
-            old_off, old_data = self._chunks.popleft()
-            assert old_off == self._min
-            self._min += len(old_data)
+            old = self._data[self._first]
+            assert old is not None and self._offsets[self._first] == self._min
+            self._data[self._first] = None  # drop the ref *now*
+            self._first += 1
+            self._min += len(old)
+        if (
+            self._first >= _COMPACT_THRESHOLD
+            and self._first * 2 >= len(self._data)
+        ):
+            del self._offsets[: self._first]
+            del self._data[: self._first]
+            self._first = 0
+
+    def _start_index(self, offset: int) -> int:
+        """Index of the chunk containing ``offset`` (binary search)."""
+        idx = bisect_right(self._offsets, offset, lo=self._first) - 1
+        return max(idx, self._first)
 
     def read_from(self, offset: int, limit: int | None = None) -> bytes:
         """Return buffered bytes from ``offset`` up to the buffer end.
@@ -118,11 +157,11 @@ class ChunkRingBuffer:
             return b""
         parts = []
         remaining = want
-        for chunk_off, chunk in self._chunks:
-            chunk_end = chunk_off + len(chunk)
-            if chunk_end <= offset:
-                continue
+        for idx in range(self._start_index(offset), len(self._data)):
+            chunk_off, chunk = self._offsets[idx], self._data[idx]
             lo = max(0, offset - chunk_off)
+            if lo >= len(chunk):  # offset sits exactly at this chunk's end
+                continue
             piece = chunk[lo: lo + remaining]
             parts.append(piece)
             remaining -= len(piece)
@@ -130,28 +169,29 @@ class ChunkRingBuffer:
                 break
         return b"".join(parts)
 
-    def iter_chunks_from(self, offset: int) -> Iterator[Tuple[int, bytes]]:
+    def iter_chunks_from(self, offset: int) -> Iterator[Tuple[int, Chunk]]:
         """Yield ``(offset, data)`` pieces from ``offset`` to the end.
 
         Pieces follow the stored chunk boundaries (the first may be a chunk
         suffix), so a recovering sender can replay them as DATA frames of
-        familiar sizes.
+        familiar sizes.  Pieces are served zero-copy: a stored memoryview
+        is yielded as (a slice of) itself.
         """
         if not self.covers(offset):
             raise ChunkStoreError(
                 f"offset {offset} outside buffered window "
                 f"[{self._min}, {self._end}]"
             )
-        for chunk_off, chunk in self._chunks:
-            chunk_end = chunk_off + len(chunk)
-            if chunk_end <= offset:
-                continue
+        for idx in range(self._start_index(offset), len(self._data)):
+            chunk_off, chunk = self._offsets[idx], self._data[idx]
             if chunk_off >= offset:
                 yield chunk_off, chunk
-            else:
+            elif chunk_off + len(chunk) > offset:
                 yield offset, chunk[offset - chunk_off:]
 
     def clear(self) -> None:
         """Drop all buffered data, keeping the stream position."""
-        self._chunks.clear()
+        self._offsets.clear()
+        self._data.clear()
+        self._first = 0
         self._min = self._end

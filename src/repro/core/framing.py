@@ -8,23 +8,35 @@ payload.
 Two decoding interfaces are provided:
 
 * :class:`FrameDecoder` — an incremental (sans-io) decoder: feed it bytes
-  as they arrive, pop complete messages.  Used by the simulator, unit
-  tests, and anything with its own event loop.
+  as they arrive (or let a socket ``recv_into`` its :meth:`writable`
+  window), pop complete messages.  Used by the real TCP runtime, the
+  simulator, and unit tests.
 * :func:`read_message` / :func:`write_message` — blocking helpers over a
-  file-like object with ``read``/``write``/``flush``.  Used by the real TCP
-  runtime (sockets wrapped with ``makefile``).
+  file-like object with ``read``/``write``/``flush``.
 
 Payloads are surfaced separately from headers: decoding yields
 ``(message, payload)`` pairs where ``payload`` is ``b""`` for payload-less
-messages.  Keeping payloads as opaque bytes lets relays forward data
-without re-framing costs.
+messages and a **memoryview** into the decoder's receive buffer for
+``DATA``/``REPORT``.  Handing out views instead of sliced ``bytes`` is the
+heart of the zero-copy data plane: a relay can store the view in its ring
+buffer and queue the *same* view for its downstream send without the
+payload ever being copied in userspace (see ``docs/PROTOCOL.md``,
+"Data path & buffer ownership").
+
+The decoder's buffers are append-only while live: bytes land once (via
+``feed`` or ``recv_into``) and are parsed in place.  When a buffer's tail
+cannot hold the next frame the decoder *rotates* to a fresh buffer from
+its :class:`~repro.core.buffers.BufferPool`, carrying over at most one
+partial frame; in the drained steady state of a backpressured pipeline the
+carry-over is empty and rotation copies nothing.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import BinaryIO, Iterator, Optional, Tuple
+from typing import BinaryIO, Iterator, Optional, Tuple, Union
 
+from .buffers import BufferPool
 from .errors import FramingError
 from .messages import (
     Data,
@@ -40,6 +52,7 @@ from .messages import (
     Quit,
     Report,
 )
+from .perfstats import PerfStats, get_stats
 
 _U64 = struct.Struct(">Q")
 _2U64 = struct.Struct(">QQ")
@@ -58,69 +71,86 @@ _FIELD_COUNT = {
     Op.PONG: 1,
 }
 
+#: One precompiled (opcode + fields) struct per opcode: a header encodes
+#: or decodes in a single ``pack``/``unpack_from`` call.
+_HEADER_STRUCTS = {
+    op: struct.Struct(">B" + "Q" * count) for op, count in _FIELD_COUNT.items()
+}
+
 #: Opcodes whose header is followed by a payload of ``size`` bytes.
 _PAYLOAD_OPS = frozenset({Op.DATA, Op.REPORT})
 
 MAX_FRAME_PAYLOAD = 1 << 34  # 16 GiB; sanity bound against corrupt headers
+
+#: Largest payload the incremental decoder will buffer contiguously.  A
+#: frame must fit in one receive buffer for its payload view to be a
+#: single memoryview; headers claiming more than this are treated as
+#: corrupt rather than allocating gigabytes eagerly.
+MAX_RECEIVE_ALLOC = 1 << 30  # 1 GiB
+
+_MAX_HEADER = 1 + 8 * 2  # largest header on the wire (DATA/PGET)
+
+#: Buffer payloads handed out by the decoder: zero-copy views.
+Payload = Union[bytes, memoryview]
 
 
 def encode_header(msg: Message) -> bytes:
     """Serialize a message header (opcode + fields), without any payload."""
     op = msg.op
     if op is Op.GET:
-        fields = (msg.offset,)
+        args = (op, msg.offset)
     elif op is Op.PGET:
-        fields = (msg.offset, msg.until)
+        args = (op, msg.offset, msg.until)
     elif op is Op.FORGET:
-        fields = (msg.min_offset,)
+        args = (op, msg.min_offset)
     elif op is Op.DATA:
-        fields = (msg.offset, msg.size)
+        args = (op, msg.offset, msg.size)
     elif op is Op.END:
-        fields = (msg.total,)
+        args = (op, msg.total)
     elif op is Op.REPORT:
-        fields = (msg.size,)
+        args = (op, msg.size)
     elif op in (Op.PING, Op.PONG):
-        fields = (msg.nonce,)
+        args = (op, msg.nonce)
     else:  # QUIT, PASSED
-        fields = ()
-    out = bytes([op])
-    for f in fields:
-        if f < 0:
-            raise FramingError(f"negative field in {msg!r}")
-        out += _U64.pack(f)
-    return out
+        args = (op,)
+    try:
+        return _HEADER_STRUCTS[op].pack(*args)
+    except struct.error:
+        raise FramingError(f"field out of u64 range in {msg!r}") from None
 
 
-def _decode_fields(op: Op, raw: bytes) -> Message:
+def _decode_fields(op: Op, raw, offset: int) -> Message:
+    """Decode the fixed fields following the opcode, reading ``raw`` in
+    place from ``offset`` (no intermediate slice copies)."""
     if op is Op.GET:
-        return Get(_U64.unpack(raw)[0])
+        return Get(_U64.unpack_from(raw, offset)[0])
     if op is Op.PGET:
-        o, t = _2U64.unpack(raw)
+        o, t = _2U64.unpack_from(raw, offset)
         if t < o:
             raise FramingError(f"PGET range reversed on wire: [{o}, {t})")
         return PGet(o, t)
     if op is Op.FORGET:
-        return Forget(_U64.unpack(raw)[0])
+        return Forget(_U64.unpack_from(raw, offset)[0])
     if op is Op.DATA:
-        o, s = _2U64.unpack(raw)
+        o, s = _2U64.unpack_from(raw, offset)
         if s > MAX_FRAME_PAYLOAD:
             raise FramingError(f"DATA payload too large: {s}")
         return Data(o, s)
     if op is Op.END:
-        return End(_U64.unpack(raw)[0])
+        return End(_U64.unpack_from(raw, offset)[0])
     if op is Op.QUIT:
         return Quit()
     if op is Op.REPORT:
-        (s,) = _U64.unpack(raw)
+        (s,) = _U64.unpack_from(raw, offset)
         if s > MAX_FRAME_PAYLOAD:
             raise FramingError(f"REPORT payload too large: {s}")
         return Report(s)
     if op is Op.PASSED:
         return Passed()
     if op is Op.PING:
-        return Ping(_U64.unpack(raw)[0])
+        return Ping(_U64.unpack_from(raw, offset)[0])
     if op is Op.PONG:
-        return Pong(_U64.unpack(raw)[0])
+        return Pong(_U64.unpack_from(raw, offset)[0])
     raise FramingError(f"unhandled opcode {op}")  # pragma: no cover
 
 
@@ -137,66 +167,225 @@ def payload_size(msg: Message) -> int:
 
 
 class FrameDecoder:
-    """Incremental decoder: ``feed`` bytes in, iterate complete messages out.
+    """Incremental decoder: bytes in, complete ``(message, payload)`` out.
 
-    The decoder is strict: an unknown opcode or an over-large payload raises
-    :class:`FramingError` immediately.  Payload bytes are accumulated and
-    returned together with the header message.
+    The decoder is strict: an unknown opcode or an over-large payload
+    raises :class:`FramingError` immediately.
+
+    Bytes enter either through :meth:`feed` (sans-io callers: simulator,
+    tests) or, copy-free, through the :meth:`writable`/:meth:`bytes_written`
+    pair (``sock.recv_into(decoder.writable())``).  Payloads come out as
+    memoryviews into the receive buffer; the buffer is recycled through
+    the :class:`~repro.core.buffers.BufferPool` only once every view has
+    been dropped, so consumers may hold payloads as long as they need.
     """
 
-    def __init__(self) -> None:
-        self._buf = bytearray()
+    def __init__(
+        self,
+        *,
+        pool: Optional[BufferPool] = None,
+        stats: Optional[PerfStats] = None,
+    ) -> None:
+        self._pool = pool
+        self._stats = stats if stats is not None else get_stats()
+        self._segment = pool.segment_size if pool is not None else 256 * 1024
+        self._buf: Optional[bytearray] = None
+        self._mv: Optional[memoryview] = None  # cached full-buffer view
+        self._cap = 0
+        self._pos = 0   # parse position
+        self._fill = 0  # one past the last valid byte
         self._pending: Optional[Message] = None  # header seen, payload pending
+        #: Payload size of the most recent payload-bearing header — used
+        #: to rotate *before* the next frame would straddle the buffer end.
+        self._last_need = 0
 
-    def feed(self, data: bytes) -> None:
-        """Append freshly received bytes to the internal buffer."""
-        self._buf.extend(data)
+    # ------------------------------------------------------------------
+    # Buffer management
+    # ------------------------------------------------------------------
+
+    def _acquire(self, min_size: int) -> bytearray:
+        if self._pool is not None:
+            return self._pool.acquire(min_size)
+        return bytearray(max(self._segment, min_size))
+
+    def _release_current(self) -> None:
+        if self._mv is not None:
+            self._mv.release()
+            self._mv = None
+        if self._buf is not None and self._pool is not None:
+            self._pool.recycle(self._buf)
+        self._buf = None
+
+    def _rotate(self, min_free: int) -> None:
+        """Switch to a fresh buffer, carrying over the unparsed tail.
+
+        In the drained steady state the tail is empty and nothing is
+        copied.  A non-empty tail is either a partial header (not payload,
+        not counted) or — when a payload-bearing frame straddles the old
+        buffer's end — partial payload bytes, which are the one counted
+        copy of this data plane.
+        """
+        old_buf, tail_lo, tail_hi = self._buf, self._pos, self._fill
+        tail = tail_hi - tail_lo
+        new = self._acquire(tail + min_free)
+        if tail:
+            new[:tail] = old_buf[tail_lo:tail_hi]
+            if self._pending is not None:
+                # The tail is (partially received) payload of the pending
+                # frame: this is a real payload copy — count it.
+                self._stats.copied(tail)
+        self._release_current()
+        self._buf = new
+        self._cap = len(new)
+        self._pos = 0
+        self._fill = tail
+
+    def _ensure_room(self, nbytes: int) -> None:
+        """Make space to append ``nbytes`` at the fill position."""
+        if self._buf is None:
+            self._buf = self._acquire(max(nbytes, self._last_need + _MAX_HEADER))
+            self._cap = len(self._buf)
+            self._pos = self._fill = 0
+        elif self._cap - self._fill < nbytes:
+            self._rotate(nbytes)
+
+    def _ensure_payload_room(self, need: int) -> None:
+        """Guarantee the pending payload ``[pos, pos+need)`` fits in the
+        current buffer, rotating (with partial-payload carry) if not.
+
+        Must be called with ``_pending`` already set: any tail carried by
+        the rotation is payload prefix of that frame and must be counted.
+        """
+        if self._pos + need > self._cap:
+            self._rotate(need + _MAX_HEADER)
+
+    def _maybe_turn_page(self) -> None:
+        """Between frames, rotate copy-free once the buffer is drained and
+        too full to hold another frame of the recently seen size."""
+        if (
+            self._buf is not None
+            and self._pos == self._fill
+            and self._cap - self._pos < self._last_need + _MAX_HEADER
+        ):
+            self._rotate(self._last_need + _MAX_HEADER)
+
+    # ------------------------------------------------------------------
+    # Byte ingestion
+    # ------------------------------------------------------------------
+
+    def feed(self, data) -> None:
+        """Append freshly received bytes (bytes-like) to the buffer.
+
+        Sans-io convenience: copies ``data`` in.  Socket readers should
+        prefer ``recv_into(decoder.writable())`` + :meth:`bytes_written`,
+        which land bytes in the buffer with no userspace copy at all.
+        """
+        n = len(data)
+        if n == 0:
+            return
+        self._ensure_room(n)
+        self._buf[self._fill: self._fill + n] = data
+        self._fill += n
+
+    def writable(self, min_size: int = 1) -> memoryview:
+        """A view of free buffer space for ``recv_into`` to fill.
+
+        Call :meth:`bytes_written` with the receive count afterwards.  The
+        returned view is only valid until the next decoder call; callers
+        should release (or drop) it promptly.
+        """
+        self._ensure_room(min_size)
+        if self._mv is None:
+            self._mv = memoryview(self._buf)
+        return self._mv[self._fill: self._cap]
+
+    def bytes_written(self, n: int) -> None:
+        """Commit ``n`` bytes written into :meth:`writable`'s view."""
+        if n < 0 or self._fill + n > self._cap:
+            raise FramingError(f"bytes_written({n}) overflows receive buffer")
+        self._fill += n
 
     @property
     def buffered(self) -> int:
         """Bytes currently buffered and not yet consumed."""
-        return len(self._buf)
+        return self._fill - self._pos
 
-    def __iter__(self) -> Iterator[Tuple[Message, bytes]]:
+    def close(self) -> None:
+        """Drop the current buffer (recycling it to the pool)."""
+        self._release_current()
+        self._cap = self._pos = self._fill = 0
+
+    # ------------------------------------------------------------------
+    # Frame extraction
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Tuple[Message, Payload]]:
         return self
 
-    def __next__(self) -> Tuple[Message, bytes]:
+    def __next__(self) -> Tuple[Message, Payload]:
         item = self.try_pop()
         if item is None:
             raise StopIteration
         return item
 
-    def try_pop(self) -> Optional[Tuple[Message, bytes]]:
-        """Return the next complete ``(message, payload)``, or ``None``."""
+    def _payload_view(self, need: int) -> memoryview:
+        if self._mv is None:
+            self._mv = memoryview(self._buf)
+        return self._mv[self._pos: self._pos + need]
+
+    def try_pop(self) -> Optional[Tuple[Message, Payload]]:
+        """Return the next complete ``(message, payload)``, or ``None``.
+
+        ``payload`` is a zero-copy memoryview for ``DATA``/``REPORT`` and
+        ``b""`` otherwise.
+        """
         if self._pending is not None:
             need = payload_size(self._pending)
-            if len(self._buf) < need:
+            if self._fill - self._pos < need:
                 return None
-            payload = bytes(self._buf[:need])
-            del self._buf[:need]
+            payload = self._payload_view(need)
+            self._pos += need
             msg, self._pending = self._pending, None
+            self._stats.frames_decoded += 1
+            self._maybe_turn_page()
             return msg, payload
 
-        if not self._buf:
+        avail = self._fill - self._pos
+        if avail <= 0:
             return None
-        op_byte = self._buf[0]
+        op_byte = self._buf[self._pos]
         try:
             op = Op(op_byte)
         except ValueError:
             raise FramingError(f"unknown opcode byte {op_byte:#04x}") from None
         hsize = header_size(op)
-        if len(self._buf) < hsize:
+        if avail < hsize:
+            if self._cap - self._fill < hsize - avail:
+                # Not even the rest of this header fits: rotate now (the
+                # tail is header bytes only — a copy-free-in-payload-terms
+                # move of at most 16 bytes).
+                self._rotate(_MAX_HEADER)
             return None
-        msg = _decode_fields(op, bytes(self._buf[1:hsize]))
-        del self._buf[:hsize]
-        if payload_size(msg) == 0:
+        msg = _decode_fields(op, self._buf, self._pos + 1)
+        self._pos += hsize
+        need = payload_size(msg)
+        if need == 0:
+            self._stats.frames_decoded += 1
+            self._maybe_turn_page()
             return msg, b""
+        if need > MAX_RECEIVE_ALLOC:
+            raise FramingError(
+                f"payload of {need} bytes exceeds receive allocation "
+                f"cap {MAX_RECEIVE_ALLOC}"
+            )
+        self._last_need = need
         self._pending = msg
+        self._ensure_payload_room(need)
         return self.try_pop()
 
 
 # ---------------------------------------------------------------------------
-# Blocking helpers for file-like transports (the real TCP runtime).
+# Blocking helpers for file-like transports (CLI pipes, tests).
 # ---------------------------------------------------------------------------
 
 def _read_exact(stream: BinaryIO, n: int) -> bytes:
@@ -212,7 +401,7 @@ def _read_exact(stream: BinaryIO, n: int) -> bytes:
     return b"".join(parts)
 
 
-def write_message(stream: BinaryIO, msg: Message, payload: bytes = b"") -> None:
+def write_message(stream: BinaryIO, msg: Message, payload: Payload = b"") -> None:
     """Write a full frame (header + payload) and flush."""
     expected = payload_size(msg)
     if len(payload) != expected:
@@ -239,7 +428,7 @@ def read_message(stream: BinaryIO) -> Tuple[Message, bytes]:
     except ValueError:
         raise FramingError(f"unknown opcode byte {first[0]:#04x}") from None
     raw = _read_exact(stream, header_size(op) - 1)
-    msg = _decode_fields(op, raw)
+    msg = _decode_fields(op, raw, 0)
     need = payload_size(msg)
     payload = _read_exact(stream, need) if need else b""
     return msg, payload

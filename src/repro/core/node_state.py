@@ -80,8 +80,12 @@ class NodeTransferState:
     # Data plane
     # ------------------------------------------------------------------
 
-    def on_data(self, offset: int, payload: bytes) -> None:
+    def on_data(self, offset: int, payload) -> None:
         """Account for a received (or head-read) chunk at ``offset``.
+
+        ``payload`` is any bytes-like buffer and is retained by reference
+        in the ring buffer (zero-copy); the runtime's buffer-pool
+        discipline guarantees the bytes stay valid while buffered.
 
         Raises :class:`ProtocolError` on out-of-order data: a relay that
         tolerated gaps would corrupt every node downstream of it.

@@ -1,0 +1,119 @@
+"""Data-plane performance counters.
+
+The zero-copy data plane (§III-A: a pipelined chain should move data at
+near-link speed) is only trustworthy if its copy behaviour is *observable*:
+"we believe the relay path doesn't copy" is an assumption, a counter that
+tests can assert on is an invariant.  Every component of the runtime data
+path (socket streams, frame decoder, buffer pool) increments a
+:class:`PerfStats` instance:
+
+* ``payload_copy_events`` / ``payload_bytes_copied`` — each time stream
+  payload bytes are memcpy'd in userspace (header bytes are *not*
+  counted; neither is the unavoidable kernel↔user transfer of a
+  ``recv``/``send``).
+* ``syscalls_*`` — socket system calls issued, split by kind.
+* ``frames_decoded`` / ``frames_sent`` — wire frames through the decoder
+  and the vectored send queue.
+* ``pool_*`` — buffer-pool allocations vs. reuses.
+
+Components default to the module-global :func:`get_stats` instance so
+production code needs no plumbing; tests construct a private instance and
+pass it down to get isolated, deterministic counts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+_COUNTERS = (
+    "payload_copy_events",
+    "payload_bytes_copied",
+    "syscalls_recv",
+    "syscalls_send",
+    "syscalls_sendfile",
+    "frames_decoded",
+    "frames_sent",
+    "bytes_received",
+    "bytes_sent",
+    "pool_allocations",
+    "pool_reuses",
+)
+
+
+class PerfStats:
+    """Mutable counter set for one data path (or the whole process).
+
+    Plain integer counters; increments are cheap enough for the per-frame
+    hot path.  No locking: counter updates are single bytecode-level
+    read-modify-writes under the GIL and the tests that assert exact
+    values use per-test instances touched by controlled threads.
+    """
+
+    __slots__ = _COUNTERS + ("_t0",)
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter and restart the frames/s clock."""
+        for name in _COUNTERS:
+            setattr(self, name, 0)
+        self._t0 = time.monotonic()
+
+    # -- recording (hot path) -------------------------------------------
+
+    def copied(self, nbytes: int) -> None:
+        """Record one userspace copy of ``nbytes`` of *payload* data."""
+        self.payload_copy_events += 1
+        self.payload_bytes_copied += nbytes
+
+    def recv_syscall(self, nbytes: int) -> None:
+        """Record one receive syscall that returned ``nbytes``."""
+        self.syscalls_recv += 1
+        self.bytes_received += nbytes
+
+    def send_syscall(self, nbytes: int) -> None:
+        """Record one send/sendmsg syscall that accepted ``nbytes``."""
+        self.syscalls_send += 1
+        self.bytes_sent += nbytes
+
+    def sendfile_syscall(self, nbytes: int) -> None:
+        """Record one sendfile syscall that moved ``nbytes``."""
+        self.syscalls_sendfile += 1
+        self.bytes_sent += nbytes
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def syscalls(self) -> int:
+        """Total socket syscalls across all kinds."""
+        return self.syscalls_recv + self.syscalls_send + self.syscalls_sendfile
+
+    def frames_per_second(self, now: Optional[float] = None) -> float:
+        """Decoded frames per second since construction / :meth:`reset`."""
+        elapsed = (now if now is not None else time.monotonic()) - self._t0
+        if elapsed <= 0:
+            return 0.0
+        return self.frames_decoded / elapsed
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of every counter, for logging or JSON export."""
+        return {name: getattr(self, name) for name in _COUNTERS}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items() if v)
+        return f"PerfStats({parts or 'all zero'})"
+
+
+_GLOBAL = PerfStats()
+
+
+def get_stats() -> PerfStats:
+    """The process-wide default counter set."""
+    return _GLOBAL
+
+
+def reset_stats() -> None:
+    """Zero the process-wide counters (benchmark harness hook)."""
+    _GLOBAL.reset()

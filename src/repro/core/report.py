@@ -123,8 +123,15 @@ class TransferReport:
         )
 
     @classmethod
-    def decode(cls, raw: bytes) -> "TransferReport":
-        """Parse a REPORT payload; raises :class:`ProtocolError` on garbage."""
+    def decode(cls, raw) -> "TransferReport":
+        """Parse a REPORT payload; raises :class:`ProtocolError` on garbage.
+
+        Accepts any bytes-like payload (the zero-copy decoder hands out
+        memoryviews); reports are small, so normalising to ``bytes`` here
+        is the cheap way to own the data past buffer recycling.
+        """
+        if not isinstance(raw, bytes):
+            raw = bytes(raw)
         if len(raw) < _HEADER.size:
             raise ProtocolError(f"report too short: {len(raw)} bytes")
         magic, count = _HEADER.unpack_from(raw)

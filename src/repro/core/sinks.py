@@ -16,9 +16,16 @@ from typing import BinaryIO, Optional
 
 
 class Sink:
-    """Abstract chunk sink for receiving nodes."""
+    """Abstract chunk sink for receiving nodes.
 
-    def write_chunk(self, data: bytes) -> None:
+    ``write_chunk`` receives any bytes-like buffer — in the real runtime
+    it is a memoryview into a pooled receive buffer that is only valid
+    *during* the call.  Sinks must consume the bytes before returning
+    (write them out, hash them, or copy them); retaining the view would
+    pin the pooled buffer indefinitely.
+    """
+
+    def write_chunk(self, data) -> None:
         raise NotImplementedError
 
     def finish(self) -> None:
@@ -44,7 +51,7 @@ class NullSink(Sink):
     def __init__(self) -> None:
         self.bytes_written = 0
 
-    def write_chunk(self, data: bytes) -> None:
+    def write_chunk(self, data) -> None:
         self.bytes_written += len(data)
 
 
@@ -56,7 +63,7 @@ class FileSink(Sink):
         self._file: Optional[BinaryIO] = open(self._path, "wb")
         self.bytes_written = 0
 
-    def write_chunk(self, data: bytes) -> None:
+    def write_chunk(self, data) -> None:
         assert self._file is not None
         self._file.write(data)
         self.bytes_written += len(data)
@@ -86,7 +93,7 @@ class CommandSink(Sink):
         )
         self.bytes_written = 0
 
-    def write_chunk(self, data: bytes) -> None:
+    def write_chunk(self, data) -> None:
         assert self._proc.stdin is not None
         self._proc.stdin.write(data)
         self.bytes_written += len(data)
@@ -111,7 +118,7 @@ class HashingSink(Sink):
         self._hash = hashlib.sha256()
         self.bytes_written = 0
 
-    def write_chunk(self, data: bytes) -> None:
+    def write_chunk(self, data) -> None:
         self._hash.update(data)
         self.bytes_written += len(data)
 
@@ -126,7 +133,7 @@ class BufferSink(Sink):
         self._parts: list[bytes] = []
         self.bytes_written = 0
 
-    def write_chunk(self, data: bytes) -> None:
+    def write_chunk(self, data) -> None:
         self._parts.append(bytes(data))
         self.bytes_written += len(data)
 

@@ -54,6 +54,15 @@ class FileSource(Source):
     def size(self) -> int:
         return self._size
 
+    def fileno(self) -> int:
+        """File descriptor for kernel-side streaming (``os.sendfile``).
+
+        The runtime's PGET service uses this to move payload bytes from
+        the page cache straight to the socket; positional ``sendfile``
+        reads leave the sequential :meth:`read_chunk` cursor untouched.
+        """
+        return self._file.fileno()
+
     def read_chunk(self, size: int) -> bytes:
         return self._file.read(size)
 
@@ -139,16 +148,13 @@ class PatternSource(Source):
         return self._size
 
     def _materialize(self, offset: int, size: int) -> bytes:
-        out = bytearray(size)
+        # One C-level repeat + slice instead of a Python loop over
+        # periods: the head's read path is on the hot data plane, and at
+        # small chunk sizes the per-period bytecode dominated it.
         period = self._PERIOD
-        pat = self._pattern
-        pos = 0
-        while pos < size:
-            phase = (offset + pos) % period
-            take = min(period - 0, size - pos, period)
-            out[pos: pos + take] = pat[phase: phase + take]
-            pos += take
-        return bytes(out)
+        phase = offset % period
+        reps = (phase + size + period - 1) // period
+        return (self._pattern[:period] * reps)[phase: phase + size]
 
     def read_chunk(self, size: int) -> bytes:
         take = min(size, self._size - self._pos)

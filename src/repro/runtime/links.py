@@ -141,8 +141,9 @@ class DownstreamLink:
             if offer.kind is OfferKind.SERVE_FROM_BUFFER:
                 self.sent_offset = offer.resume_at
                 for off, piece in self.state.buffer.iter_chunks_from(offer.resume_at):
-                    self._send_frame(Data(off, len(piece)), piece)
+                    self._send_frame(Data(off, len(piece)), piece, flush=False)
                     self.sent_offset = off + len(piece)
+                self._flush_retrying()
                 return True
             # Relay (or stream-head) cannot serve: FORGET(min); the
             # receiver PGETs the hole from the head then re-GETs.
@@ -182,8 +183,28 @@ class DownstreamLink:
         finally:
             probe.close()
 
-    def _send_frame(self, msg, payload: bytes = b"") -> None:
+    def _send_frame(self, msg, payload=b"", *, flush=True) -> None:
         """Send one frame, tolerating stalls while the peer stays alive.
+
+        ``payload`` may be any bytes-like buffer — in the relay path it is
+        the memoryview received from upstream, queued downstream without a
+        copy.  The vectored send queue keeps the view alive (and its pool
+        buffer pinned) until the bytes hit the kernel, so a stall + resume
+        cycle cannot lose or duplicate payload bytes.
+
+        ``flush=False`` corks the frame in the send queue (no syscall);
+        a later flushed frame or :meth:`_flush_retrying` pushes the whole
+        backlog in one vectored send.
+        """
+        assert self.stream is not None and self.target is not None
+        self.stream.send_message(
+            msg, payload, timeout=self.config.io_timeout, flush=False
+        )
+        if flush:
+            self._flush_retrying()
+
+    def _flush_retrying(self) -> None:
+        """Flush queued frames, tolerating stalls while the peer lives.
 
         A stalled write can mean: the peer died, a *later* node died and
         backpressure propagated, or plain congestion (§III-D1).  We ping;
@@ -193,7 +214,7 @@ class DownstreamLink:
         """
         assert self.stream is not None and self.target is not None
         try:
-            self.stream.send_message(msg, payload, timeout=self.config.io_timeout)
+            self.stream.flush_pending(timeout=self.config.io_timeout)
             return
         except WriteStalled:
             pass
@@ -229,12 +250,20 @@ class DownstreamLink:
     # Public operations
     # ------------------------------------------------------------------
 
-    def send_data(self, offset: int, payload: bytes) -> bool:
+    def send_data(self, offset: int, payload, *, flush: bool = True) -> bool:
         """Forward one chunk downstream; True unless no downstream remains.
 
-        Reroutes to the next alive node on failure; the replacement's GET
-        handshake replays whatever it is missing, after which chunks the
+        Accepts any bytes-like buffer; a memoryview is forwarded without
+        copying.  Reroutes to the next alive node on failure; the
+        replacement's GET handshake replays whatever it is missing (as
+        zero-copy views out of the ring buffer), after which chunks the
         replay already covered are skipped here (``sent_offset`` check).
+
+        ``flush=False`` corks the frame (small-chunk batching); call
+        :meth:`flush` before blocking on anything else.  Chunks corked
+        but lost to a later flush failure are covered by the replay: the
+        replacement's GET rewinds ``sent_offset`` to what actually
+        arrived downstream.
         """
         while True:
             if not self._ensure_connected():
@@ -247,13 +276,37 @@ class DownstreamLink:
                     f"chunk at {offset}"
                 )
             try:
-                self._send_frame(Data(offset, len(payload)), payload)
+                self._send_frame(Data(offset, len(payload)), payload, flush=flush)
                 self.sent_offset = offset + len(payload)
                 return True
             except (ConnectionError, NodeFailedError) as exc:
                 reason = exc.reason if isinstance(exc, NodeFailedError) else str(exc)
                 self._mark_dead(self.target, reason)
                 self._drop()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes corked in the send queue, awaiting :meth:`flush`."""
+        return self.stream.pending_bytes if self.stream is not None else 0
+
+    def flush(self) -> bool:
+        """Push corked frames to the wire; True unless the peer failed.
+
+        Failure handling mirrors :meth:`send_data`: the target is marked
+        dead and dropped, and the *next* ``send_data`` reroutes — the
+        replacement's handshake replays whatever the failed flush never
+        delivered, straight out of the ring buffer.
+        """
+        if self.stream is None or self.stream.pending_bytes == 0:
+            return True
+        try:
+            self._flush_retrying()
+            return True
+        except (ConnectionError, NodeFailedError) as exc:
+            reason = exc.reason if isinstance(exc, NodeFailedError) else str(exc)
+            self._mark_dead(self.target, reason)
+            self._drop()
+            return False
 
     def finish(self, *, total: int, quit_first: bool) -> str:
         """Deliver stream end + report, collect PASSED.

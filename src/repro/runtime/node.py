@@ -58,6 +58,7 @@ from .links import DownstreamLink
 from .registry import Registry
 from .transport import (
     DATA_CONN,
+    HAS_SENDFILE,
     PGET_CONN,
     PING_CONN,
     RING_CONN,
@@ -81,6 +82,10 @@ class InjectedCrash(Exception):
 #: Crash gate callback: given bytes received so far, return a crash mode
 #: (``"close"`` or ``"silent"``) to kill the node now, or ``None``.
 CrashGate = Callable[[int], Optional[str]]
+
+#: Head-side cork threshold: DATA frames accumulate in the send queue
+#: until this many bytes are pending, then leave in one vectored send.
+_HEAD_FLUSH_BYTES = 1 << 16
 
 
 @dataclass
@@ -254,7 +259,12 @@ class HeadNode(_BaseNode):
     # -- PGET and ring service (acceptor-driven) ------------------------
 
     def serve_pget(self, stream: SocketStream) -> None:
-        """Serve a recovery range request from a rerouted receiver."""
+        """Serve a recovery range request from a rerouted receiver.
+
+        When the source exposes a real file descriptor (``FileSource``),
+        payload bytes are moved with ``sendfile`` — straight from the page
+        cache to the socket, never entering this process.
+        """
         cfg = self.config
         try:
             msg, _ = stream.recv_message(cfg.io_timeout + cfg.connect_timeout)
@@ -264,13 +274,19 @@ class HeadNode(_BaseNode):
             if offer.kind is OfferKind.FORGET:
                 stream.send_message(Forget(offer.resume_at), timeout=cfg.io_timeout)
                 return
+            use_sendfile = HAS_SENDFILE and hasattr(self.source, "fileno")
             pos = msg.offset
             while pos < msg.until:
                 size = min(cfg.chunk_size, msg.until - pos)
-                piece = self.source.read_range(pos, size)
-                stream.send_message(Data(pos, len(piece)), piece,
-                                    timeout=cfg.report_timeout)
-                pos += len(piece)
+                if use_sendfile:
+                    stream.send_frame_from_file(Data(pos, size), self.source,
+                                                pos, timeout=cfg.report_timeout)
+                    pos += size
+                else:
+                    piece = self.source.read_range(pos, size)
+                    stream.send_message(Data(pos, len(piece)), piece,
+                                        timeout=cfg.report_timeout)
+                    pos += len(piece)
         except (TimeoutError, ConnectionError, WriteStalled, ProtocolError,
                 NodeFailedError) as exc:
             logger.info("%s: PGET service aborted: %s", self.name, exc)
@@ -311,9 +327,15 @@ class HeadNode(_BaseNode):
                     break
             off = state.offset
             state.on_data(off, chunk)
-            if not self.link.send_data(off, chunk):
+            # Cork small chunks and push them in vectored batches; large
+            # chunks cross the threshold immediately, keeping the
+            # pipeline's chunk-by-chunk backpressure behaviour.
+            if not self.link.send_data(off, chunk, flush=False):
                 # Every receiver is dead or aborted: stop streaming.
                 break
+            if self.link.pending_bytes >= _HEAD_FLUSH_BYTES:
+                self.link.flush()
+        self.link.flush()
         total = state.offset
         aborting = self.quit_requested.is_set()
         if aborting:
@@ -441,11 +463,24 @@ class ReceiverNode(_BaseNode):
 
     # -- data plane ---------------------------------------------------------
 
-    def _consume_chunk(self, offset: int, payload: bytes) -> None:
+    def _consume_chunk(self, offset: int, payload, *, flush: bool = True) -> None:
+        """Store and forward one chunk — the zero-copy relay step.
+
+        ``payload`` is a memoryview into the upstream stream's pooled
+        receive buffer.  The *same* view is retained by the ring buffer
+        (recovery replay), passed to the sink, and queued on the
+        downstream socket: no byte of it is copied in userspace.  The
+        view pins its pool buffer until the ring evicts it and the send
+        queue drains, at which point the pool may recycle it.
+
+        ``flush=False`` corks the downstream frame: the main loop batches
+        every chunk already decoded from one upstream read into a single
+        vectored send before blocking again.
+        """
         self.state.on_data(offset, payload)
         self.sink.write_chunk(payload)
         self.outcome.bytes_received = self.state.offset
-        self.link.send_data(offset, payload)
+        self.link.send_data(offset, payload, flush=flush)
         if self.crash_gate is not None:
             mode = self.crash_gate(self.state.offset)
             if mode is not None:
@@ -471,17 +506,24 @@ class ReceiverNode(_BaseNode):
         cfg = self.config
         state = self.state
         upstream_report: Optional[bytes] = None
+        #: Non-DATA frame decoded while draining a batch; handled next turn.
+        carried: Optional[tuple] = None
         last_progress = time.monotonic()
 
         while True:
             if state.phase is Phase.ENDED and upstream_report is not None:
                 break
             if self.upstream is None:
+                carried = None
                 self._acquire_upstream()
                 last_progress = time.monotonic()
                 continue
             try:
-                msg, payload = self.upstream.recv_message(cfg.io_timeout)
+                if carried is not None:
+                    msg, payload = carried
+                    carried = None
+                else:
+                    msg, payload = self.upstream.recv_message(cfg.io_timeout)
             except TimeoutError:
                 if self._switch_upstream_if_replaced():
                     last_progress = time.monotonic()
@@ -504,7 +546,23 @@ class ReceiverNode(_BaseNode):
             last_progress = time.monotonic()
 
             if isinstance(msg, Data):
-                self._consume_chunk(msg.offset, payload)
+                # Batch the burst: every frame the last socket read
+                # already decoded is stored + corked, then the whole run
+                # leaves in one vectored send.  At small chunk sizes this
+                # divides the per-chunk syscall and flush overhead by the
+                # number of frames per read.
+                self._consume_chunk(msg.offset, payload, flush=False)
+                try:
+                    nxt = self.upstream.try_recv_message()
+                    while nxt is not None and isinstance(nxt[0], Data):
+                        self._consume_chunk(nxt[0].offset, nxt[1], flush=False)
+                        nxt = self.upstream.try_recv_message()
+                    carried = nxt
+                except FramingError as exc:
+                    logger.info("%s: dropping upstream on bad frame: %s",
+                                self.name, exc)
+                    self._drop_upstream()
+                self.link.flush()
             elif isinstance(msg, End):
                 if state.phase is Phase.STREAMING:
                     state.on_end(msg.total)
@@ -515,7 +573,10 @@ class ReceiverNode(_BaseNode):
                     )
                 # else: duplicate END from a rerouted upstream — ignore.
             elif isinstance(msg, Report):
-                upstream_report = payload
+                # Detach from the pooled receive buffer: the report is
+                # held across the rest of the transfer (rare + small, so
+                # the copy is fine — and frees the pool segment it pins).
+                upstream_report = bytes(payload)
             elif isinstance(msg, Forget):
                 if not self._fetch_hole_from_head(msg.min_offset):
                     self._hard_abort("data lost beyond recovery (FORGET)")
@@ -535,7 +596,7 @@ class ReceiverNode(_BaseNode):
                     self._hard_abort("upstream quit without report")
                     return
                 if isinstance(rmsg, Report):
-                    upstream_report = rpayload
+                    upstream_report = bytes(rpayload)
                     break
                 self._hard_abort("upstream quit without report")
                 return

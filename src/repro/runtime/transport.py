@@ -17,17 +17,36 @@ provides :class:`SocketStream`, whose receive path feeds a
 :class:`~repro.core.framing.FrameDecoder` (partial frames survive a
 timeout) and whose send path keeps its position across timeouts so a
 write can resume after a successful liveness ping.
+
+Zero-copy data plane
+--------------------
+The send side is a scatter/gather queue of memoryviews flushed with
+``socket.sendmsg`` — one syscall pushes a header *and* its payload (and
+any backlog) without ever concatenating them in userspace.  The receive
+side reads with ``recv_into`` straight into the decoder's pooled buffer,
+and the decoder hands payloads out as memoryviews of that same buffer.
+A relay therefore moves a chunk from its upstream socket to its
+downstream socket with **zero** userspace payload copies; the
+:mod:`repro.core.perfstats` counters make that invariant testable.
+``send_frame_from_file`` goes one step further for the head's recovery
+service and streams payload bytes kernel-to-kernel with ``os.sendfile``.
 """
 
 from __future__ import annotations
 
+import os
+import select
 import socket
+from collections import deque
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from itertools import islice
+from typing import BinaryIO, Deque, Optional, Tuple
 
+from ..core.buffers import BufferPool
 from ..core.errors import NodeFailedError, ProtocolError
-from ..core.framing import FrameDecoder, encode_header, payload_size
+from ..core.framing import FrameDecoder, Payload, encode_header, payload_size
 from ..core.messages import Message
+from ..core.perfstats import PerfStats, get_stats
 
 #: Connection preamble bytes.
 DATA_CONN = b"D"
@@ -35,15 +54,21 @@ PING_CONN = b"P"
 PGET_CONN = b"G"
 RING_CONN = b"R"
 
-_RECV_SIZE = 256 * 1024
+#: Max buffers handed to one ``sendmsg`` call — comfortably below any
+#: platform IOV_MAX (1024 on Linux).
+_SENDMSG_BATCH = 64
+
+#: Whether this platform can stream file payloads kernel-to-kernel.
+HAS_SENDFILE = hasattr(os, "sendfile")
 
 
 class WriteStalled(Exception):
     """A send did not complete within the I/O timeout.
 
-    The pending bytes stay queued in the :class:`SocketStream`; calling
-    ``flush_pending`` resumes exactly where the send stopped, so a
-    false-positive stall (congestion, not death) loses no data.
+    The pending buffers stay queued in the :class:`SocketStream`; calling
+    ``flush_pending`` resumes exactly where the send stopped — mid-buffer
+    if need be — so a false-positive stall (congestion, not death) loses
+    no data.
     """
 
 
@@ -59,10 +84,22 @@ class Address:
 class SocketStream:
     """Framed, timeout-aware wrapper around a connected TCP socket."""
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        pool: Optional[BufferPool] = None,
+        stats: Optional[PerfStats] = None,
+    ) -> None:
         self._sock = sock
-        self._decoder = FrameDecoder()
-        self._pending_send = b""
+        self._stats = stats if stats is not None else get_stats()
+        self._pool = pool if pool is not None else BufferPool(stats=self._stats)
+        self._decoder = FrameDecoder(pool=self._pool, stats=self._stats)
+        #: Scatter/gather send queue: memoryviews awaiting the wire, in
+        #: order.  Partial sends slice the head view (zero-copy).
+        self._send_queue: Deque[memoryview] = deque()
+        self._pending_bytes = 0
+        self._sendmsg = getattr(sock, "sendmsg", None)
         self._closed = False
         # Disable Nagle: control messages (GET, PING, PASSED) are tiny and
         # latency-critical; bulk DATA frames are large enough not to care.
@@ -75,8 +112,12 @@ class SocketStream:
     # Receiving
     # ------------------------------------------------------------------
 
-    def recv_message(self, timeout: Optional[float]) -> Tuple[Message, bytes]:
+    def recv_message(self, timeout: Optional[float]) -> Tuple[Message, Payload]:
         """Receive one complete frame.
+
+        The payload is a memoryview into a pooled receive buffer (see
+        ``docs/PROTOCOL.md``, "Data path & buffer ownership"): valid for
+        as long as the caller holds it, recycled only after release.
 
         Raises ``TimeoutError`` if no complete frame arrives in time
         (already-buffered partial bytes are kept for the next call),
@@ -86,18 +127,22 @@ class SocketStream:
             item = self._decoder.try_pop()
             if item is not None:
                 return item
+            view = self._decoder.writable()
             self._sock.settimeout(timeout)
             try:
-                data = self._sock.recv(_RECV_SIZE)
+                n = self._sock.recv_into(view)
             except socket.timeout:
                 raise TimeoutError("read stalled") from None
             except OSError as exc:
                 raise ConnectionError(f"receive failed: {exc}") from exc
-            if not data:
+            finally:
+                view.release()
+            if n == 0:
                 raise ConnectionError("peer closed connection")
-            self._decoder.feed(data)
+            self._stats.recv_syscall(n)
+            self._decoder.bytes_written(n)
 
-    def try_recv_message(self) -> Optional[Tuple[Message, bytes]]:
+    def try_recv_message(self) -> Optional[Tuple[Message, Payload]]:
         """Non-blocking poll for an already-buffered frame."""
         return self._decoder.try_pop()
 
@@ -105,48 +150,144 @@ class SocketStream:
     # Sending
     # ------------------------------------------------------------------
 
+    def _enqueue(self, data) -> None:
+        if len(data) == 0:
+            return
+        # Always take our *own* view of the buffer (a second export, not a
+        # copy): flush_pending releases queue entries once sent, and it
+        # must never release a view the caller still holds — e.g. the ring
+        # buffer's retained chunk that the relay path passes straight in.
+        self._send_queue.append(memoryview(data))
+        self._pending_bytes += len(data)
+
     def send_message(
         self,
         msg: Message,
-        payload: bytes = b"",
+        payload: Payload = b"",
         *,
         timeout: Optional[float] = None,
+        flush: bool = True,
     ) -> None:
         """Queue and send one frame; raises :class:`WriteStalled` on timeout.
 
-        After a stall, the caller decides (via ping) whether to retry with
-        :meth:`flush_pending` or declare the peer dead.
+        The payload buffer is queued by reference (no copy); it must stay
+        unchanged until fully flushed.  After a stall, the caller decides
+        (via ping) whether to retry with :meth:`flush_pending` or declare
+        the peer dead.
+
+        ``flush=False`` only queues the frame — no syscall, no failure —
+        so a relay can cork a burst of small DATA frames and push them
+        all with one vectored :meth:`flush_pending`.
         """
         expected = payload_size(msg)
         if len(payload) != expected:
             raise ProtocolError(
                 f"{msg!r} requires {expected} payload bytes, got {len(payload)}"
             )
-        self._pending_send += encode_header(msg) + payload
-        self.flush_pending(timeout=timeout)
+        self._enqueue(encode_header(msg))
+        self._enqueue(payload)
+        self._stats.frames_sent += 1
+        if flush:
+            self.flush_pending(timeout=timeout)
 
     def send_raw(self, data: bytes, *, timeout: Optional[float] = None) -> None:
         """Queue and send raw bytes (used for the connection preamble)."""
-        self._pending_send += data
+        self._enqueue(data)
         self.flush_pending(timeout=timeout)
 
     def flush_pending(self, *, timeout: Optional[float] = None) -> None:
-        """Push queued bytes; resumable across :class:`WriteStalled`."""
-        while self._pending_send:
+        """Push queued buffers; resumable across :class:`WriteStalled`.
+
+        Uses vectored ``sendmsg`` where available so a header + payload
+        (plus any backlog) leave in one syscall; falls back to ``send`` of
+        the head buffer otherwise.
+        """
+        queue = self._send_queue
+        while queue:
             self._sock.settimeout(timeout)
             try:
-                sent = self._sock.send(self._pending_send)
+                if self._sendmsg is not None:
+                    sent = self._sendmsg(list(islice(queue, _SENDMSG_BATCH)))
+                else:  # pragma: no cover - platforms without sendmsg
+                    sent = self._sock.send(queue[0])
             except socket.timeout:
                 raise WriteStalled(
-                    f"{len(self._pending_send)} bytes still pending"
+                    f"{self._pending_bytes} bytes still pending"
                 ) from None
             except OSError as exc:
                 raise ConnectionError(f"send failed: {exc}") from exc
-            self._pending_send = self._pending_send[sent:]
+            self._stats.send_syscall(sent)
+            self._pending_bytes -= sent
+            while sent > 0:
+                head = queue[0]
+                if sent >= len(head):
+                    sent -= len(head)
+                    queue.popleft()
+                    head.release()
+                else:
+                    queue[0] = head[sent:]  # zero-copy resume point
+                    sent = 0
+
+    def send_frame_from_file(
+        self,
+        msg: Message,
+        fileobj: BinaryIO,
+        offset: int,
+        *,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Send a payload frame whose bytes come straight from a file.
+
+        Flushes the header (and any backlog), then moves the payload with
+        ``os.sendfile`` — kernel to kernel, no userspace pass at all.
+        Falls back to a read + queued send where sendfile is unavailable.
+        Raises :class:`WriteStalled` if the peer stops draining and
+        ``ConnectionError`` if the file cannot supply the promised bytes.
+        """
+        need = payload_size(msg)
+        self._enqueue(encode_header(msg))
+        self._stats.frames_sent += 1
+        self.flush_pending(timeout=timeout)
+        if need == 0:
+            return
+        if not HAS_SENDFILE or not hasattr(fileobj, "fileno"):
+            fileobj.seek(offset)
+            data = fileobj.read(need)
+            if len(data) != need:
+                raise ConnectionError(
+                    f"file supplied {len(data)} of {need} payload bytes"
+                )
+            self._enqueue(data)
+            self.flush_pending(timeout=timeout)
+            return
+        out_fd = self._sock.fileno()
+        in_fd = fileobj.fileno()
+        sent_total = 0
+        while sent_total < need:
+            # settimeout puts the socket in non-blocking mode, so wait for
+            # writability ourselves; sendfile has no timeout of its own.
+            _, writable, _ = select.select([], [self._sock], [], timeout)
+            if not writable:
+                raise WriteStalled(
+                    f"sendfile stalled with {need - sent_total} bytes pending"
+                )
+            try:
+                n = os.sendfile(out_fd, in_fd, offset + sent_total,
+                                need - sent_total)
+            except (BlockingIOError, InterruptedError):
+                continue
+            except OSError as exc:
+                raise ConnectionError(f"sendfile failed: {exc}") from exc
+            if n == 0:
+                raise ConnectionError(
+                    f"file ended {need - sent_total} bytes short of the frame"
+                )
+            self._stats.sendfile_syscall(n)
+            sent_total += n
 
     @property
     def pending_bytes(self) -> int:
-        return len(self._pending_send)
+        return self._pending_bytes
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -160,6 +301,12 @@ class SocketStream:
             except OSError:
                 pass
             self._sock.close()
+            # Release queue views and the decoder's buffer so the pool's
+            # segments stop being pinned by this stream.
+            while self._send_queue:
+                self._send_queue.popleft().release()
+            self._pending_bytes = 0
+            self._decoder.close()
 
     @property
     def closed(self) -> bool:

@@ -196,7 +196,22 @@ class Engine:
         return self.call_at(self.now + delay, fn)
 
     def _cancel_timeout(self, seq: int) -> None:
+        """Lazily cancel a scheduled callback by its token.
+
+        The heap entry stays in place (removing from a binary heap is
+        O(n)) and is skipped when popped.  When cancellations outnumber
+        half the queue, the heap is compacted in one O(n) pass so a
+        cancel-heavy workload — or a :meth:`run` stopped at ``until``
+        before the cancelled entries' times — cannot grow ``_cancelled``
+        without bound.
+        """
         self._cancelled.add(seq)
+        if len(self._cancelled) > len(self._heap) // 2:
+            self._heap = [
+                entry for entry in self._heap if entry[1] not in self._cancelled
+            ]
+            heapq.heapify(self._heap)
+            self._cancelled.clear()
 
     def event(self, name: str = "") -> Event:
         return Event(self, name)
@@ -295,4 +310,7 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for (_, s, _) in self._heap if s not in self._cancelled)
+        # Every cancelled seq still sits in the heap exactly once (the
+        # compaction in _cancel_timeout and the pop in run() both keep the
+        # two structures in sync), so this is O(1) instead of a scan.
+        return len(self._heap) - len(self._cancelled)

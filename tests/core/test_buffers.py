@@ -1,0 +1,83 @@
+"""Tests for the receive-buffer pool: export-probed recycling, the
+segment-size ratchet, and the idle cap."""
+
+from repro.core import BufferPool, PerfStats
+from repro.core.buffers import DEFAULT_SEGMENT, _has_exports
+
+
+class TestExportProbe:
+    def test_no_views_means_no_exports(self):
+        assert not _has_exports(bytearray(64))
+
+    def test_live_view_pins(self):
+        buf = bytearray(64)
+        view = memoryview(buf)
+        assert _has_exports(buf)
+        view.release()
+        assert not _has_exports(buf)
+
+    def test_sliced_view_pins_whole_buffer(self):
+        buf = bytearray(64)
+        view = memoryview(buf)[10:20]
+        assert _has_exports(buf)
+        del view
+        assert not _has_exports(buf)
+
+    def test_probe_preserves_contents(self):
+        buf = bytearray(b"hello world")
+        _has_exports(buf)
+        assert buf == b"hello world"
+
+
+class TestBufferPool:
+    def test_acquire_allocates_segment_size(self):
+        pool = BufferPool(1024, stats=PerfStats())
+        assert len(pool.acquire()) == 1024
+
+    def test_default_segment(self):
+        assert BufferPool(stats=PerfStats()).segment_size == DEFAULT_SEGMENT
+
+    def test_recycle_then_acquire_reuses(self):
+        stats = PerfStats()
+        pool = BufferPool(1024, stats=stats)
+        buf = pool.acquire()
+        pool.recycle(buf)
+        again = pool.acquire()
+        assert again is buf
+        assert stats.pool_reuses == 1
+        assert stats.pool_allocations == 1
+
+    def test_pinned_buffer_not_reused(self):
+        stats = PerfStats()
+        pool = BufferPool(1024, stats=stats)
+        buf = pool.acquire()
+        view = memoryview(buf)
+        pool.recycle(buf)
+        other = pool.acquire()
+        assert other is not buf
+        assert stats.pool_allocations == 2
+        # Dropping the view unpins it for the next acquire.
+        view.release()
+        assert pool.acquire() is buf
+
+    def test_min_size_ratchets_segment(self):
+        pool = BufferPool(1024, stats=PerfStats())
+        buf = pool.acquire(5000)
+        assert len(buf) >= 5000
+        assert pool.segment_size >= 5000
+        # Pre-ratchet buffers are dropped on recycle, not kept undersized.
+        pool.recycle(bytearray(1024))
+        assert pool.idle_buffers == 0
+
+    def test_max_idle_cap(self):
+        pool = BufferPool(64, max_idle=2, stats=PerfStats())
+        for _ in range(5):
+            pool.recycle(bytearray(64))
+        assert pool.idle_buffers == 2
+
+    def test_undersized_request_served_from_idle(self):
+        stats = PerfStats()
+        pool = BufferPool(1024, stats=stats)
+        buf = pool.acquire()
+        pool.recycle(buf)
+        assert pool.acquire(100) is buf

@@ -146,6 +146,122 @@ class TestFrameDecoder:
         assert out == items
 
 
+class TestZeroCopyDecode:
+    """The decoder's buffer-ownership contract: payloads come out as
+    memoryviews, byte-identical under any split, valid for as long as the
+    consumer holds them, and copy-free in the drained steady state."""
+
+    def _frames(self, count=40, size=100):
+        items = []
+        for i in range(count):
+            payload = bytes((i + j) % 251 for j in range(size))
+            items.append((Data(i * size, size), payload))
+        wire = b"".join(encode_header(m) + p for m, p in items)
+        return items, wire
+
+    def test_one_byte_feeds_yield_memoryview_payloads(self):
+        items, wire = self._frames(count=10, size=33)
+        dec = FrameDecoder()
+        out = []
+        for i in range(len(wire)):
+            dec.feed(wire[i: i + 1])
+            out.extend(iter(dec))
+        assert len(out) == len(items)
+        for (msg, payload), (emsg, epayload) in zip(out, items):
+            assert msg == emsg
+            assert isinstance(payload, memoryview)
+            assert payload == epayload
+
+    @given(st.integers(min_value=1, max_value=600))
+    @settings(max_examples=40, deadline=None)
+    def test_adversarial_splits_identical_payloads(self, split):
+        items, wire = self._frames(count=15, size=120)
+        dec = FrameDecoder()
+        out = []
+        for i in range(0, len(wire), split):
+            dec.feed(wire[i: i + split])
+            out.extend(iter(dec))
+        assert [m for m, _ in out] == [m for m, _ in items]
+        for (_, payload), (_, epayload) in zip(out, items):
+            assert isinstance(payload, memoryview)
+            assert bytes(payload) == epayload
+
+    def test_views_stay_valid_across_buffer_rotation(self):
+        # Tiny pool segments force many rotations; earlier payload views
+        # must keep their bytes because the pool cannot recycle a buffer
+        # that still has live exports.
+        from repro.core import BufferPool, PerfStats
+
+        stats = PerfStats()
+        pool = BufferPool(512, stats=stats)
+        dec = FrameDecoder(pool=pool, stats=stats)
+        items, wire = self._frames(count=60, size=200)
+        held = []
+        for i in range(0, len(wire), 97):
+            dec.feed(wire[i: i + 97])
+            held.extend(iter(dec))
+        for (_, payload), (_, epayload) in zip(held, items):
+            assert bytes(payload) == epayload
+
+    def test_writable_path_steady_state_has_zero_payload_copies(self):
+        # Whole frames land per "receive" and are fully drained before the
+        # next — the backpressured-pipeline steady state.  Rotations then
+        # happen only between frames and must copy nothing.
+        from repro.core import BufferPool, PerfStats
+
+        stats = PerfStats()
+        pool = BufferPool(1024, stats=stats)
+        dec = FrameDecoder(pool=pool, stats=stats)
+        items, _ = self._frames(count=200, size=300)
+        for msg, payload in items:
+            frame = encode_header(msg) + payload
+            view = dec.writable(len(frame))
+            view[: len(frame)] = frame
+            view.release()
+            dec.bytes_written(len(frame))
+            got = dec.try_pop()
+            assert got is not None and bytes(got[1]) == payload
+            assert dec.try_pop() is None
+        assert stats.frames_decoded == len(items)
+        assert stats.payload_copy_events == 0
+        assert stats.payload_bytes_copied == 0
+
+    def test_partial_payload_carry_is_counted(self):
+        # A payload straddling the buffer end is the one copy this data
+        # plane makes — and it must be visible in the counters.
+        from repro.core import BufferPool, PerfStats
+
+        stats = PerfStats()
+        pool = BufferPool(256, stats=stats)
+        dec = FrameDecoder(pool=pool, stats=stats)
+        # Park the parse position mid-buffer with a few empty frames.
+        dec.feed(encode_header(Data(0, 0)) * 5)
+        assert len(list(iter(dec))) == 5
+        # Header + 50 payload bytes arrive together; the 300-byte payload
+        # cannot fit in the 256-byte buffer, so the decoder rotates and
+        # must carry (= copy) exactly those 50 received payload bytes.
+        payload = bytes(i % 251 for i in range(300))
+        dec.feed(encode_header(Data(0, len(payload))) + payload[:50])
+        assert dec.try_pop() is None
+        assert stats.payload_copy_events == 1
+        assert stats.payload_bytes_copied == 50
+        dec.feed(payload[50:])
+        msg, got = dec.try_pop()
+        assert msg == Data(0, len(payload))
+        assert bytes(got) == payload
+        assert stats.payload_copy_events == 1  # completion copied nothing
+
+    def test_oversized_payload_header_rejected_before_alloc(self):
+        from repro.core import MAX_RECEIVE_ALLOC
+        import struct
+
+        raw = bytes([Op.REPORT]) + struct.pack(">Q", MAX_RECEIVE_ALLOC + 1)
+        dec = FrameDecoder()
+        dec.feed(raw)
+        with pytest.raises(FramingError):
+            dec.try_pop()
+
+
 class TestBlockingHelpers:
     def test_write_read_roundtrip(self):
         buf = io.BytesIO()

@@ -1,0 +1,66 @@
+"""Tests for the data-plane performance counters."""
+
+from repro.core import PerfStats, get_stats, reset_stats
+
+
+class TestPerfStats:
+    def test_starts_zeroed(self):
+        stats = PerfStats()
+        assert all(v == 0 for v in stats.snapshot().values())
+
+    def test_copied(self):
+        stats = PerfStats()
+        stats.copied(100)
+        stats.copied(28)
+        assert stats.payload_copy_events == 2
+        assert stats.payload_bytes_copied == 128
+
+    def test_syscall_counters(self):
+        stats = PerfStats()
+        stats.recv_syscall(10)
+        stats.send_syscall(20)
+        stats.send_syscall(5)
+        stats.sendfile_syscall(30)
+        assert stats.syscalls_recv == 1
+        assert stats.syscalls_send == 2
+        assert stats.syscalls_sendfile == 1
+        assert stats.syscalls == 4
+        assert stats.bytes_received == 10
+        assert stats.bytes_sent == 55
+
+    def test_frames_per_second(self):
+        stats = PerfStats()
+        stats.frames_decoded = 500
+        rate = stats.frames_per_second(now=stats._t0 + 2.0)
+        assert rate == 250.0
+
+    def test_frames_per_second_zero_elapsed(self):
+        stats = PerfStats()
+        assert stats.frames_per_second(now=stats._t0) == 0.0
+
+    def test_reset(self):
+        stats = PerfStats()
+        stats.copied(7)
+        stats.reset()
+        assert stats.payload_copy_events == 0
+        assert stats.payload_bytes_copied == 0
+
+    def test_snapshot_is_copy(self):
+        stats = PerfStats()
+        snap = stats.snapshot()
+        stats.copied(1)
+        assert snap["payload_copy_events"] == 0
+
+    def test_repr_mentions_nonzero(self):
+        stats = PerfStats()
+        assert "all zero" in repr(stats)
+        stats.copied(3)
+        assert "payload_copy_events=1" in repr(stats)
+
+    def test_global_instance_stable(self):
+        assert get_stats() is get_stats()
+
+    def test_reset_stats_zeroes_global(self):
+        get_stats().copied(1)
+        reset_stats()
+        assert get_stats().payload_copy_events == 0

@@ -2,6 +2,7 @@
 transfer early, the QUIT + report still propagate, and every node
 terminates cleanly (§III-C: "After END or QUIT, a report is sent")."""
 
+import dataclasses
 import threading
 import time
 
@@ -14,8 +15,10 @@ from repro.runtime import LocalBroadcast
 
 class TestUserInterrupt:
     def test_quit_mid_transfer(self, fast_config):
-        # A slow-ish transfer we can interrupt: many chunks.
-        size = fast_config.chunk_size * 400
+        # A transfer slow enough to interrupt reliably: pace the head so
+        # the watcher thread always wins the race against stream end.
+        config = dataclasses.replace(fast_config, bandwidth_limit=2 * 2**20)
+        size = config.chunk_size * 400
         sinks = {}
 
         def sink_factory(name):
@@ -24,7 +27,7 @@ class TestUserInterrupt:
 
         bc = LocalBroadcast(
             PatternSource(size), ["n2", "n3", "n4"],
-            sink_factory=sink_factory, config=fast_config,
+            sink_factory=sink_factory, config=config,
         )
 
         # Interrupt from a side thread once some data has flowed.

@@ -1,0 +1,178 @@
+"""The zero-copy data-plane contract, asserted with perf counters.
+
+Three invariants of the rebuilt runtime data path:
+
+* a relay in the backpressured steady state forwards chunks with **zero**
+  userspace payload copies (header bytes excluded) — received by
+  ``recv_into`` into a pooled buffer, retained as views, sent vectored;
+* a stalled vectored send resumes mid-buffer after ``flush_pending``
+  without duplicating or dropping a byte;
+* ring-buffer views handed to a recovery replay stay byte-correct while
+  the buffer pool recycles segments underneath the stream.
+"""
+
+import os
+import socket
+
+import pytest
+
+from repro.core import BufferPool, ChunkRingBuffer, FileSource, PerfStats
+from repro.core.framing import FrameDecoder, encode_header, header_size
+from repro.core.messages import Data, Op
+from repro.runtime.transport import HAS_SENDFILE, SocketStream, WriteStalled
+
+CHUNK = 4096
+
+
+def _pattern(i, size=CHUNK):
+    return bytes((i + j) % 251 for j in range(size))
+
+
+def _drain_exact(sock, n):
+    out = bytearray()
+    while len(out) < n:
+        piece = sock.recv(n - len(out))
+        assert piece, "peer closed mid-frame"
+        out += piece
+    return bytes(out)
+
+
+class TestSteadyStateRelay:
+    def test_zero_payload_copies_per_forwarded_chunk(self):
+        """Acceptance: upstream socket → decoder view → ring buffer →
+        vectored downstream send, with payload_copy_events == 0."""
+        up_w, up_r = socket.socketpair()
+        down_w, down_r = socket.socketpair()
+        stats = PerfStats()
+        upstream = SocketStream(up_r, stats=stats)
+        downstream = SocketStream(down_w, stats=stats)
+        ring = ChunkRingBuffer(16 * CHUNK)
+        n_chunks = 300  # > one pool segment of stream, forcing rotations
+        try:
+            for i in range(n_chunks):
+                payload = _pattern(i)
+                up_w.sendall(encode_header(Data(i * CHUNK, CHUNK)) + payload)
+                msg, view = upstream.recv_message(timeout=5)
+                assert msg == Data(i * CHUNK, CHUNK)
+                assert isinstance(view, memoryview)
+                ring.append(view)          # retention: no copy
+                downstream.send_message(msg, view, timeout=5)
+                wire = _drain_exact(down_r, header_size(Op.DATA) + CHUNK)
+                assert wire[header_size(Op.DATA):] == payload
+            assert stats.payload_copy_events == 0
+            assert stats.payload_bytes_copied == 0
+            assert stats.frames_decoded == n_chunks
+            assert stats.frames_sent == n_chunks
+            assert stats.bytes_received == n_chunks * (header_size(Op.DATA) + CHUNK)
+        finally:
+            upstream.close()
+            downstream.close()
+            up_w.close()
+            down_r.close()
+
+    def test_ring_retention_is_by_reference(self):
+        """The ring buffer holds the decoder's views, not copies: the
+        replayable window reads back correctly without bytes() detours."""
+        ring = ChunkRingBuffer(4 * CHUNK)
+        backing = bytearray(_pattern(7))
+        view = memoryview(backing)
+        ring.append(view)
+        (off, piece), = list(ring.iter_chunks_from(0))
+        assert off == 0
+        # Same underlying buffer — mutate the backing store, see it in
+        # the ring (the zero-copy retention contract, used deliberately
+        # only by the runtime which never mutates received buffers).
+        backing[0] ^= 0xFF
+        assert piece[0] == backing[0]
+
+
+class TestStallResume:
+    def test_flush_resumes_mid_buffer_without_loss_or_dup(self):
+        """Stall a multi-frame vectored queue, then drain + flush in
+        alternation: the peer must observe the exact byte sequence."""
+        a, b = socket.socketpair()
+        stream = SocketStream(a)
+        frames = []
+        expected = bytearray()
+        for i in range(3):
+            payload = _pattern(i, 600 * 1024)
+            frames.append((Data(i, len(payload)), payload))
+            expected += encode_header(frames[-1][0]) + payload
+        try:
+            stalled = False
+            for msg, payload in frames:
+                try:
+                    stream.send_message(msg, payload, timeout=0.05)
+                except WriteStalled:
+                    stalled = True
+            assert stalled, "test needs a genuine stall to exercise resume"
+            received = bytearray()
+            while stream.pending_bytes > 0:
+                b.settimeout(5)
+                received += b.recv(64 * 1024)
+                try:
+                    stream.flush_pending(timeout=0.05)
+                except WriteStalled:
+                    continue
+            while len(received) < len(expected):
+                received += b.recv(64 * 1024)
+            assert stream.pending_bytes == 0
+            assert bytes(received) == bytes(expected)
+        finally:
+            stream.close()
+            b.close()
+
+
+class TestReplayOutlivesRecycling:
+    def test_ring_views_stay_correct_while_pool_recycles(self):
+        """Stream far past the ring window with a tiny pool: segments are
+        recycled (pool_reuses > 0) underneath the stream, yet a recovery
+        replay of the retained window is byte-perfect."""
+        stats = PerfStats()
+        pool = BufferPool(4 * CHUNK, stats=stats)
+        dec = FrameDecoder(pool=pool, stats=stats)
+        ring = ChunkRingBuffer(8 * CHUNK)
+        n_chunks = 64
+        for i in range(n_chunks):
+            dec.feed(encode_header(Data(i * CHUNK, CHUNK)) + _pattern(i))
+            for msg, view in iter(dec):
+                ring.append(view)
+        assert stats.pool_reuses > 0, "pool never recycled; test is vacuous"
+        # Replay the retained window, as a DownstreamLink handshake would.
+        start = ring.min_offset
+        assert start == (n_chunks - 8) * CHUNK
+        replayed = b"".join(
+            bytes(piece) for _, piece in ring.iter_chunks_from(start)
+        )
+        expected = b"".join(_pattern(i) for i in range(n_chunks - 8, n_chunks))
+        assert replayed == expected
+
+
+@pytest.mark.skipif(not HAS_SENDFILE, reason="os.sendfile unavailable")
+class TestSendfilePath:
+    def test_send_frame_from_file_streams_kernel_side(self, tmp_path):
+        data = _pattern(3, 256 * 1024)
+        path = tmp_path / "payload.bin"
+        path.write_bytes(data)
+        a, b = socket.socketpair()
+        stats = PerfStats()
+        sender = SocketStream(a, stats=stats)
+        receiver = SocketStream(b)
+        src = FileSource(path)
+        off, size = 8192, 64 * 1024
+        try:
+            # Read the sequential cursor first: positional sendfile must
+            # not disturb it.
+            head = src.read_chunk(100)
+            sender.send_frame_from_file(Data(off, size), src, off, timeout=5)
+            msg, payload = receiver.recv_message(timeout=5)
+            assert msg == Data(off, size)
+            assert bytes(payload) == data[off: off + size]
+            assert stats.syscalls_sendfile >= 1
+            assert stats.payload_copy_events == 0
+            assert src.read_chunk(100) == data[100:200]
+            assert head == data[:100]
+        finally:
+            sender.close()
+            receiver.close()
+            src.close()

@@ -44,6 +44,72 @@ class TestScheduling:
         assert Engine().run() == 0.0
 
 
+class TestCancellation:
+    def test_cancelled_callback_never_fires(self):
+        eng = Engine()
+        log = []
+        seqs = [eng.call_at(float(i), lambda i=i: log.append(i))
+                for i in range(10)]
+        for seq in seqs[::2]:
+            eng._cancel_timeout(seq)
+        eng.run()
+        assert log == [1, 3, 5, 7, 9]
+
+    def test_pending_events_is_live_count(self):
+        eng = Engine()
+        seqs = [eng.call_at(float(i), lambda: None) for i in range(20)]
+        assert eng.pending_events == 20
+        for seq in seqs[:5]:
+            eng._cancel_timeout(seq)
+        assert eng.pending_events == 15
+
+    def test_mass_cancellation_compacts_heap(self):
+        # Cancelling more than half the queue rebuilds the heap in one
+        # pass, so neither structure can grow without bound.
+        eng = Engine()
+        seqs = [eng.call_at(float(i), lambda: None) for i in range(100)]
+        for seq in seqs[:60]:
+            eng._cancel_timeout(seq)
+        # Compaction fired at least once along the way: the heap no
+        # longer carries all 60 tombstones, and the set stays bounded by
+        # half the heap.
+        assert len(eng._heap) < 100
+        assert len(eng._cancelled) <= len(eng._heap) // 2
+        assert eng.pending_events == 40
+        eng.run()
+        assert eng.pending_events == 0
+
+    def test_run_until_does_not_leak_cancelled_tokens(self):
+        # Tokens for events beyond ``until`` used to linger in _cancelled
+        # forever; compaction now clears them.
+        eng = Engine()
+        log = []
+        eng.call_at(1.0, lambda: log.append("early"))
+        late = [eng.call_at(100.0 + i, lambda i=i: log.append(i))
+                for i in range(10)]
+        eng.run(until=5.0)
+        assert log == ["early"]
+        for seq in late:
+            eng._cancel_timeout(seq)
+        assert eng.pending_events == 0
+        assert not eng._cancelled  # compacted away, not retained forever
+        assert eng.run() == 5.0
+        assert log == ["early"]
+
+    def test_compaction_preserves_order(self):
+        eng = Engine()
+        log = []
+        keep, drop = [], []
+        for i in range(30):
+            seq = eng.call_at(float(30 - i), lambda i=i: log.append(30 - i))
+            (keep if i % 3 == 0 else drop).append(seq)
+        for seq in drop:
+            eng._cancel_timeout(seq)
+        eng.run()
+        assert log == sorted(log)
+        assert len(log) == len(keep)
+
+
 class TestProcesses:
     def test_simple_timeout(self):
         eng = Engine()

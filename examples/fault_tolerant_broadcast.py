@@ -13,8 +13,9 @@ Run:  python examples/fault_tolerant_broadcast.py
 
 import hashlib
 
+from repro import run_broadcast
 from repro.core import HashingSink, KascadeConfig, PatternSource
-from repro.runtime import CrashPlan, LocalBroadcast
+from repro.runtime import CrashPlan
 
 CONFIG = KascadeConfig(
     chunk_size=64 * 1024,
@@ -39,15 +40,19 @@ def run_scenario(title, crashes):
 
     receivers = [f"n{i}" for i in range(2, 9)]
     print(f"--- {title} ---")
-    result = LocalBroadcast(
+    result = run_broadcast(
         source, receivers, sink_factory=sink_factory,
-        config=CONFIG, crashes=crashes,
-    ).run(timeout=120)
+        config=CONFIG, crashes=crashes, trace=True, timeout=120,
+    )
 
     print(f"  {result.report.summary()}")
     for record in result.report.failures:
         print(f"    {record.node} declared dead by {record.detected_by} "
               f"at offset {record.at_offset} ({record.reason})")
+    # The structured trace tells the same story, machine-readably: the
+    # stall -> ping -> failover chain, any hole fills, and who finished.
+    for line in result.trace.failure_chronology().splitlines():
+        print(f"  {line}")
     crashed = {c.node for c in crashes}
     for name in receivers:
         if name in crashed:

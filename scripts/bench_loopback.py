@@ -12,6 +12,14 @@ Usage::
 
 ``--merge`` loads an existing JSON file and adds/replaces this run under
 ``--label``, preserving other labels (e.g. a pre-PR ``baseline``).
+
+``--compare LABEL`` turns the run into a regression gate: after measuring,
+exit non-zero if any scenario is more than ``--max-regression`` percent
+(default 5) slower than the numbers stored under LABEL.  CI uses this to
+verify the tracing-disabled hot path stays free::
+
+    PYTHONPATH=src python scripts/bench_loopback.py --label ci \
+        --compare pr1-zero-copy --max-regression 5
 """
 
 from __future__ import annotations
@@ -63,25 +71,39 @@ def main(argv=None) -> int:
     parser.add_argument("--merge", default=None,
                         help="existing JSON to merge this run into "
                              "(defaults to --out when it exists)")
+    parser.add_argument("--compare", default=None, metavar="LABEL",
+                        help="gate mode: fail if a scenario regresses vs "
+                             "the run stored under LABEL in --out")
+    parser.add_argument("--max-regression", type=float, default=5.0,
+                        metavar="PCT",
+                        help="allowed slowdown for --compare (default 5%%)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        metavar="NAME",
+                        help="run (and gate) only these scenarios "
+                             "(repeatable; default: all)")
     args = parser.parse_args(argv)
 
     size = args.size * 2**20
     print(f"loopback benchmarks: {args.size} MiB stream, "
           f"best of {args.rounds} rounds, label {args.label!r}")
-    scenarios = {
-        "pipeline_1mib_3nodes": run_scenario(
-            "pipeline_1mib_3nodes",
-            KascadeConfig(chunk_size=1 << 20, buffer_chunks=8),
-            size=size, receivers=3, rounds=args.rounds),
-        "small_chunks_4k": run_scenario(
-            "small_chunks_4k",
-            KascadeConfig(chunk_size=4096, buffer_chunks=64),
-            size=size, receivers=2, rounds=args.rounds),
-        "digest_1mib_3nodes": run_scenario(
-            "digest_1mib_3nodes",
+    catalogue = {
+        "pipeline_1mib_3nodes": (
+            KascadeConfig(chunk_size=1 << 20, buffer_chunks=8), 3),
+        "small_chunks_4k": (
+            KascadeConfig(chunk_size=4096, buffer_chunks=64), 2),
+        "digest_1mib_3nodes": (
             KascadeConfig(chunk_size=1 << 20, buffer_chunks=8,
-                          verify_digest=True),
-            size=size, receivers=3, rounds=args.rounds),
+                          verify_digest=True), 3),
+    }
+    wanted = args.scenario or list(catalogue)
+    unknown = [s for s in wanted if s not in catalogue]
+    if unknown:
+        raise SystemExit(f"unknown scenario(s) {unknown}; "
+                         f"available: {', '.join(catalogue)}")
+    scenarios = {
+        name: run_scenario(name, catalogue[name][0], size=size,
+                           receivers=catalogue[name][1], rounds=args.rounds)
+        for name in wanted
     }
 
     merge_path = args.merge or (args.out if Path(args.out).exists() else None)
@@ -101,6 +123,38 @@ def main(argv=None) -> int:
     }
     Path(args.out).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.out}")
+
+    if args.compare is not None:
+        return gate(doc, baseline_label=args.compare, current=scenarios,
+                    max_regression=args.max_regression)
+    return 0
+
+
+def gate(doc: dict, *, baseline_label: str, current: dict,
+         max_regression: float) -> int:
+    """Compare ``current`` scenario rates against a stored run; non-zero
+    exit when any shared scenario slowed by more than ``max_regression``%."""
+    baseline = doc.get("runs", {}).get(baseline_label)
+    if baseline is None:
+        print(f"gate: no run labelled {baseline_label!r} in the results file",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for name, now in sorted(current.items()):
+        then = baseline["scenarios"].get(name)
+        if then is None:
+            print(f"  gate {name:24s} (not in baseline, skipped)")
+            continue
+        delta = (now["mib_per_s"] - then["mib_per_s"]) / then["mib_per_s"] * 100
+        verdict = "ok" if delta >= -max_regression else "REGRESSION"
+        failed = failed or delta < -max_regression
+        print(f"  gate {name:24s} {then['mib_per_s']:8.1f} -> "
+              f"{now['mib_per_s']:8.1f} MiB/s  ({delta:+.1f}%)  {verdict}")
+    if failed:
+        print(f"gate: regression beyond {max_regression:.1f}% vs "
+              f"{baseline_label!r}", file=sys.stderr)
+        return 1
+    print(f"gate: within {max_regression:.1f}% of {baseline_label!r}")
     return 0
 
 

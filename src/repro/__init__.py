@@ -25,8 +25,12 @@ from .core import (
     KascadeConfig,
     KascadeError,
     PipelinePlan,
+    TraceCollector,
+    TraceEvent,
     TransferReport,
 )
+from .runtime.cluster import BroadcastResult, CrashPlan
+from .session import BroadcastSession, run_broadcast
 
 __version__ = "0.1.0"
 
@@ -38,5 +42,11 @@ __all__ = [
     "TransferReport",
     "FailureRecord",
     "KascadeError",
+    "TraceCollector",
+    "TraceEvent",
+    "BroadcastResult",
+    "CrashPlan",
+    "BroadcastSession",
+    "run_broadcast",
     "__version__",
 ]

@@ -100,6 +100,10 @@ class MethodResult:
     #: Attached when run(trace=True): a FabricTracer with the full rate
     #: history and bottleneck attribution of the simulated transfer.
     trace: Optional[object] = None
+    #: Attached when run(trace=True): the structured TraceCollector the
+    #: method's controller processes emitted into (FAILOVER/PGET/FORGET/
+    #: QUIT/DONE events on simulated time).
+    events: Optional[object] = None
 
     @property
     def total_time(self) -> float:
@@ -196,12 +200,15 @@ class BroadcastMethod:
         fabric = Fabric(engine, setup.network)
         tracer = None
         if trace:
+            from ..core.tracing import TraceCollector
             from ..simnet.trace import FabricTracer
-            tracer = FabricTracer(fabric)
+            engine.tracer = TraceCollector(clock=lambda: engine.now, zero=0.0)
+            tracer = FabricTracer(fabric, events=engine.tracer)
         state = self.execute(engine, fabric, setup)
         engine.run()
         result = self._collect(setup, state)
         result.trace = tracer
+        result.events = engine.tracer if trace else None
         return result
 
     # -- hooks ----------------------------------------------------------

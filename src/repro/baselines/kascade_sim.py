@@ -31,6 +31,7 @@ from ..core.errors import KascadeError
 from ..core.pipeline import PipelinePlan
 from ..core.recovery import SourceKind, next_alive
 from ..core.units import MiB
+from ..core import tracing
 from ..launch import TakTukWindowed
 from ..simnet import (
     Engine,
@@ -188,7 +189,7 @@ class _KascadeRun(RunState):
             # of the serial pipeline-fill path.
             yield Timeout(self.method.connect_cost + rtt)
             if self.fabric.is_dead(target):
-                self._mark_dead(target)
+                self._mark_dead(target, by=me)
                 continue
             # Store-and-forward granularity: a relay forwards nothing until
             # it holds one full chunk (§III-C), which is what makes the
@@ -197,18 +198,24 @@ class _KascadeRun(RunState):
             if myrx.aborted or me in self.failed:
                 return
             if self.fabric.is_dead(target):
-                self._mark_dead(target)
+                self._mark_dead(target, by=me)
                 continue
             start = self.rx[target].position()
             window_min = self._window_min(me)
             if start < window_min - 0.5:
+                self.engine.trace(tracing.PGET, target, peer=self.plan.head,
+                                  offset=int(start),
+                                  detail=f"until={int(window_min)}")
                 outcome = yield from self._fill_hole(me, target, start, window_min)
                 if myrx.aborted or me in self.failed:
                     return  # we died or aborted while the hole filled
                 if outcome == "target-died":
-                    self._mark_dead(target)
+                    self._mark_dead(target, by=me,
+                                    reason="died during hole fill")
                     continue
                 if outcome == "forget":
+                    self.engine.trace(tracing.FORGET, me, peer=target,
+                                      offset=int(window_min), detail="sent")
                     self._abort_suffix(me)
                     return  # this node is the effective tail now
                 start = window_min
@@ -235,7 +242,7 @@ class _KascadeRun(RunState):
             except HostDied as exc:
                 if exc.host == me:
                     return  # we are the dead one, not the target
-                self._mark_dead(target)
+                self._mark_dead(target, by=me)
                 continue
             self.rx[target].attach(stream)
             if me in self.tx:
@@ -248,6 +255,8 @@ class _KascadeRun(RunState):
             try:
                 yield stream.completed
                 self.mark_finished(target, self.engine.now)
+                self.engine.trace(tracing.DONE, target,
+                                  offset=int(self.size), detail="ok")
                 return
             except HostDied as exc:
                 if exc.host == me:
@@ -255,10 +264,13 @@ class _KascadeRun(RunState):
                 # Detection: stalled write, then an unanswered ping.
                 self.rx[target].attach(None)
                 yield Timeout(cfg.io_timeout + rtt)
-                self._mark_dead(target)
+                self._mark_dead(target, by=me,
+                                reason="write-stalled, ping unanswered")
             except SlowNodeExcluded as exc:
                 # §V future work: the laggard is dropped from the chain,
                 # its successors get re-served at full speed.
+                self.engine.trace(tracing.QUIT, target, peer=me,
+                                  detail=f"excluded: {exc}")
                 self.rx[target].attach(None)
                 self.excluded.add(target)
                 self.dead.add(target)
@@ -373,7 +385,12 @@ class _KascadeRun(RunState):
         self.rx[target].supply.attach(None)
         return "ok"
 
-    def _mark_dead(self, node: str) -> None:
+    def _mark_dead(self, node: str, *, by: Optional[str] = None,
+                   reason: str = "connect-failed: host dead") -> None:
+        if node not in self.dead:
+            self.engine.trace(tracing.FAILOVER, by or self.plan.head,
+                              peer=node, detail=reason,
+                              detector=tracing.classify_detector(reason))
         self.dead.add(node)
         self.failed.add(node)
         self.finish_times.pop(node, None)

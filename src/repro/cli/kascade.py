@@ -25,8 +25,22 @@ from ..core import DEFAULT_CONFIG, KascadeConfig
 from ..core.sinks import open_sink
 from ..core.sources import open_source
 from ..core.pipeline import PipelinePlan
-from ..runtime import HeadNode, Listener, LocalBroadcast, ReceiverNode, Registry
+from ..core.tracing import NULL_TRACER, TraceCollector
+from ..runtime import HeadNode, Listener, ReceiverNode, Registry
 from ..runtime.transport import Address
+
+
+def make_tracer(args: argparse.Namespace):
+    """``(tracer, finish)`` pair for ``--trace PATH``: a collector when
+    tracing is on (``finish()`` writes the JSONL file), else the no-op."""
+    if not args.trace:
+        return NULL_TRACER, lambda: None
+    tracer = TraceCollector()
+
+    def finish() -> None:
+        tracer.to_jsonl(args.trace)
+
+    return tracer, finish
 
 
 def parse_registry(spec: str) -> Tuple[List[str], Dict[str, Address]]:
@@ -80,6 +94,10 @@ def add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--bwlimit", default=None,
                         help="cap the head's send rate, e.g. 40MB (per "
                              "second); useful next to production traffic")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSONL timeline of structured "
+                             "broadcast events (connect/chunk/stall/ping/"
+                             "failover/...) to PATH")
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -98,10 +116,12 @@ def cmd_demo(args: argparse.Namespace) -> int:
         from ..core.sinks import NullSink
         return NullSink()
 
-    bc = LocalBroadcast(source, receivers, sink_factory=sink_factory,
-                        config=config)
-    result = bc.run(timeout=args.run_timeout)
-    delivered = [n for n in result.completed_nodes if n != bc.plan.head]
+    from ..session import run_broadcast
+
+    result = run_broadcast(source, receivers, sink_factory=sink_factory,
+                           config=config, trace=args.trace,
+                           timeout=args.run_timeout)
+    delivered = [n for n in result.completed_nodes if n != "n1"]
     print(f"{result.total_bytes} bytes to {len(delivered)} node(s) "
           f"in {result.duration:.2f}s "
           f"({result.throughput / 1e6:.1f} MB/s)")
@@ -109,6 +129,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
     for name, outcome in sorted(result.outcomes.items()):
         status = "ok" if outcome.ok else f"FAILED ({outcome.error})"
         print(f"  {name}: {outcome.bytes_received} bytes, {status}")
+    if args.trace and result.trace is not None:
+        print(result.trace.failure_chronology())
+        print(f"trace: {result.trace.summary()} -> {args.trace}")
     return 0 if result.ok else 1
 
 
@@ -122,9 +145,12 @@ def cmd_recv(args: argparse.Namespace) -> int:
     me = addrs[args.name]
     listener = Listener(host=me.host, port=me.port)
     sink = open_sink(args.output, args.output_command)
-    node = ReceiverNode(args.name, plan, Registry(addrs), listener, config, sink)
+    tracer, finish_trace = make_tracer(args)
+    node = ReceiverNode(args.name, plan, Registry(addrs), listener, config,
+                        sink, tracer=tracer)
     node.start()
     node.join()
+    finish_trace()
     outcome = node.outcome
     if outcome.ok:
         print(f"{args.name}: received {outcome.bytes_received} bytes")
@@ -143,13 +169,16 @@ def cmd_send(args: argparse.Namespace) -> int:
     me = addrs[args.name]
     listener = Listener(host=me.host, port=me.port)
     source = open_source(args.input)
-    node = HeadNode(args.name, plan, Registry(addrs), listener, config, source)
+    tracer, finish_trace = make_tracer(args)
+    node = HeadNode(args.name, plan, Registry(addrs), listener, config,
+                    source, tracer=tracer)
     node.start()
     try:
         node.join()
     except KeyboardInterrupt:
         node.request_quit()
         node.join()
+    finish_trace()
     report = node.final_report
     if report is not None:
         print(report.summary())

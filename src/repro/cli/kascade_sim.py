@@ -249,7 +249,12 @@ def cmd_proto(args: argparse.Namespace) -> int:
     crashes = [_parse_kill_spec(s, size) for s in args.kill]
     bc = ProtoBroadcast(PatternSource(size, seed=args.seed), receivers,
                         config=config, crashes=crashes)
-    result = bc.run(trace=args.msc)
+    if args.trace:
+        from ..core.tracing import TraceCollector
+        tracer = TraceCollector(zero=0.0)
+        result = bc.run(trace=args.msc, tracer=tracer)
+    else:
+        result = bc.run(trace=args.msc)
 
     print(f"simulated {size} bytes to {len(receivers)} node(s) "
           f"in {result.sim_time:.3f}s (simulated)")
@@ -258,6 +263,10 @@ def cmd_proto(args: argparse.Namespace) -> int:
         status = "ok" if result.node_ok[name] else (
             result.node_errors[name] or "incomplete")
         print(f"  {name}: {result.node_bytes[name]} bytes, {status}")
+    if result.trace is not None:
+        result.trace.to_jsonl(args.trace)
+        print(result.trace.failure_chronology())
+        print(f"trace: {result.trace.summary()} -> {args.trace}")
     if args.msc:
         print()
         print(render_msc(result.message_log, ["n1", *receivers]))
@@ -378,6 +387,9 @@ def main(argv: List[str] | None = None) -> int:
                             "n4@2.5s (repeatable)")
     proto.add_argument("--msc", action="store_true",
                        help="print the message sequence chart of the run")
+    proto.add_argument("--trace", default=None, metavar="PATH",
+                       help="write the structured event timeline (JSONL, "
+                            "same schema as `kascade --trace`) to PATH")
     proto.add_argument("--seed", type=int, default=1)
     proto.set_defaults(fn=cmd_proto)
 

@@ -39,6 +39,7 @@ class KascadeConfig:
     max_connect_attempts:
         How many consecutive downstream nodes may be skipped while looking
         for the next alive neighbour before giving up on the tail.
+        ``None`` (the default) means unbounded — try every remaining node.
     report_timeout:
         Seconds the head waits for the final report from the tail node.
     verify_digest:
@@ -58,7 +59,7 @@ class KascadeConfig:
     io_timeout: float = 1.0
     ping_timeout: float = 0.5
     connect_timeout: float = 2.0
-    max_connect_attempts: int = 0  # 0 = unbounded (try every remaining node)
+    max_connect_attempts: Optional[int] = None  # None = unbounded
     report_timeout: float = 30.0
     verify_digest: bool = False
     bandwidth_limit: Optional[float] = None
@@ -72,8 +73,8 @@ class KascadeConfig:
             value = getattr(self, name)
             if value <= 0:
                 raise ConfigError(f"{name} must be positive, got {value}")
-        if self.max_connect_attempts < 0:
-            raise ConfigError("max_connect_attempts must be >= 0")
+        if self.max_connect_attempts is not None and self.max_connect_attempts < 0:
+            raise ConfigError("max_connect_attempts must be >= 0 or None")
         if self.bandwidth_limit is not None and self.bandwidth_limit <= 0:
             raise ConfigError(
                 f"bandwidth_limit must be positive, got {self.bandwidth_limit}"

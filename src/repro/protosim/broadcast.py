@@ -17,6 +17,7 @@ from ..core.pipeline import PipelinePlan
 from ..core.report import TransferReport
 from ..core.sinks import NullSink, Sink
 from ..core.sources import Source
+from ..core.tracing import NULL_TRACER, TraceCollector
 from ..simnet.channels import SimNetHub
 from ..simnet.engine import Engine
 from .node import CrashNow, ProtoHead, ProtoReceiver
@@ -55,6 +56,8 @@ class ProtoResult:
     #: Raw message trace when run with ``trace=True``:
     #: ``(time, src, dst, message, payload_len)`` tuples.
     message_log: Optional[List] = None
+    #: Structured event trace when a collector was passed to ``run``.
+    trace: Optional[TraceCollector] = None
 
 
 class ProtoBroadcast:
@@ -95,8 +98,15 @@ class ProtoBroadcast:
         return gate
 
     def run(self, sim_horizon: float = 3600.0,
-            trace: bool = False) -> ProtoResult:
-        engine = Engine()
+            trace: bool = False, tracer=NULL_TRACER) -> ProtoResult:
+        """Run to completion (or ``sim_horizon``).
+
+        ``trace=True`` records the raw per-message log; ``tracer`` takes
+        a :class:`~repro.core.tracing.TraceCollector` for the structured
+        event timeline shared with the real runtime (events are stamped
+        with simulated seconds).
+        """
+        engine = Engine(tracer=tracer)
         hub = SimNetHub(engine, bandwidth=self.bandwidth,
                         latency=self.latency)
         message_log = hub.start_tracing() if trace else None
@@ -182,4 +192,5 @@ class ProtoBroadcast:
             node_errors={n.name: n.error for n in self.nodes.values()},
             crashed=crashed,
             message_log=message_log,
+            trace=tracer if isinstance(tracer, TraceCollector) else None,
         )

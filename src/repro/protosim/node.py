@@ -35,6 +35,8 @@ from ..core.recovery import OfferKind, next_alive
 from ..core.report import TransferReport
 from ..core.sinks import Sink
 from ..core.sources import Source
+from ..core import tracing
+from ..core.tracing import classify_detector
 from ..simnet.channels import ChannelClosed, ChannelTimeout, SimNetHub
 from ..simnet.engine import Engine, Event
 
@@ -135,6 +137,12 @@ class ProtoNode:
 
     def ping(self, target: str):
         """Sub-generator: True if ``target`` answers a liveness ping."""
+        answered = yield from self._ping_attempt(target)
+        self.engine.trace(tracing.PING, self.name, peer=target,
+                          detail="answered" if answered else "unanswered")
+        return answered
+
+    def _ping_attempt(self, target: str):
         cfg = self.config
         try:
             probe = yield from self.hub.connect(self.name, target, PING_CONN)
@@ -168,6 +176,10 @@ class ProtoLink:
         if node not in self.dead:
             self.dead.add(node)
             self.state.record_failure(node, reason)
+            self.node.engine.trace(
+                tracing.FAILOVER, self.node.name, peer=node,
+                offset=self.sent_offset, detail=reason,
+                detector=classify_detector(reason))
 
     def _drop(self) -> None:
         if self.end is not None:
@@ -184,6 +196,9 @@ class ProtoLink:
                                               timeout=cfg.io_timeout)
                 return
             except ChannelTimeout:
+                self.node.engine.trace(tracing.STALL, self.node.name,
+                                       peer=self.target,
+                                       offset=self.sent_offset, detail="write")
                 alive = yield from self.node.ping(self.target)
                 if not alive:
                     raise ChannelClosed(
@@ -196,6 +211,9 @@ class ProtoLink:
             try:
                 return (yield from self.end.recv(timeout=cfg.io_timeout))
             except ChannelTimeout:
+                self.node.engine.trace(tracing.STALL, self.node.name,
+                                       peer=self.target,
+                                       detail=f"read: {reason}")
                 alive = yield from self.node.ping(self.target)
                 if not alive:
                     raise ChannelClosed(
@@ -235,6 +253,9 @@ class ProtoLink:
                 self._mark_dead(target, f"bad-handshake: {type(msg).__name__}")
                 continue
             self.end, self.target = end, target
+            self.node.engine.trace(tracing.CONNECT, self.node.name,
+                                   peer=target, offset=msg.offset,
+                                   detail="downstream")
             ok = yield from self._serve_handshake(msg.offset)
             if ok:
                 return True
@@ -255,6 +276,9 @@ class ProtoLink:
                     yield from self._send_frame(Data(off, len(piece)), piece)
                     self.sent_offset = off + len(piece)
                 return True
+            self.node.engine.trace(tracing.FORGET, self.node.name,
+                                   peer=self.target,
+                                   offset=offer.resume_at, detail="sent")
             yield from self._send_frame(Forget(offer.resume_at))
             msg, _ = yield from self._recv_gated("awaiting GET after FORGET")
             if isinstance(msg, Quit):
@@ -344,6 +368,8 @@ class ProtoHead(ProtoNode):
                 timeout=cfg.io_timeout + cfg.connect_timeout)
             if not isinstance(msg, PGet):
                 raise ChannelClosed(f"expected PGET, got {msg!r}")
+            self.engine.trace(tracing.PGET, self.name, offset=msg.offset,
+                              detail=f"serve until={msg.until}")
             offer = self.state.answer_pget(msg.offset, msg.until)
             if offer.kind is OfferKind.FORGET:
                 end.send(Forget(offer.resume_at))
@@ -367,6 +393,8 @@ class ProtoHead(ProtoNode):
                 timeout=cfg.io_timeout + cfg.connect_timeout)
             if isinstance(msg, Report):
                 self.final_report = TransferReport.decode(payload)
+                self.engine.trace(tracing.REPORT, self.name,
+                                  detail="ring-closure")
                 end.send(Passed())
                 if not self._ring_event.triggered:
                     self._ring_event.succeed(None)
@@ -384,6 +412,9 @@ class ProtoHead(ProtoNode):
                 break
             off = state.offset
             state.on_data(off, chunk)
+            if self.engine.tracer.enabled:
+                self.engine.trace(tracing.CHUNK, self.name, offset=off,
+                                  detail=f"read {len(chunk)}")
             delivered = yield from self.link.send_data(off, chunk)
             if not delivered:
                 break
@@ -404,6 +435,8 @@ class ProtoHead(ProtoNode):
             self.final_report = state.report
         self.ok = outcome == "passed"
         self.bytes_received = total
+        self.engine.trace(tracing.DONE, self.name, offset=total,
+                          detail="ok" if self.ok else "failed")
         self.done = True
 
 
@@ -423,6 +456,9 @@ class ProtoReceiver(ProtoNode):
 
     def _consume_chunk(self, offset: int, payload: bytes):
         self.state.on_data(offset, payload)
+        if self.engine.tracer.enabled:
+            self.engine.trace(tracing.CHUNK, self.name, offset=offset,
+                              detail=f"recv {len(payload)}")
         self.sink.write_chunk(payload)
         self.bytes_received = self.state.offset
         yield from self.link.send_data(offset, payload)
@@ -433,6 +469,8 @@ class ProtoReceiver(ProtoNode):
 
     def _fetch_hole(self, until: int):
         cfg = self.config
+        self.engine.trace(tracing.PGET, self.name, peer=self.plan.head,
+                          offset=self.state.offset, detail=f"until={until}")
         try:
             end = yield from self.hub.connect(
                 self.name, self.plan.head, PGET_CONN)
@@ -454,6 +492,8 @@ class ProtoReceiver(ProtoNode):
             end.close()
 
     def _hard_abort(self, reason: str):
+        self.engine.trace(tracing.QUIT, self.name,
+                          offset=self.state.offset, detail=reason)
         if self.upstream is not None:
             try:
                 self.upstream.send(Quit())
@@ -486,6 +526,8 @@ class ProtoReceiver(ProtoNode):
                     return
                 try:
                     self.upstream.send(Get(state.offset))
+                    self.engine.trace(tracing.CONNECT, self.name,
+                                      offset=state.offset, detail="upstream")
                 except ChannelClosed:
                     self.upstream = None
                 last_progress = self.engine.now
@@ -500,6 +542,9 @@ class ProtoReceiver(ProtoNode):
                     self.upstream = replacement
                     try:
                         self.upstream.send(Get(state.offset))
+                        self.engine.trace(tracing.CONNECT, self.name,
+                                          offset=state.offset,
+                                          detail="upstream-replaced")
                     except ChannelClosed:
                         self.upstream = None
                     last_progress = self.engine.now
@@ -521,7 +566,10 @@ class ProtoReceiver(ProtoNode):
                 # duplicate END from a rerouted upstream: ignore
             elif isinstance(msg, Report):
                 upstream_report = payload
+                self.engine.trace(tracing.REPORT, self.name, detail="upstream")
             elif isinstance(msg, Forget):
+                self.engine.trace(tracing.FORGET, self.name,
+                                  offset=msg.min_offset, detail="received")
                 recovered = yield from self._fetch_hole(msg.min_offset)
                 if not recovered:
                     self._hard_abort("data lost beyond recovery (FORGET)")
@@ -532,6 +580,8 @@ class ProtoReceiver(ProtoNode):
                     self.upstream.close()
                     self.upstream = None
             elif isinstance(msg, Quit):
+                self.engine.trace(tracing.QUIT, self.name,
+                                  offset=state.offset, detail="received")
                 state.on_quit()
                 try:
                     rmsg, rpayload = yield from self.upstream.recv(
@@ -558,6 +608,11 @@ class ProtoReceiver(ProtoNode):
             total=state.offset, quit_first=aborted)
         if outcome == "tail":
             yield from self._ring_deliver(state.report.encode())
+        self.ok = not aborted and state.complete and digest_ok is not False
+        # DONE before acknowledging upstream, mirroring the runtime: the
+        # PASSED wave orders DONE events causally tail -> head.
+        self.engine.trace(tracing.DONE, self.name, offset=state.offset,
+                          detail="ok" if self.ok else "failed")
         if self.upstream is not None:
             try:
                 self.upstream.send(Passed())
@@ -569,7 +624,6 @@ class ProtoReceiver(ProtoNode):
             self.sink.abort()
         else:
             self.sink.finish()
-        self.ok = not aborted and state.complete and digest_ok is not False
         self.done = True
 
     def _ring_deliver(self, report_bytes: bytes):

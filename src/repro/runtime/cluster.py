@@ -18,15 +18,18 @@ Crash injection reproduces the Distem experiments' failure modes:
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.config import DEFAULT_CONFIG, KascadeConfig
 from ..core.errors import KascadeError
+from ..core.perfstats import get_stats
 from ..core.pipeline import PipelinePlan
 from ..core.report import TransferReport
 from ..core.sinks import NullSink, Sink
 from ..core.sources import Source
+from ..core.tracing import NULL_TRACER, TraceCollector
 from .node import HeadNode, NodeOutcome, ReceiverNode
 from .registry import Registry
 from .transport import Listener
@@ -49,13 +52,23 @@ class CrashPlan:
 
 @dataclass
 class BroadcastResult:
-    """Outcome of one local broadcast."""
+    """Outcome of one broadcast — the shape every backend returns.
+
+    ``duration`` is wall-clock seconds for the local backend and
+    simulated seconds for ``backend="simnet"``; ``trace`` carries the
+    :class:`~repro.core.tracing.TraceCollector` when tracing was on, and
+    ``perfstats`` the delta of the process-wide I/O counters across the
+    run (empty for the simulator, which does no real I/O).
+    """
 
     ok: bool
     duration: float
     total_bytes: int
     report: TransferReport
     outcomes: Dict[str, NodeOutcome] = field(default_factory=dict)
+    trace: Optional[TraceCollector] = None
+    perfstats: Dict[str, int] = field(default_factory=dict)
+    backend: str = "local"
 
     @property
     def completed_nodes(self) -> List[str]:
@@ -90,6 +103,12 @@ class LocalBroadcast:
         Node ordering strategy passed to :meth:`PipelinePlan.build`.
     crashes:
         Failure injection plans (see :class:`CrashPlan`).
+    tracer:
+        A :class:`~repro.core.tracing.TraceCollector` every node emits
+        structured events into, or the default no-op recorder.
+
+    Prefer :func:`repro.run_broadcast` for new code — it fronts this
+    class and the simulator behind one backend-selectable entry point.
     """
 
     def __init__(
@@ -102,9 +121,11 @@ class LocalBroadcast:
         head: str = "n1",
         order: str = "given",
         crashes: Sequence[CrashPlan] = (),
+        tracer=NULL_TRACER,
     ) -> None:
         self.source = source
         self.config = config
+        self.tracer = tracer
         self.plan = PipelinePlan.build(head, receivers, order=order)
         self.sink_factory = sink_factory or (lambda name: NullSink())
         self.crashes = {c.node: c for c in crashes}
@@ -132,6 +153,7 @@ class LocalBroadcast:
         head = HeadNode(
             self.plan.head, self.plan, registry,
             listeners[self.plan.head], self.config, self.source,
+            tracer=self.tracer,
         )
         receivers: List[ReceiverNode] = []
         for name in self.plan.receivers:
@@ -141,19 +163,25 @@ class LocalBroadcast:
                 ReceiverNode(
                     name, self.plan, registry, listeners[name], self.config,
                     sink, crash_gate=self._crash_gate(name),
+                    tracer=self.tracer,
                 )
             )
         self.nodes = {head.name: head, **{r.name: r for r in receivers}}
 
+        stats_before = get_stats().snapshot()
         started = time.monotonic()
         for node in receivers:
             node.start()
         head.start()
 
+        # One deadline bounds the *whole* run: joins consume the shared
+        # remaining budget (plus a single one-second grace for teardown),
+        # so a wedged head cannot double the effective wall-clock bound.
         deadline = started + timeout
-        head.join(timeout)
+        head.join(max(0.0, deadline - time.monotonic()))
+        grace = deadline + 1.0
         for node in receivers:
-            node.join(max(0.0, deadline - time.monotonic()) + 1.0)
+            node.join(max(0.0, grace - time.monotonic()))
         duration = time.monotonic() - started
 
         # Force shutdown of anything still alive (e.g. silent crash remains).
@@ -174,19 +202,34 @@ class LocalBroadcast:
             and all(r.outcome.ok for r in intended)
             and not head.thread.is_alive()
         )
+        stats_after = get_stats().snapshot()
         return BroadcastResult(
             ok=ok,
             duration=duration,
             total_bytes=head.outcome.bytes_received,
             report=report,
             outcomes=outcomes,
+            trace=self.tracer if isinstance(self.tracer, TraceCollector) else None,
+            perfstats={k: stats_after[k] - stats_before.get(k, 0)
+                       for k in stats_after},
+            backend="local",
         )
 
 
 def broadcast(
     source: Source,
     receivers: Sequence[str],
+    timeout: float = 120.0,
     **kwargs,
 ) -> BroadcastResult:
-    """One-call convenience wrapper around :class:`LocalBroadcast`."""
-    return LocalBroadcast(source, receivers, **kwargs).run()
+    """Deprecated: use :func:`repro.run_broadcast` instead.
+
+    Kept as a thin shim over :class:`LocalBroadcast` for callers of the
+    pre-facade API.
+    """
+    warnings.warn(
+        "repro.runtime.broadcast() is deprecated; use repro.run_broadcast()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return LocalBroadcast(source, receivers, **kwargs).run(timeout=timeout)

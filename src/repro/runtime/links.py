@@ -25,6 +25,8 @@ from ..core.messages import Data, End, Get, Passed, Pong, Ping, Quit, Report, Fo
 from ..core.node_state import NodeTransferState
 from ..core.pipeline import PipelinePlan
 from ..core.recovery import OfferKind, next_alive
+from ..core import tracing
+from ..core.tracing import NULL_TRACER, classify_detector
 from .registry import Registry
 from .transport import DATA_CONN, PING_CONN, SocketStream, WriteStalled, connect
 
@@ -41,12 +43,14 @@ class DownstreamLink:
         registry: Registry,
         config: KascadeConfig,
         state: NodeTransferState,
+        tracer=NULL_TRACER,
     ) -> None:
         self.owner = owner
         self.plan = plan
         self.registry = registry
         self.config = config
         self.state = state
+        self.tracer = tracer
         self.stream: Optional[SocketStream] = None
         self.target: Optional[str] = None
         self.dead: Set[str] = set()
@@ -73,6 +77,9 @@ class DownstreamLink:
         if node not in self.dead:
             self.dead.add(node)
             self.state.record_failure(node, reason)
+            self.tracer.emit(tracing.FAILOVER, self.owner, peer=node,
+                             offset=self.sent_offset, detail=reason,
+                             detector=classify_detector(reason))
             logger.info("%s: declared %s dead (%s)", self.owner, node, reason)
 
     def _drop(self) -> None:
@@ -120,6 +127,8 @@ class DownstreamLink:
                 self._mark_dead(target, f"bad-handshake: {type(msg).__name__}")
                 continue
             self.stream, self.target = stream, target
+            self.tracer.emit(tracing.CONNECT, self.owner, peer=target,
+                             offset=msg.offset, detail="downstream")
             if self._serve_handshake(msg.offset):
                 return True
             # handshake/replay failed; _serve_handshake dropped the stream
@@ -147,6 +156,8 @@ class DownstreamLink:
                 return True
             # Relay (or stream-head) cannot serve: FORGET(min); the
             # receiver PGETs the hole from the head then re-GETs.
+            self.tracer.emit(tracing.FORGET, self.owner, peer=self.target,
+                             offset=offer.resume_at, detail="sent")
             self._send_frame(Forget(offer.resume_at))
             msg, _ = self._recv_gated("awaiting GET after FORGET")
             if isinstance(msg, Quit):
@@ -169,6 +180,12 @@ class DownstreamLink:
     def _ping_target(self) -> bool:
         """§III-D1: open a side connection and ping; True if peer answers."""
         assert self.target is not None
+        answered = self._ping_attempt()
+        self.tracer.emit(tracing.PING, self.owner, peer=self.target,
+                         detail="answered" if answered else "unanswered")
+        return answered
+
+    def _ping_attempt(self) -> bool:
         try:
             probe = connect(self.registry.address_of(self.target), PING_CONN,
                             self.config.ping_timeout)
@@ -217,7 +234,8 @@ class DownstreamLink:
             self.stream.flush_pending(timeout=self.config.io_timeout)
             return
         except WriteStalled:
-            pass
+            self.tracer.emit(tracing.STALL, self.owner, peer=self.target,
+                             offset=self.sent_offset, detail="write")
         while True:
             if not self._ping_target():
                 raise NodeFailedError(self.target, "write-stalled, ping unanswered")
@@ -241,6 +259,8 @@ class DownstreamLink:
             try:
                 return self.stream.recv_message(self.config.io_timeout)
             except TimeoutError:
+                self.tracer.emit(tracing.STALL, self.owner, peer=self.target,
+                                 detail=f"read: {wait_reason}")
                 if not self._ping_target():
                     raise NodeFailedError(
                         self.target, f"{wait_reason}: silent, ping unanswered"

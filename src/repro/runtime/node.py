@@ -54,6 +54,8 @@ from ..core.recovery import OfferKind
 from ..core.report import TransferReport
 from ..core.sinks import Sink
 from ..core.sources import Source
+from ..core import tracing
+from ..core.tracing import NULL_TRACER
 from .links import DownstreamLink
 from .registry import Registry
 from .transport import (
@@ -167,12 +169,14 @@ class _BaseNode:
         registry: Registry,
         listener: Listener,
         config: KascadeConfig,
+        tracer=NULL_TRACER,
     ) -> None:
         self.name = name
         self.plan = plan
         self.registry = registry
         self.listener = listener
         self.config = config
+        self.tracer = tracer
         self.data_inbox: "queue.Queue[SocketStream]" = queue.Queue()
         self.stop_event = threading.Event()
         self.silent = False
@@ -242,11 +246,13 @@ class HeadNode(_BaseNode):
         listener: Listener,
         config: KascadeConfig,
         source: Source,
+        tracer=NULL_TRACER,
     ) -> None:
-        super().__init__(name, plan, registry, listener, config)
+        super().__init__(name, plan, registry, listener, config, tracer)
         self.source = source
         self.state = NodeTransferState(name, config, source_kind=source.kind)
-        self.link = DownstreamLink(name, plan, registry, config, self.state)
+        self.link = DownstreamLink(name, plan, registry, config, self.state,
+                                   tracer)
         self.quit_requested = threading.Event()
         self.final_report: Optional[TransferReport] = None
         self._ring_event = threading.Event()
@@ -270,6 +276,8 @@ class HeadNode(_BaseNode):
             msg, _ = stream.recv_message(cfg.io_timeout + cfg.connect_timeout)
             if not isinstance(msg, PGet):
                 raise ProtocolError(f"expected PGET, got {msg!r}")
+            self.tracer.emit(tracing.PGET, self.name, offset=msg.offset,
+                             detail=f"serve until={msg.until}")
             offer = self.state.answer_pget(msg.offset, msg.until)
             if offer.kind is OfferKind.FORGET:
                 stream.send_message(Forget(offer.resume_at), timeout=cfg.io_timeout)
@@ -301,6 +309,7 @@ class HeadNode(_BaseNode):
             if not isinstance(msg, Report):
                 raise ProtocolError(f"expected REPORT on ring, got {msg!r}")
             self._ring_report = TransferReport.decode(payload)
+            self.tracer.emit(tracing.REPORT, self.name, detail="ring-closure")
             stream.send_message(Passed(), timeout=cfg.io_timeout)
             self._ring_event.set()
         except (TimeoutError, ConnectionError, WriteStalled, ProtocolError) as exc:
@@ -327,6 +336,9 @@ class HeadNode(_BaseNode):
                     break
             off = state.offset
             state.on_data(off, chunk)
+            if self.tracer.enabled:
+                self.tracer.emit(tracing.CHUNK, self.name, offset=off,
+                                 detail=f"read {len(chunk)}")
             # Cork small chunks and push them in vectored batches; large
             # chunks cross the threshold immediately, keeping the
             # pipeline's chunk-by-chunk backpressure behaviour.
@@ -339,6 +351,8 @@ class HeadNode(_BaseNode):
         total = state.offset
         aborting = self.quit_requested.is_set()
         if aborting:
+            self.tracer.emit(tracing.QUIT, self.name, offset=total,
+                             detail="user interrupt")
             state.on_quit()
         else:
             state.on_end(total)
@@ -356,6 +370,8 @@ class HeadNode(_BaseNode):
         self.outcome.failures_detected = list(state.report.failures)
         if outcome != "passed":
             self.outcome.error = "no downstream completed the transfer"
+        self.tracer.emit(tracing.DONE, self.name, offset=total,
+                         detail="ok" if self.outcome.ok else "failed")
         state.on_passed() if state.phase in (Phase.ENDED, Phase.ABORTED) else None
         self.shutdown()
 
@@ -375,12 +391,14 @@ class ReceiverNode(_BaseNode):
         config: KascadeConfig,
         sink: Sink,
         crash_gate: Optional[CrashGate] = None,
+        tracer=NULL_TRACER,
     ) -> None:
-        super().__init__(name, plan, registry, listener, config)
+        super().__init__(name, plan, registry, listener, config, tracer)
         self.sink = sink
         self.crash_gate = crash_gate
         self.state = NodeTransferState(name, config)
-        self.link = DownstreamLink(name, plan, registry, config, self.state)
+        self.link = DownstreamLink(name, plan, registry, config, self.state,
+                                   tracer)
         self.upstream: Optional[SocketStream] = None
 
     # -- upstream management ----------------------------------------------
@@ -404,6 +422,8 @@ class ReceiverNode(_BaseNode):
                 stream.send_message(Get(self.state.offset),
                                     timeout=self.config.io_timeout)
                 self.upstream = stream
+                self.tracer.emit(tracing.CONNECT, self.name,
+                                 offset=self.state.offset, detail="upstream")
             except (WriteStalled, ConnectionError):
                 stream.close()
 
@@ -421,6 +441,8 @@ class ReceiverNode(_BaseNode):
             stream.send_message(Get(self.state.offset),
                                 timeout=self.config.io_timeout)
             self.upstream = stream
+            self.tracer.emit(tracing.CONNECT, self.name,
+                             offset=self.state.offset, detail="upstream-replaced")
             return True
         except (WriteStalled, ConnectionError):
             stream.close()
@@ -441,8 +463,12 @@ class ReceiverNode(_BaseNode):
         """
         cfg = self.config
         head_addr = self.registry.address_of(self.plan.head)
+        self.tracer.emit(tracing.PGET, self.name, peer=self.plan.head,
+                         offset=self.state.offset, detail=f"until={until}")
         try:
-            stream = connect(head_addr, PGET_CONN, cfg.connect_timeout)
+            stream = connect(head_addr, PGET_CONN, cfg.connect_timeout,
+                             tracer=self.tracer, owner=self.name,
+                             peer=self.plan.head)
         except NodeFailedError:
             return False
         try:
@@ -478,6 +504,9 @@ class ReceiverNode(_BaseNode):
         vectored send before blocking again.
         """
         self.state.on_data(offset, payload)
+        if self.tracer.enabled:
+            self.tracer.emit(tracing.CHUNK, self.name, offset=offset,
+                             detail=f"recv {len(payload)}")
         self.sink.write_chunk(payload)
         self.outcome.bytes_received = self.state.offset
         self.link.send_data(offset, payload, flush=flush)
@@ -489,6 +518,8 @@ class ReceiverNode(_BaseNode):
     def _hard_abort(self, reason: str) -> None:
         """Unrecoverable data loss: QUIT both neighbours and die failed."""
         logger.info("%s: aborting: %s", self.name, reason)
+        self.tracer.emit(tracing.QUIT, self.name, offset=self.state.offset,
+                         detail=reason)
         if self.upstream is not None:
             try:
                 self.upstream.send_message(Quit(), timeout=self.config.io_timeout)
@@ -577,7 +608,10 @@ class ReceiverNode(_BaseNode):
                 # held across the rest of the transfer (rare + small, so
                 # the copy is fine — and frees the pool segment it pins).
                 upstream_report = bytes(payload)
+                self.tracer.emit(tracing.REPORT, self.name, detail="upstream")
             elif isinstance(msg, Forget):
+                self.tracer.emit(tracing.FORGET, self.name,
+                                 offset=msg.min_offset, detail="received")
                 if not self._fetch_hole_from_head(msg.min_offset):
                     self._hard_abort("data lost beyond recovery (FORGET)")
                     return
@@ -588,6 +622,8 @@ class ReceiverNode(_BaseNode):
                 except (WriteStalled, ConnectionError):
                     self._drop_upstream()
             elif isinstance(msg, Quit):
+                self.tracer.emit(tracing.QUIT, self.name,
+                                 offset=state.offset, detail="received")
                 state.on_quit()
                 # Graceful (user-interrupt) aborts are followed by a REPORT.
                 try:
@@ -615,6 +651,14 @@ class ReceiverNode(_BaseNode):
         outcome = self.link.finish(total=state.offset, quit_first=aborted)
         if outcome == "tail":
             self._ring_deliver(state.report.encode())
+        self.outcome.ok = (
+            not aborted and state.complete and digest_ok is not False
+        )
+        # Emit DONE *before* acknowledging upstream: PASSED flows tail to
+        # head, so DONE events order causally (tail first, head last) in
+        # both the runtime and the simulator traces.
+        self.tracer.emit(tracing.DONE, self.name, offset=state.offset,
+                         detail="ok" if self.outcome.ok else "failed")
         if self.upstream is not None:
             try:
                 self.upstream.send_message(Passed(), timeout=cfg.io_timeout)
@@ -625,9 +669,6 @@ class ReceiverNode(_BaseNode):
             self.sink.abort()
         else:
             self.sink.finish()
-        self.outcome.ok = (
-            not aborted and state.complete and digest_ok is not False
-        )
         self.outcome.failures_detected = list(state.report.failures)
         self._drop_upstream()
         self.shutdown()
@@ -637,7 +678,9 @@ class ReceiverNode(_BaseNode):
         cfg = self.config
         try:
             stream = connect(self.registry.address_of(self.plan.head),
-                             RING_CONN, cfg.connect_timeout)
+                             RING_CONN, cfg.connect_timeout,
+                             tracer=self.tracer, owner=self.name,
+                             peer=self.plan.head)
         except NodeFailedError:
             logger.info("%s: head unreachable for ring report", self.name)
             return

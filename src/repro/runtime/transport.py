@@ -319,12 +319,33 @@ class SocketStream:
         self.close()
 
 
-def connect(addr: Address, kind: bytes, timeout: float) -> SocketStream:
+#: Preamble byte → human-readable connection kind, for trace events.
+CONN_KIND_NAMES = {
+    DATA_CONN: "data",
+    PING_CONN: "ping",
+    PGET_CONN: "pget",
+    RING_CONN: "ring",
+}
+
+
+def connect(
+    addr: Address,
+    kind: bytes,
+    timeout: float,
+    *,
+    tracer=None,
+    owner: str = "",
+    peer: str = "",
+) -> SocketStream:
     """Open a connection to ``addr`` and send the preamble ``kind``.
 
     Raises :class:`NodeFailedError` if the peer is unreachable — the
     caller treats that as a dead node (§III-D: connect-refused counts as
     a detected failure).
+
+    When ``tracer`` is given (and enabled), a CONNECT event naming the
+    connection kind is emitted on ``owner``'s timeline after the
+    preamble is accepted.
     """
     try:
         sock = socket.create_connection(addr.as_tuple(), timeout=timeout)
@@ -336,6 +357,9 @@ def connect(addr: Address, kind: bytes, timeout: float) -> SocketStream:
     except (ConnectionError, WriteStalled) as exc:
         stream.close()
         raise NodeFailedError(f"{addr.host}:{addr.port}", f"preamble failed: {exc}")
+    if tracer is not None and tracer.enabled:
+        tracer.emit("connect", owner, peer=peer or f"{addr.host}:{addr.port}",
+                    detail=CONN_KIND_NAMES.get(kind, "?"))
     return stream
 
 

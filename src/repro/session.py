@@ -1,0 +1,233 @@
+"""One entry point for every Kascade backend.
+
+The repo grew three ways to run a broadcast — the real TCP runtime
+(:class:`repro.runtime.LocalBroadcast`), the protocol-exact simulator
+(:class:`repro.protosim.ProtoBroadcast`), and the fluid-flow evaluation
+harness — each with its own constructor shape and result type.  This
+module is the blessed facade over the first two, the ones that execute
+the actual protocol:
+
+    result = repro.run_broadcast(
+        BytesSource(payload), ["n2", "n3", "n4"],
+        backend="simnet", trace=True,
+    )
+    print(result.trace.failure_chronology())
+
+Both backends return the *same* :class:`~repro.runtime.BroadcastResult`
+shape (ok / duration / total_bytes / report / per-node outcomes /
+trace / perfstats), so a crash-injection scenario and its simulated twin
+are compared field-for-field — and event-for-event via the trace.
+
+``trace`` accepts:
+
+* ``None`` — tracing disabled (the zero-overhead no-op recorder);
+* ``True`` — record into a fresh :class:`TraceCollector`, returned on
+  ``result.trace``;
+* a :class:`TraceCollector` — record into the given collector;
+* a path (``str`` / ``os.PathLike``) — record, then write the JSONL
+  timeline there after the run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Sequence, Union
+
+from .core.config import DEFAULT_CONFIG, KascadeConfig
+from .core.errors import KascadeError
+from .core.sinks import Sink
+from .core.sources import Source
+from .core.tracing import NULL_TRACER, TraceCollector
+from .runtime.cluster import BroadcastResult, CrashPlan, LocalBroadcast
+from .runtime.node import NodeOutcome
+
+__all__ = ["BACKENDS", "BroadcastSession", "TraceSpec", "run_broadcast"]
+
+#: What the ``trace`` argument accepts.
+TraceSpec = Union[None, bool, TraceCollector, str, os.PathLike]
+
+BACKENDS = ("local", "simnet")
+
+
+def _resolve_trace(trace: TraceSpec):
+    """Normalize a trace spec to ``(recorder, jsonl_path_or_None)``."""
+    if trace is None or trace is False:
+        return NULL_TRACER, None
+    if trace is True:
+        return TraceCollector(), None
+    if isinstance(trace, TraceCollector):
+        return trace, None
+    if isinstance(trace, (str, os.PathLike)):
+        return TraceCollector(), os.fspath(trace)
+    raise TypeError(
+        f"trace must be None, True, a TraceCollector, or a path; "
+        f"got {type(trace).__name__}"
+    )
+
+
+class BroadcastSession:
+    """A configured broadcast, runnable on any backend.
+
+    Parameters mirror :class:`~repro.runtime.LocalBroadcast`; ``backend``
+    selects execution on localhost TCP (``"local"``) or on the
+    protocol-exact discrete-event simulator (``"simnet"``), and
+    ``trace`` enables the structured event timeline (see module docs).
+
+    Backend-specific keyword options:
+
+    * ``local``: none beyond the common set;
+    * ``simnet``: ``bandwidth`` (bytes/s per link, default 125e6),
+      ``latency`` (seconds per hop, default 1e-4), ``sim_horizon``
+      (simulated-seconds cap, default 3600).
+    """
+
+    def __init__(
+        self,
+        source: Source,
+        receivers: Sequence[str],
+        *,
+        backend: str = "local",
+        trace: TraceSpec = None,
+        sink_factory: Optional[Callable[[str], Sink]] = None,
+        config: KascadeConfig = DEFAULT_CONFIG,
+        head: str = "n1",
+        order: str = "given",
+        crashes: Sequence = (),
+        **backend_opts,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise KascadeError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        self.backend = backend
+        self.source = source
+        self.receivers = tuple(receivers)
+        self.sink_factory = sink_factory
+        self.config = config
+        self.head = head
+        self.order = order
+        self.crashes = tuple(crashes)
+        self.tracer, self.trace_path = _resolve_trace(trace)
+        self.backend_opts = backend_opts
+
+    # ------------------------------------------------------------------
+
+    def run(self, timeout: float = 120.0) -> BroadcastResult:
+        """Execute the broadcast; ``timeout`` bounds the local backend's
+        wall clock (the simnet backend is bounded by ``sim_horizon``)."""
+        if self.backend == "local":
+            result = self._run_local(timeout)
+        else:
+            result = self._run_simnet()
+        if self.trace_path is not None and isinstance(self.tracer,
+                                                      TraceCollector):
+            self.tracer.to_jsonl(self.trace_path)
+        return result
+
+    def _run_local(self, timeout: float) -> BroadcastResult:
+        if self.backend_opts:
+            raise KascadeError(
+                f"local backend takes no extra options: "
+                f"{sorted(self.backend_opts)}"
+            )
+        cluster = LocalBroadcast(
+            self.source, self.receivers,
+            sink_factory=self.sink_factory,
+            config=self.config,
+            head=self.head,
+            order=self.order,
+            crashes=[self._as_crash_plan(c) for c in self.crashes],
+            tracer=self.tracer,
+        )
+        return cluster.run(timeout=timeout)
+
+    def _run_simnet(self) -> BroadcastResult:
+        from .protosim.broadcast import ProtoBroadcast, ProtoCrash
+
+        if self.order != "given":
+            raise KascadeError("simnet backend supports order='given' only")
+        opts = dict(self.backend_opts)
+        sim_horizon = opts.pop("sim_horizon", 3600.0)
+        unknown = set(opts) - {"bandwidth", "latency"}
+        if unknown:
+            raise KascadeError(f"unknown simnet options: {sorted(unknown)}")
+        sim = ProtoBroadcast(
+            self.source, self.receivers,
+            sink_factory=self.sink_factory,
+            config=self.config,
+            head=self.head,
+            crashes=[self._as_proto_crash(c) for c in self.crashes],
+            **opts,
+        )
+        proto = sim.run(sim_horizon=sim_horizon, tracer=self.tracer)
+        outcomes = {
+            name: NodeOutcome(
+                name=name,
+                ok=proto.node_ok.get(name, False),
+                bytes_received=proto.node_bytes.get(name, 0),
+                crashed=name in proto.crashed,
+                error=proto.node_errors.get(name),
+                failures_detected=list(proto.report.failures),
+            )
+            for name in (self.head, *self.receivers)
+        }
+        return BroadcastResult(
+            ok=proto.ok,
+            duration=proto.sim_time,
+            total_bytes=proto.total_bytes,
+            report=proto.report,
+            outcomes=outcomes,
+            trace=proto.trace,
+            perfstats={},  # the simulator does no real I/O
+            backend="simnet",
+        )
+
+    # -- crash-plan coercion --------------------------------------------
+
+    @staticmethod
+    def _as_crash_plan(crash) -> CrashPlan:
+        if isinstance(crash, CrashPlan):
+            return crash
+        # Duck-type ProtoCrash and plain tuples for convenience.
+        if hasattr(crash, "after_bytes"):
+            if crash.after_bytes is None:
+                raise KascadeError(
+                    "local backend supports byte-triggered crashes only"
+                )
+            return CrashPlan(crash.node, crash.after_bytes, crash.mode)
+        node, after_bytes, *rest = crash
+        return CrashPlan(node, after_bytes, *(rest or ["close"]))
+
+    @staticmethod
+    def _as_proto_crash(crash):
+        from .protosim.broadcast import ProtoCrash
+
+        if isinstance(crash, ProtoCrash):
+            return crash
+        if isinstance(crash, CrashPlan):
+            return ProtoCrash(crash.node, after_bytes=crash.after_bytes,
+                              mode=crash.mode)
+        node, after_bytes, *rest = crash
+        return ProtoCrash(node, after_bytes=after_bytes,
+                          mode=(rest[0] if rest else "close"))
+
+
+def run_broadcast(
+    source: Source,
+    receivers: Sequence[str],
+    *,
+    backend: str = "local",
+    trace: TraceSpec = None,
+    timeout: float = 120.0,
+    **kwargs,
+) -> BroadcastResult:
+    """Run one broadcast and return its :class:`BroadcastResult`.
+
+    The one-call form of :class:`BroadcastSession` — the blessed entry
+    point replacing direct use of ``LocalBroadcast``/``broadcast()`` and
+    ``ProtoBroadcast`` (see module docs for the ``trace`` forms and the
+    per-backend options).
+    """
+    session = BroadcastSession(source, receivers, backend=backend,
+                               trace=trace, **kwargs)
+    return session.run(timeout=timeout)

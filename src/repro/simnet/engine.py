@@ -169,13 +169,29 @@ class Process:
 
 
 class Engine:
-    """The simulation kernel."""
+    """The simulation kernel.
 
-    def __init__(self) -> None:
+    ``tracer`` is the structured event recorder simulation code emits
+    into (see :mod:`repro.core.tracing`); it defaults to the shared
+    no-op recorder.  :meth:`trace` stamps events with simulated time, so
+    a simulated run's timeline is directly comparable with a real one.
+    """
+
+    def __init__(self, tracer=None) -> None:
         self.now = 0.0
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._cancelled: set[int] = set()
+        if tracer is None:
+            from ..core.tracing import NULL_TRACER
+            tracer = NULL_TRACER
+        self.tracer = tracer
+
+    def trace(self, type_: str, node: str, **kwargs) -> None:
+        """Emit one structured event stamped with simulated time."""
+        if self.tracer.enabled:
+            kwargs.setdefault("t", self.now)
+            self.tracer.emit(type_, node, **kwargs)
 
     # ------------------------------------------------------------------
     # Scheduling primitives

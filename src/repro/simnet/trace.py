@@ -62,12 +62,26 @@ class StreamTrace:
 
 
 class FabricTracer:
-    """Records per-stream rate history from a fabric's re-ratings."""
+    """Records per-stream rate history from a fabric's re-ratings.
 
-    def __init__(self, fabric: Fabric) -> None:
+    ``events`` optionally takes a
+    :class:`~repro.core.tracing.TraceCollector`: each stream open/close
+    is then mirrored as a CONNECT/DONE structured event (stamped with
+    simulated time), so fluid-flow runs share the runtime's timeline
+    vocabulary.
+    """
+
+    def __init__(self, fabric: Fabric, events=None) -> None:
         self.fabric = fabric
         self.streams: Dict[Hashable, StreamTrace] = {}
+        self.events = events
         fabric.observers.append(self._observe)
+
+    def _emit(self, type_: str, trace: "StreamTrace", t: float,
+              detail: str) -> None:
+        if self.events is not None and self.events.enabled:
+            self.events.emit(type_, trace.src, t=t, peer=trace.dsts[0],
+                             detail=detail)
 
     # ------------------------------------------------------------------
 
@@ -83,6 +97,7 @@ class FabricTracer:
                     stream=s,
                 )
                 self.streams[s.key] = trace
+                self._emit("connect", trace, now, "stream-open")
             if s.active:
                 if (not trace.timeline
                         or abs(trace.timeline[-1][1] - s.effective_rate)
@@ -98,6 +113,7 @@ class FabricTracer:
                 if trace.stream is not None:
                     trace.final_delivered = trace.stream.delivered
                     trace.last_binding = trace.stream.binding
+                self._emit("done", trace, now, "stream-closed")
 
     # ------------------------------------------------------------------
     # Reports

@@ -1,0 +1,151 @@
+"""Unit tests for the structured event bus (repro.core.tracing)."""
+
+import json
+
+from repro.core import tracing
+from repro.core.tracing import (
+    NULL_TRACER,
+    NullRecorder,
+    TraceCollector,
+    TraceEvent,
+    classify_detector,
+)
+
+
+class TestVocabulary:
+    def test_event_types_cover_the_protocol(self):
+        assert tracing.EVENT_TYPES == {
+            "connect", "chunk", "stall", "ping", "failover",
+            "pget", "forget", "quit", "report", "done",
+        }
+
+    def test_constants_are_their_wire_strings(self):
+        assert tracing.FAILOVER == "failover"
+        assert tracing.DONE == "done"
+
+
+class TestClassifyDetector:
+    def test_ping_unanswered(self):
+        reason = "n3: awaiting PASSED: silent, ping unanswered"
+        assert classify_detector(reason) == tracing.DETECTOR_PING
+
+    def test_connect_failed(self):
+        assert classify_detector("connect-failed: refused") == \
+            tracing.DETECTOR_CONNECT
+        assert classify_detector("no-handshake") == tracing.DETECTOR_CONNECT
+
+    def test_syscall_error_is_the_fallback(self):
+        assert classify_detector("peer closed connection") == \
+            tracing.DETECTOR_ERROR
+        assert classify_detector("send on dead channel") == \
+            tracing.DETECTOR_ERROR
+
+
+class TestNullRecorder:
+    def test_disabled_and_silent(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullRecorder)
+        # Accepts anything, keeps nothing, raises nothing.
+        NULL_TRACER.emit("chunk", "n1", offset=0, detail="x")
+
+
+class TestTraceCollector:
+    def test_emit_orders_and_stamps(self):
+        tc = TraceCollector(clock=lambda: 5.0, zero=0.0)
+        tc.emit(tracing.CONNECT, "n2", peer="n1", detail="upstream")
+        tc.emit(tracing.CHUNK, "n2", offset=4096, t=7.25)
+        events = tc.events()
+        assert [e.seq for e in events] == [0, 1]
+        assert events[0].t == 5.0          # clock - zero
+        assert events[1].t == 7.25         # explicit stamp wins
+        assert events[1].offset == 4096
+
+    def test_ring_capacity_drops_oldest(self):
+        tc = TraceCollector(capacity=4, clock=lambda: 0.0, zero=0.0)
+        for i in range(10):
+            tc.emit(tracing.CHUNK, "n1", offset=i)
+        assert len(tc) == 4
+        assert [e.offset for e in tc] == [6, 7, 8, 9]
+        # seq keeps counting even after the ring wraps.
+        assert [e.seq for e in tc] == [6, 7, 8, 9]
+
+    def test_timeline_and_of_type(self):
+        tc = TraceCollector(clock=lambda: 0.0, zero=0.0)
+        tc.emit(tracing.CONNECT, "n2")
+        tc.emit(tracing.CONNECT, "n3")
+        tc.emit(tracing.DONE, "n3")
+        assert [e.type for e in tc.timeline("n3")] == ["connect", "done"]
+        assert [e.node for e in tc.of_type(tracing.DONE)] == ["n3"]
+
+    def test_milestones_default_projection(self):
+        tc = TraceCollector(clock=lambda: 0.0, zero=0.0)
+        tc.emit(tracing.CHUNK, "n2", offset=0)        # not a milestone
+        tc.emit(tracing.FAILOVER, "n2", peer="n3")
+        tc.emit(tracing.FORGET, "n4")
+        tc.emit(tracing.DONE, "n4")
+        tc.emit(tracing.DONE, "n2")
+        assert tc.milestones() == [
+            ("failover", "n2"), ("forget", "n4"),
+            ("done", "n4"), ("done", "n2"),
+        ]
+
+    def test_jsonl_round_trip(self):
+        tc = TraceCollector(clock=lambda: 1.5, zero=0.0)
+        tc.emit(tracing.FAILOVER, "n2", peer="n3", offset=100,
+                detail="peer closed connection", detector="error")
+        tc.emit(tracing.DONE, "n2", offset=200)
+        text = tc.to_jsonl()
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert len(lines) == 2
+        # Every line is a self-contained JSON object with no null values.
+        for line in lines:
+            d = json.loads(line)
+            assert None not in d.values()
+        back = TraceCollector.from_jsonl(text)
+        assert back == tc.events()
+        assert back[0].detector == "error"
+        assert back[1].offset == 200
+
+    def test_jsonl_writes_to_path(self, tmp_path):
+        tc = TraceCollector(clock=lambda: 0.0, zero=0.0)
+        tc.emit(tracing.QUIT, "n4", detail="user interrupt")
+        out = tmp_path / "trace.jsonl"
+        tc.to_jsonl(str(out))
+        assert TraceCollector.from_jsonl(out.read_text())[0].type == "quit"
+
+    def test_failure_chronology_mentions_the_drama(self):
+        tc = TraceCollector(clock=lambda: 0.0, zero=0.0)
+        tc.emit(tracing.CHUNK, "n2", offset=0)  # boring, excluded
+        tc.emit(tracing.PING, "n2", peer="n3", detail="unanswered", t=1.0)
+        tc.emit(tracing.FAILOVER, "n2", peer="n3", offset=512, t=1.1,
+                detail="silent, ping unanswered", detector="ping")
+        text = tc.failure_chronology()
+        assert "FAILOVER" in text and "PING" in text
+        assert "CHUNK" not in text
+        assert "[ping]" in text and "-> n3" in text and "@512" in text
+
+    def test_failure_chronology_empty(self):
+        tc = TraceCollector(clock=lambda: 0.0, zero=0.0)
+        tc.emit(tracing.CHUNK, "n2", offset=0)
+        assert "no failure activity" in tc.failure_chronology()
+
+    def test_summary_census(self):
+        tc = TraceCollector(clock=lambda: 0.0, zero=0.0)
+        tc.emit(tracing.CHUNK, "n2")
+        tc.emit(tracing.CHUNK, "n2")
+        tc.emit(tracing.DONE, "n2")
+        assert "3 events" in tc.summary()
+        assert "chunk=2" in tc.summary()
+
+
+class TestTraceEvent:
+    def test_to_dict_drops_nones(self):
+        e = TraceEvent(seq=0, t=0.5, type="done", node="n2")
+        assert e.to_dict() == {"seq": 0, "t": 0.5, "type": "done",
+                               "node": "n2"}
+
+    def test_round_trip_preserves_fields(self):
+        e = TraceEvent(seq=3, t=1.25, type="failover", node="n2",
+                       offset=42, peer="n3", detail="why", detector="error")
+        assert TraceEvent.from_dict(e.to_dict()) == e

@@ -12,6 +12,8 @@ import io
 import pytest
 
 from repro.core import HashingSink, KascadeConfig, PatternSource, StreamSource
+from repro.core import tracing
+from repro.core.tracing import TraceCollector
 from repro.runtime import CrashPlan, LocalBroadcast
 
 
@@ -36,9 +38,26 @@ def run_with_crashes(config, size, receivers, crashes, seed=0, timeout=60):
         sink_factory=hashing_factory(sinks),
         config=config,
         crashes=crashes,
+        tracer=TraceCollector(),
     )
     result = bc.run(timeout=timeout)
     return result, sinks
+
+
+def assert_failover_traced(result, crashed, detector):
+    """Every injected crash must surface as a FAILOVER event against the
+    crashed node whose detector matches the injection mode."""
+    failovers = result.trace.of_type(tracing.FAILOVER)
+    against = [e for e in failovers if e.peer == crashed]
+    assert against, (
+        f"no FAILOVER event for {crashed}: "
+        f"{[(e.node, e.peer) for e in failovers]}"
+    )
+    detectors = {e.detector for e in against}
+    assert detector in detectors, (
+        f"expected detector {detector!r} for {crashed}, got {detectors} "
+        f"({[e.detail for e in against]})"
+    )
 
 
 class TestSingleCrash:
@@ -54,6 +73,8 @@ class TestSingleCrash:
         for name in ("n2", "n4", "n5"):
             assert sinks[name].hexdigest() == want, f"{name} corrupted"
         assert "n3" in result.report.failed_nodes
+        # A close-mode crash is seen as a syscall error, not a ping loss.
+        assert_failover_traced(result, "n3", tracing.DETECTOR_ERROR)
 
     def test_crash_detected_by_predecessor(self, fast_config):
         size = fast_config.chunk_size * 10
@@ -64,6 +85,9 @@ class TestSingleCrash:
         assert result.ok
         detectors = {r.detected_by for r in result.report.failures if r.node == "n3"}
         assert "n2" in detectors
+        # The trace tells the same story: n2 emitted the FAILOVER.
+        assert any(e.node == "n2" and e.peer == "n3"
+                   for e in result.trace.of_type(tracing.FAILOVER))
 
     def test_tail_crash(self, fast_config):
         # The last node dies: its predecessor becomes the tail and must
@@ -78,6 +102,10 @@ class TestSingleCrash:
         assert sinks["n2"].hexdigest() == want
         assert sinks["n3"].hexdigest() == want
         assert result.report.failed_nodes == ["n4"]
+        assert_failover_traced(result, "n4", tracing.DETECTOR_ERROR)
+        # n3 inherited the tail duty: the ring-closure report still ran.
+        assert any(e.detail == "ring-closure"
+                   for e in result.trace.of_type(tracing.REPORT))
 
     def test_first_receiver_crash(self, fast_config):
         # Head itself must detect and route around its direct neighbour.
@@ -92,6 +120,7 @@ class TestSingleCrash:
         assert sinks["n4"].hexdigest() == want
         detectors = {r.detected_by for r in result.report.failures if r.node == "n2"}
         assert "n1" in detectors
+        assert_failover_traced(result, "n2", tracing.DETECTOR_ERROR)
 
     def test_silent_crash_detected_by_timeout_and_ping(self, fast_config):
         # The node hangs without closing sockets: only the timeout + ping
@@ -107,6 +136,16 @@ class TestSingleCrash:
         assert sinks["n2"].hexdigest() == want
         assert sinks["n4"].hexdigest() == want
         assert "n3" in result.report.failed_nodes
+        # Silence is only detectable by the stall -> ping -> no-answer
+        # chain, and the trace must attribute it to exactly that.
+        assert_failover_traced(result, "n3", tracing.DETECTOR_PING)
+        pings = [e for e in result.trace.of_type(tracing.PING)
+                 if e.peer == "n3"]
+        assert any(e.detail == "unanswered" for e in pings)
+        # Causality: the unanswered ping precedes the failover verdict.
+        failover_seq = min(e.seq for e in result.trace.of_type(
+            tracing.FAILOVER) if e.peer == "n3")
+        assert min(e.seq for e in pings) < failover_seq
 
 
 class TestMultipleCrashes:
@@ -127,6 +166,9 @@ class TestMultipleCrashes:
         for name in ("n2", "n5", "n6"):
             assert sinks[name].hexdigest() == want
         assert set(result.report.failed_nodes) >= {"n3", "n4"}
+        # Both adjacent deaths appear in the timeline.
+        felled = {e.peer for e in result.trace.of_type(tracing.FAILOVER)}
+        assert felled >= {"n3", "n4"}
 
     def test_spread_crashes(self, fast_config):
         size = fast_config.chunk_size * 14
@@ -145,6 +187,8 @@ class TestMultipleCrashes:
         for name in ("n2", "n4", "n5", "n7", "n9"):
             assert sinks[name].hexdigest() == want
         assert set(result.report.failed_nodes) == {"n3", "n6", "n8"}
+        felled = {e.peer for e in result.trace.of_type(tracing.FAILOVER)}
+        assert felled >= {"n3", "n6", "n8"}
 
 
 class TestDeepRecovery:
@@ -170,12 +214,24 @@ class TestDeepRecovery:
             sink_factory=hashing_factory(sinks),
             config=config,
             crashes=[CrashPlan("n3", after_bytes=config.chunk_size * 6)],
+            tracer=TraceCollector(),
         )
         result = bc.run(timeout=90)
         assert result.ok, {n: (o.ok, o.error) for n, o in result.outcomes.items()}
         want = expected_digest(size, seed=3)
         assert sinks["n2"].hexdigest() == want
         assert sinks["n4"].hexdigest() == want
+        # The hole fill is on record: n4 received a FORGET, PGETed the
+        # missing range from the head, and the head served it — in that
+        # order.
+        trace = result.trace
+        forgets = [e for e in trace.of_type(tracing.FORGET)
+                   if e.node == "n4" and e.detail == "received"]
+        pgets = [e for e in trace.of_type(tracing.PGET) if e.node == "n4"]
+        served = [e for e in trace.of_type(tracing.PGET) if e.node == "n1"]
+        assert forgets and pgets and served
+        assert pgets[0].peer == "n1"
+        assert forgets[0].seq < pgets[0].seq < served[0].seq
 
     def test_stream_source_unrecoverable_loss_aborts_cleanly(self):
         """Stream-fed head + recycled buffer: the FORGET path must abort
@@ -197,6 +253,7 @@ class TestDeepRecovery:
             sink_factory=hashing_factory(sinks),
             config=config,
             crashes=[CrashPlan("n3", after_bytes=config.chunk_size * 6)],
+            tracer=TraceCollector(),
         )
         result = bc.run(timeout=90)
         # n2 must still complete with correct bytes.
@@ -209,5 +266,61 @@ class TestDeepRecovery:
             assert sinks["n4"].hexdigest() == hashlib.sha256(data).hexdigest()
         else:
             assert n4.bytes_received < size
+            # The abort is chronicled: a FORGET reached n4 (nothing can
+            # serve the hole for a stream source) and n4 QUIT after it.
+            forgets = [e for e in result.trace.of_type(tracing.FORGET)
+                       if e.node == "n4"]
+            quits = [e for e in result.trace.of_type(tracing.QUIT)
+                     if e.node == "n4"]
+            assert forgets and quits
+            assert forgets[0].seq < quits[0].seq
         # Nothing may hang: the run() call already joined every thread.
         assert not result.outcomes["n4"].crashed
+
+
+class TestMachineReadableTimelines:
+    """Every fault scenario must leave a JSONL chronicle a tool (or a
+    person at 3am) can reconstruct the run from."""
+
+    def test_crash_timeline_exports_and_orders(self, fast_config, tmp_path):
+        size = fast_config.chunk_size * 12
+        result, _ = run_with_crashes(
+            fast_config, size, ["n2", "n3", "n4"],
+            [CrashPlan("n3", after_bytes=fast_config.chunk_size * 3)],
+        )
+        assert result.ok
+        out = tmp_path / "crash.jsonl"
+        result.trace.to_jsonl(str(out))
+        events = TraceCollector.from_jsonl(out.read_text())
+        assert len(events) == len(result.trace)
+        # Monotone in seq (time can interleave across emitting threads).
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+        # The causal chain survives serialization: FAILOVER against n3
+        # precedes the survivors' DONEs, and the head finishes last.
+        failover = next(e for e in events
+                        if e.type == "failover" and e.peer == "n3")
+        dones = [e for e in events if e.type == "done"]
+        assert all(failover.seq < d.seq for d in dones)
+        assert dones[-1].node == "n1"
+        assert {d.node for d in dones} == {"n1", "n2", "n4"}
+
+    def test_ring_closure_report_traced(self, fast_config):
+        size = fast_config.chunk_size * 6
+        result, _ = run_with_crashes(fast_config, size, ["n2", "n3"], [])
+        assert result.ok
+        reports = result.trace.of_type(tracing.REPORT)
+        # Each receiver passes the report upstream; the head closes the
+        # ring — and logs it after every receiver's REPORT.
+        closure = [e for e in reports if e.detail == "ring-closure"]
+        assert [e.node for e in closure] == ["n1"]
+        upstream = [e for e in reports if e.detail == "upstream"]
+        assert {e.node for e in upstream} == {"n2", "n3"}
+        assert max(e.seq for e in upstream) < closure[0].seq
+
+    def test_perfstats_folded_into_result(self, fast_config):
+        size = fast_config.chunk_size * 4
+        result, _ = run_with_crashes(fast_config, size, ["n2"], [])
+        assert result.ok
+        assert result.perfstats.get("bytes_sent", 0) >= size
+        assert result.perfstats.get("bytes_received", 0) >= size

@@ -22,6 +22,8 @@ class TestApiDocGenerator:
             "LocalBroadcast", "KascadeSim", "SlowNodePolicy",
             "build_fat_tree", "solve_max_min", "FabricTracer",
             "fig15_fault_tolerance",
+            "run_broadcast", "BroadcastSession", "TraceCollector",
+            "classify_detector",
         ):
             assert symbol in text, f"{symbol} missing from API.md"
 
@@ -29,6 +31,18 @@ class TestApiDocGenerator:
         api = ROOT / "docs" / "API.md"
         assert api.exists()
         assert "API reference" in api.read_text()
+
+
+class TestObservabilityDoc:
+    def test_covers_schema_and_workflows(self):
+        text = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+        # The schema table names every event type and detector.
+        from repro.core.tracing import EVENT_TYPES
+        for etype in EVENT_TYPES:
+            assert f"`{etype}`" in text, f"{etype} missing from schema"
+        for topic in ("failure chronology", "milestones", "run_broadcast",
+                      "--trace", "NULL_TRACER", "perfstats"):
+            assert topic in text, f"{topic} not documented"
 
 
 class TestDocsCrossReferences:

@@ -1,0 +1,163 @@
+"""Tests for the unified session API (repro.session) — one facade, two
+backends, one result-and-trace shape."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import BroadcastSession, run_broadcast
+from repro.core import BytesSource, KascadeConfig, KascadeError
+from repro.core.tracing import NULL_TRACER, TraceCollector
+from repro.runtime import CrashPlan
+from repro.session import _resolve_trace
+
+FAST = KascadeConfig(
+    chunk_size=4096,
+    buffer_chunks=4,
+    io_timeout=0.25,
+    ping_timeout=0.2,
+    connect_timeout=0.5,
+    report_timeout=6.0,
+)
+
+PAYLOAD = bytes((i * 7) % 256 for i in range(64 * 1024))
+
+
+class TestResolveTrace:
+    def test_none_and_false_disable(self):
+        assert _resolve_trace(None) == (NULL_TRACER, None)
+        assert _resolve_trace(False) == (NULL_TRACER, None)
+
+    def test_true_makes_a_collector(self):
+        tracer, path = _resolve_trace(True)
+        assert isinstance(tracer, TraceCollector)
+        assert path is None
+
+    def test_collector_passes_through(self):
+        tc = TraceCollector()
+        assert _resolve_trace(tc) == (tc, None)
+
+    def test_path_enables_and_remembers(self, tmp_path):
+        tracer, path = _resolve_trace(tmp_path / "t.jsonl")
+        assert isinstance(tracer, TraceCollector)
+        assert path == str(tmp_path / "t.jsonl")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            _resolve_trace(42)
+
+
+class TestFacadeShape:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KascadeError, match="unknown backend"):
+            BroadcastSession(BytesSource(b"x"), ["n2"], backend="fluid")
+
+    def test_local_rejects_simnet_options(self):
+        with pytest.raises(KascadeError, match="no extra options"):
+            run_broadcast(BytesSource(PAYLOAD), ["n2"], config=FAST,
+                          bandwidth=1e9)
+
+    def test_simnet_rejects_unknown_options(self):
+        with pytest.raises(KascadeError, match="unknown simnet options"):
+            run_broadcast(BytesSource(PAYLOAD), ["n2"], backend="simnet",
+                          config=FAST, jitter=0.1)
+
+    def test_blessed_names_are_exported(self):
+        for name in ("run_broadcast", "BroadcastSession", "BroadcastResult",
+                     "CrashPlan", "TraceCollector", "TraceEvent"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+
+class TestBothBackends:
+    @pytest.mark.parametrize("backend", ["local", "simnet"])
+    def test_clean_run_same_shape(self, backend):
+        result = run_broadcast(BytesSource(PAYLOAD), ["n2", "n3"],
+                               backend=backend, config=FAST, trace=True,
+                               timeout=60.0)
+        assert result.ok
+        assert result.backend == backend
+        assert result.total_bytes == len(PAYLOAD)
+        assert set(result.outcomes) == {"n1", "n2", "n3"}
+        assert all(o.ok for o in result.outcomes.values())
+        assert result.report is not None and not result.report.failures
+        assert isinstance(result.trace, TraceCollector)
+        # DONE flows tail -> head in both backends (PASSED wave order).
+        assert result.trace.milestones() == [
+            ("done", "n3"), ("done", "n2"), ("done", "n1")]
+
+    @pytest.mark.parametrize("backend", ["local", "simnet"])
+    def test_trace_disabled_by_default(self, backend):
+        result = run_broadcast(BytesSource(PAYLOAD), ["n2"],
+                               backend=backend, config=FAST, timeout=60.0)
+        assert result.ok
+        assert result.trace is None
+
+    def test_trace_path_writes_jsonl(self, tmp_path):
+        out = tmp_path / "run.jsonl"
+        result = run_broadcast(BytesSource(PAYLOAD), ["n2"], config=FAST,
+                               trace=out, timeout=60.0)
+        assert result.ok
+        events = TraceCollector.from_jsonl(out.read_text())
+        # Serialization rounds timestamps; compare the JSON projections.
+        assert [e.to_dict() for e in events] == \
+            [e.to_dict() for e in TraceCollector.from_jsonl(
+                result.trace.to_jsonl())]
+        assert len(events) == len(result.trace)
+        assert any(e.type == "done" and e.node == "n2" for e in events)
+
+    def test_perfstats_only_meaningful_locally(self):
+        local = run_broadcast(BytesSource(PAYLOAD), ["n2"], config=FAST,
+                              timeout=60.0)
+        sim = run_broadcast(BytesSource(PAYLOAD), ["n2"], backend="simnet",
+                            config=FAST)
+        assert local.perfstats.get("bytes_sent", 0) >= len(PAYLOAD)
+        assert sim.perfstats == {}
+
+    def test_crash_milestones_agree_across_backends(self):
+        """The same crash scenario yields the same causal skeleton on real
+        TCP and on the simulator — the tentpole's comparability claim."""
+        crash = ("n3", FAST.chunk_size * 4, "close")
+        kwargs = dict(config=FAST, trace=True, crashes=[crash])
+        local = run_broadcast(BytesSource(PAYLOAD), ["n2", "n3", "n4"],
+                              timeout=60.0, **kwargs)
+        sim = run_broadcast(BytesSource(PAYLOAD), ["n2", "n3", "n4"],
+                            backend="simnet", **kwargs)
+        assert local.ok and sim.ok
+        for result in (local, sim):
+            failovers = result.trace.of_type("failover")
+            assert [e.peer for e in failovers] == ["n3"]
+            assert failovers[0].detector == "error"
+        # n3 never reaches DONE on either backend; survivors do, in the
+        # same tail-to-head order.
+        assert local.trace.milestones("done") == \
+            sim.trace.milestones("done") == \
+            [("done", "n4"), ("done", "n2"), ("done", "n1")]
+
+    def test_crash_plan_objects_accepted_by_both(self):
+        crash = CrashPlan("n2", after_bytes=FAST.chunk_size * 2)
+        for backend in ("local", "simnet"):
+            result = run_broadcast(BytesSource(PAYLOAD), ["n2", "n3"],
+                                   backend=backend, config=FAST,
+                                   crashes=[crash], timeout=60.0)
+            assert result.ok
+            assert result.outcomes["n2"].crashed
+
+    def test_simnet_requires_given_order(self):
+        with pytest.raises(KascadeError, match="order='given'"):
+            run_broadcast(BytesSource(PAYLOAD), ["n2"], backend="simnet",
+                          config=FAST, order="random")
+
+
+class TestDeprecationShim:
+    def test_runtime_broadcast_warns_but_works(self):
+        from repro.runtime import broadcast
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = broadcast(BytesSource(PAYLOAD), ["n2"], config=FAST,
+                               timeout=60.0)
+        assert result.ok
+        assert any(issubclass(w.category, DeprecationWarning) and
+                   "run_broadcast" in str(w.message) for w in caught)

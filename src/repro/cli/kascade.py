@@ -76,6 +76,9 @@ def build_config(args: argparse.Namespace) -> KascadeConfig:
         io_timeout=args.timeout,
         verify_digest=args.verify,
         bandwidth_limit=bwlimit,
+        sink_writeback_depth=args.writeback_depth,
+        sink_writeback_budget=int(parse_size(args.writeback_budget)),
+        readahead_chunks=args.readahead,
     )
 
 
@@ -98,6 +101,18 @@ def add_common(parser: argparse.ArgumentParser) -> None:
                         help="write a JSONL timeline of structured "
                              "broadcast events (connect/chunk/stall/ping/"
                              "failover/...) to PATH")
+    parser.add_argument("--writeback-depth", type=int,
+                        default=DEFAULT_CONFIG.sink_writeback_depth,
+                        help="chunks queued for the background sink writer "
+                             "(0 = write synchronously on the relay thread)")
+    parser.add_argument("--writeback-budget", default=str(
+                            DEFAULT_CONFIG.sink_writeback_budget),
+                        help="pinned-byte ceiling for the writeback queue, "
+                             "e.g. 32MiB; past it chunks are copied")
+    parser.add_argument("--readahead", type=int,
+                        default=DEFAULT_CONFIG.readahead_chunks,
+                        help="chunks the head prefetches from a file/pipe "
+                             "source (0 = no read-ahead)")
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -112,7 +127,10 @@ def cmd_demo(args: argparse.Namespace) -> int:
             return CommandSink(args.output_command.replace("{node}", name))
         if args.output:
             from ..core.sinks import FileSink
-            return FileSink(args.output.replace("{node}", name))
+            # A file-backed head knows the stream length: pre-size the
+            # outputs so an out-of-space disk fails the run up front.
+            return FileSink(args.output.replace("{node}", name),
+                            expected_size=getattr(source, "size", None))
         from ..core.sinks import NullSink
         return NullSink()
 

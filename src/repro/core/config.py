@@ -52,6 +52,20 @@ class KascadeConfig:
         stream into the pipeline (a token-bucket pacing its reads).
         ``None`` = unlimited.  Useful when the broadcast shares links
         with production traffic.
+    sink_writeback_depth:
+        How many chunks a receiver may queue for its background sink
+        writer (§III-A overlap of storage with relay).  ``0`` disables
+        the writer entirely: the relay writes synchronously, exactly as
+        before the stage existed.
+    sink_writeback_budget:
+        Pinned-byte ceiling for the writeback queue.  Queued chunks are
+        zero-copy views into pooled receive buffers up to this many
+        bytes; past it the writer copies chunks so a slow disk cannot
+        starve the receive pool.
+    readahead_chunks:
+        How many chunks the head prefetches from a blocking (file/pipe)
+        source so reads overlap its vectored sends.  ``0`` disables
+        prefetching.
     """
 
     chunk_size: int = 1 * MiB
@@ -63,6 +77,9 @@ class KascadeConfig:
     report_timeout: float = 30.0
     verify_digest: bool = False
     bandwidth_limit: Optional[float] = None
+    sink_writeback_depth: int = 8  # 0 = synchronous sink writes
+    sink_writeback_budget: int = 32 * MiB
+    readahead_chunks: int = 2  # 0 = no head-node prefetch
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -79,6 +96,11 @@ class KascadeConfig:
             raise ConfigError(
                 f"bandwidth_limit must be positive, got {self.bandwidth_limit}"
             )
+        for name in ("sink_writeback_depth", "sink_writeback_budget",
+                     "readahead_chunks"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigError(f"{name} must be >= 0, got {value}")
 
     @property
     def buffer_bytes(self) -> int:

@@ -50,6 +50,15 @@ class NodeFailedError(KascadeError):
         self.reason = reason
 
 
+class SinkError(KascadeError):
+    """The node's local storage sink failed (ENOSPC, dead sink command...).
+
+    The §III-D failure model treats this as unrecoverable for the node:
+    it must hard-abort — QUIT both neighbours, discard partial output —
+    rather than silently keep relaying data it can no longer store.
+    """
+
+
 class SimulationError(KascadeError):
     """Internal inconsistency in the discrete-event simulator."""
 

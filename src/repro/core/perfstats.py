@@ -15,6 +15,12 @@ path (socket streams, frame decoder, buffer pool) increments a
 * ``frames_decoded`` / ``frames_sent`` — wire frames through the decoder
   and the vectored send queue.
 * ``pool_*`` — buffer-pool allocations vs. reuses.
+* ``sink_stall_s`` / ``writeback_queue_hwm`` — time the relay spent
+  blocked on a full sink-writeback queue (seconds, a float), and the
+  queue's high-water mark in chunks (a maximum, not a sum — deltas
+  across runs are only meaningful from a zeroed instance).
+* ``readahead_hits`` / ``readahead_misses`` — head-node reads served
+  from the prefetch queue vs. reads that had to wait for the source.
 
 Components default to the module-global :func:`get_stats` instance so
 production code needs no plumbing; tests construct a private instance and
@@ -38,6 +44,10 @@ _COUNTERS = (
     "bytes_sent",
     "pool_allocations",
     "pool_reuses",
+    "sink_stall_s",
+    "writeback_queue_hwm",
+    "readahead_hits",
+    "readahead_misses",
 )
 
 
@@ -82,6 +92,15 @@ class PerfStats:
         """Record one sendfile syscall that moved ``nbytes``."""
         self.syscalls_sendfile += 1
         self.bytes_sent += nbytes
+
+    def sink_stalled(self, seconds: float) -> None:
+        """Record time the relay spent blocked on the writeback queue."""
+        self.sink_stall_s += seconds
+
+    def note_writeback_depth(self, depth: int) -> None:
+        """Track the writeback queue's high-water mark (in chunks)."""
+        if depth > self.writeback_queue_hwm:
+            self.writeback_queue_hwm = depth
 
     # -- reporting -------------------------------------------------------
 

@@ -9,10 +9,14 @@ sink here honours by consuming chunk-by-chunk.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import subprocess
-from typing import BinaryIO, Optional
+import time
+from typing import BinaryIO, Callable, Optional
+
+from .errors import SinkError
 
 
 class Sink:
@@ -22,11 +26,26 @@ class Sink:
     it is a memoryview into a pooled receive buffer that is only valid
     *during* the call.  Sinks must consume the bytes before returning
     (write them out, hash them, or copy them); retaining the view would
-    pin the pooled buffer indefinitely.
+    pin the pooled buffer indefinitely.  (The one sanctioned exception
+    is :class:`~repro.core.stages.SinkWriter`, which takes its own
+    memoryview export per queued chunk — see docs/PROTOCOL.md §10.)
+
+    Storage failures raise :class:`~repro.core.errors.SinkError` (or an
+    ``OSError`` such as ENOSPC from the filesystem); the runtime maps
+    both to the §III-D hard-abort path.
     """
 
     def write_chunk(self, data) -> None:
         raise NotImplementedError
+
+    def preallocate(self, size: int) -> None:
+        """Reserve space for a stream of ``size`` total bytes, if possible.
+
+        Called when the total stream length is known up front so an
+        out-of-space condition fails the broadcast *early* instead of
+        stranding a nearly-complete transfer.  The default is a no-op;
+        only sinks with a backing file can usefully reserve.
+        """
 
     def finish(self) -> None:
         """Flush and close; called once after END (not after QUIT)."""
@@ -56,12 +75,42 @@ class NullSink(Sink):
 
 
 class FileSink(Sink):
-    """Write the stream sequentially to a file path."""
+    """Write the stream sequentially to a file path.
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    When the total stream size is known (``expected_size``, or a later
+    :meth:`preallocate` call once END reveals the length), the output is
+    pre-sized with ``posix_fallocate`` so an out-of-space disk fails the
+    broadcast up front rather than at 90% — a half-written system image
+    is the worst outcome for the Kadeploy use case.  Filesystems without
+    fallocate support fall back silently to growing the file as written.
+    """
+
+    def __init__(
+        self, path: str | os.PathLike, *, expected_size: Optional[int] = None
+    ) -> None:
         self._path = os.fspath(path)
         self._file: Optional[BinaryIO] = open(self._path, "wb")
+        self._preallocated = 0
         self.bytes_written = 0
+        if expected_size is not None and expected_size > 0:
+            self.preallocate(expected_size)
+
+    def preallocate(self, size: int) -> None:
+        if self._file is None or size <= self._preallocated:
+            return
+        try:
+            os.posix_fallocate(self._file.fileno(), 0, size)
+        except OSError as exc:
+            # ENOSPC is the condition preallocation exists to surface —
+            # let it abort the transfer now.  Everything else (tmpfs,
+            # network filesystems: EOPNOTSUPP/EINVAL) means "can't
+            # reserve here", which is fine — writes proceed unreserved.
+            if exc.errno == errno.ENOSPC:
+                raise
+            return
+        except AttributeError:  # platform without posix_fallocate
+            return
+        self._preallocated = size
 
     def write_chunk(self, data) -> None:
         assert self._file is not None
@@ -70,6 +119,10 @@ class FileSink(Sink):
 
     def finish(self) -> None:
         if self._file is not None:
+            if self._preallocated > self.bytes_written:
+                # A reservation larger than the stream (aborted resend,
+                # over-estimate) must not leave trailing garbage.
+                self._file.truncate(self.bytes_written)
             self._file.close()
             self._file = None
 
@@ -84,7 +137,14 @@ class FileSink(Sink):
 
 
 class CommandSink(Sink):
-    """Pipe the stream into a shell command's stdin (the ``-O`` option)."""
+    """Pipe the stream into a shell command's stdin (the ``-O`` option).
+
+    A command that exits early (crash, ``tar`` rejecting the archive)
+    closes its stdin pipe; the next write raises.  That raw
+    ``BrokenPipeError`` is mapped to :class:`SinkError` so the runtime
+    takes the §III-D hard-abort path with a reason naming the command,
+    instead of leaking a pipe error out of the relay loop.
+    """
 
     def __init__(self, command: str) -> None:
         self._command = command
@@ -95,19 +155,34 @@ class CommandSink(Sink):
 
     def write_chunk(self, data) -> None:
         assert self._proc.stdin is not None
-        self._proc.stdin.write(data)
+        try:
+            self._proc.stdin.write(data)
+        except (BrokenPipeError, ValueError) as exc:
+            # ValueError covers "write to closed file" after an earlier
+            # failure already closed the pipe on our side.
+            rc = self._proc.poll()
+            raise SinkError(
+                f"sink command {self._command!r} stopped accepting data"
+                + (f" (exit status {rc})" if rc is not None else "")
+            ) from exc
         self.bytes_written += len(data)
 
     def finish(self) -> None:
-        if self._proc.stdin is not None and not self._proc.stdin.closed:
-            self._proc.stdin.close()
+        try:
+            if self._proc.stdin is not None and not self._proc.stdin.closed:
+                self._proc.stdin.close()
+        except BrokenPipeError:
+            pass  # the exit status below is the authoritative verdict
         rc = self._proc.wait()
         if rc != 0:
-            raise RuntimeError(f"sink command {self._command!r} exited with {rc}")
+            raise SinkError(f"sink command {self._command!r} exited with {rc}")
 
     def abort(self) -> None:
-        if self._proc.stdin is not None and not self._proc.stdin.closed:
-            self._proc.stdin.close()
+        try:
+            if self._proc.stdin is not None and not self._proc.stdin.closed:
+                self._proc.stdin.close()
+        except BrokenPipeError:
+            pass
         self._proc.wait()
 
 
@@ -141,12 +216,78 @@ class BufferSink(Sink):
         return b"".join(self._parts)
 
 
-def open_sink(output: Optional[str], output_command: Optional[str]) -> Sink:
-    """Open a sink from CLI options: ``-o path`` or ``-O command``."""
+class ThrottledSink(Sink):
+    """Model a *synchronous* storage device with a sustained write rate.
+
+    Benchmarks need a reproducible storage device: page-cache writes
+    absorb a 1 MiB/chunk stream at memory speed on one machine and at
+    disk speed on another, which makes overlap wins unmeasurable.  Each
+    write here blocks for the device's service time (``len/rate``), the
+    way a blocking ``O_DIRECT``/``O_SYNC`` write does: the device makes
+    progress only while the caller sits inside the call and idles between
+    calls.  That is the device class §III-A's storage overlap targets —
+    with a synchronous caller, wire time and device time *add*; with
+    background writeback the device stays busy while the relay thread
+    works the wire.
+
+    (A wall-clock token bucket would be the wrong model: crediting time
+    spent *between* writes simulates a device with its own command queue
+    — storage that is already asynchronous — and the overlap being
+    measured vanishes by construction.)
+
+    Service debt below 1 ms carries forward, so small writes pace in
+    ~1 ms steps instead of burning scheduler overhead on micro-sleeps.
+    An injectable ``sleep`` keeps the unit tests instant.
+    """
+
+    def __init__(
+        self,
+        inner: Sink,
+        bytes_per_s: float,
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if bytes_per_s <= 0:
+            raise ValueError(f"throttle rate must be positive: {bytes_per_s}")
+        self._rate = float(bytes_per_s)
+        self._inner = inner
+        self._sleep = sleep
+        self._debt = 0.0
+        self.bytes_written = 0
+
+    def write_chunk(self, data) -> None:
+        self._debt += len(data) / self._rate
+        if self._debt >= 0.001:
+            self._sleep(self._debt)
+            self._debt = 0.0
+        self._inner.write_chunk(data)
+        self.bytes_written += len(data)
+
+    def preallocate(self, size: int) -> None:
+        self._inner.preallocate(size)
+
+    def finish(self) -> None:
+        self._inner.finish()
+
+    def abort(self) -> None:
+        self._inner.abort()
+
+
+def open_sink(
+    output: Optional[str],
+    output_command: Optional[str],
+    *,
+    expected_size: Optional[int] = None,
+) -> Sink:
+    """Open a sink from CLI options: ``-o path`` or ``-O command``.
+
+    ``expected_size`` (when the head's source length is known) lets a
+    file sink pre-reserve the space — see :meth:`FileSink.preallocate`.
+    """
     if output is not None and output_command is not None:
         raise ValueError("give either an output path or an output command, not both")
     if output_command is not None:
         return CommandSink(output_command)
     if output is None or output == "/dev/null":
         return NullSink()
-    return FileSink(output)
+    return FileSink(output, expected_size=expected_size)

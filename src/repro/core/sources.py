@@ -22,6 +22,11 @@ class Source:
     #: Whether PGET (random re-read) is possible.
     kind: SourceKind = SourceKind.STREAM
 
+    #: Whether ``read_chunk`` can block on real I/O (file, pipe).  The
+    #: runtime only wraps blocking sources in a read-ahead stage; an
+    #: in-memory source gains nothing from a prefetch thread.
+    blocking_io: bool = True
+
     def read_chunk(self, size: int) -> bytes:
         """Return up to ``size`` next bytes; ``b""`` signals end of stream."""
         raise NotImplementedError
@@ -101,6 +106,7 @@ class BytesSource(Source):
     """In-memory source; seekable.  Convenient for tests and examples."""
 
     kind = SourceKind.SEEKABLE_FILE
+    blocking_io = False
 
     def __init__(self, data: bytes) -> None:
         self._data = data
@@ -132,6 +138,7 @@ class PatternSource(Source):
     """
 
     kind = SourceKind.SEEKABLE_FILE
+    blocking_io = False
     _PERIOD = 251  # prime, so chunk boundaries drift across the pattern
 
     def __init__(self, size: int, seed: int = 0) -> None:

@@ -34,6 +34,7 @@ from ..core.errors import (
     FramingError,
     NodeFailedError,
     ProtocolError,
+    SinkError,
     TransferAborted,
 )
 from ..core.messages import (
@@ -52,8 +53,9 @@ from ..core.node_state import NodeTransferState, Phase
 from ..core.pipeline import PipelinePlan
 from ..core.recovery import OfferKind
 from ..core.report import TransferReport
-from ..core.sinks import Sink
+from ..core.sinks import NullSink, Sink
 from ..core.sources import Source
+from ..core.stages import ReadAheadSource, SinkWriter
 from ..core import tracing
 from ..core.tracing import NULL_TRACER
 from .links import DownstreamLink
@@ -249,6 +251,13 @@ class HeadNode(_BaseNode):
         tracer=NULL_TRACER,
     ) -> None:
         super().__init__(name, plan, registry, listener, config, tracer)
+        # Overlap source reads with vectored sends (§III-A): blocking
+        # sources get a prefetch stage; in-memory sources gain nothing
+        # from one, and readahead_chunks=0 turns the stage off entirely.
+        self._readahead: Optional[ReadAheadSource] = None
+        if config.readahead_chunks > 0 and getattr(source, "blocking_io", True):
+            source = ReadAheadSource(source, depth=config.readahead_chunks)
+            self._readahead = source
         self.source = source
         self.state = NodeTransferState(name, config, source_kind=source.kind)
         self.link = DownstreamLink(name, plan, registry, config, self.state,
@@ -348,6 +357,10 @@ class HeadNode(_BaseNode):
             if self.link.pending_bytes >= _HEAD_FLUSH_BYTES:
                 self.link.flush()
         self.link.flush()
+        if self._readahead is not None:
+            # Streaming is over; the prefetch thread must not keep
+            # pulling from the source while PGET service may still read.
+            self._readahead.stop()
         total = state.offset
         aborting = self.quit_requested.is_set()
         if aborting:
@@ -376,6 +389,8 @@ class HeadNode(_BaseNode):
         self.shutdown()
 
     def _close_everything(self) -> None:
+        if self._readahead is not None:
+            self._readahead.stop()
         self.link.close()
 
 
@@ -394,6 +409,20 @@ class ReceiverNode(_BaseNode):
         tracer=NULL_TRACER,
     ) -> None:
         super().__init__(name, plan, registry, listener, config, tracer)
+        #: The sink as handed in, before any writeback wrapping.
+        self.raw_sink = sink
+        # Overlap storage with the relay (§III-A): real sinks get a
+        # background writeback stage.  NullSink is exempt (discarding
+        # can't be overlapped), and sink_writeback_depth=0 keeps writes
+        # synchronous on the relay thread, exactly as before.
+        if config.sink_writeback_depth > 0 and not isinstance(sink, NullSink):
+            sink = SinkWriter(
+                sink,
+                depth=config.sink_writeback_depth,
+                pin_budget=config.sink_writeback_budget,
+                tracer=tracer,
+                owner=name,
+            )
         self.sink = sink
         self.crash_gate = crash_gate
         self.state = NodeTransferState(name, config)
@@ -536,6 +565,67 @@ class ReceiverNode(_BaseNode):
     def _run(self) -> None:
         cfg = self.config
         state = self.state
+        try:
+            upstream_report = self._stream_loop()
+        except (SinkError, OSError) as exc:
+            # Peer connection errors are handled inside the loop; what
+            # escapes to here is local storage failing (ENOSPC from the
+            # filesystem, a dead sink command) — §III-D treats that as
+            # unrecoverable for this node: QUIT both neighbours.
+            self._hard_abort(f"sink failure: {exc}")
+            return
+        if upstream_report is None:
+            return  # the loop already hard-aborted and shut down
+
+        # ---- report exchange phase ----
+        aborted = state.phase is Phase.ABORTED
+        state.merge_upstream_report(upstream_report)
+        digest_ok = state.verify_against_report()
+        if digest_ok is False:
+            # Corrupted local copy: flag ourselves before forwarding the
+            # report so the head learns, and fail this node's outcome.
+            state.record_failure(self.name, "digest-mismatch")
+            self.outcome.error = "stored data failed digest verification"
+        # Settle storage BEFORE acknowledging the transfer: a writeback
+        # queue still draining may yet hit ENOSPC, and claiming success
+        # (PASSED) for bytes that never reached disk would be a lie.
+        if aborted:
+            self.sink.abort()
+        else:
+            try:
+                self.sink.finish()
+            except (SinkError, OSError) as exc:
+                self._hard_abort(f"sink failure: {exc}")
+                return
+        outcome = self.link.finish(total=state.offset, quit_first=aborted)
+        if outcome == "tail":
+            self._ring_deliver(state.report.encode())
+        self.outcome.ok = (
+            not aborted and state.complete and digest_ok is not False
+        )
+        # Emit DONE *before* acknowledging upstream: PASSED flows tail to
+        # head, so DONE events order causally (tail first, head last) in
+        # both the runtime and the simulator traces.
+        self.tracer.emit(tracing.DONE, self.name, offset=state.offset,
+                         detail="ok" if self.outcome.ok else "failed")
+        if self.upstream is not None:
+            try:
+                self.upstream.send_message(Passed(), timeout=cfg.io_timeout)
+            except (WriteStalled, ConnectionError):
+                pass
+        state.on_passed()
+        self.outcome.failures_detected = list(state.report.failures)
+        self._drop_upstream()
+        self.shutdown()
+
+    def _stream_loop(self) -> Optional[bytes]:
+        """Receive/store/forward until END+report; ``None`` = aborted.
+
+        Storage errors (``SinkError``/``OSError``) propagate to the
+        caller, which maps them to the hard-abort path.
+        """
+        cfg = self.config
+        state = self.state
         upstream_report: Optional[bytes] = None
         #: Non-DATA frame decoded while draining a batch; handled next turn.
         carried: Optional[tuple] = None
@@ -543,7 +633,7 @@ class ReceiverNode(_BaseNode):
 
         while True:
             if state.phase is Phase.ENDED and upstream_report is not None:
-                break
+                return upstream_report
             if self.upstream is None:
                 carried = None
                 self._acquire_upstream()
@@ -560,7 +650,7 @@ class ReceiverNode(_BaseNode):
                     last_progress = time.monotonic()
                 elif time.monotonic() - last_progress > cfg.report_timeout:
                     self._hard_abort("upstream silent beyond deadline")
-                    return
+                    return None
                 continue
             except FramingError as exc:
                 # A poisoned byte stream cannot be resynchronised: drop
@@ -614,7 +704,7 @@ class ReceiverNode(_BaseNode):
                                  offset=msg.min_offset, detail="received")
                 if not self._fetch_hole_from_head(msg.min_offset):
                     self._hard_abort("data lost beyond recovery (FORGET)")
-                    return
+                    return None
                 # Hole filled; re-request the live stream from upstream.
                 try:
                     self.upstream.send_message(Get(state.offset),
@@ -630,48 +720,13 @@ class ReceiverNode(_BaseNode):
                     rmsg, rpayload = self.upstream.recv_message(cfg.io_timeout)
                 except (TimeoutError, ConnectionError):
                     self._hard_abort("upstream quit without report")
-                    return
+                    return None
                 if isinstance(rmsg, Report):
-                    upstream_report = bytes(rpayload)
-                    break
+                    return bytes(rpayload)
                 self._hard_abort("upstream quit without report")
-                return
+                return None
             else:
                 raise ProtocolError(f"{self.name}: unexpected {msg!r} from upstream")
-
-        # ---- report exchange phase ----
-        aborted = state.phase is Phase.ABORTED
-        state.merge_upstream_report(upstream_report)
-        digest_ok = state.verify_against_report()
-        if digest_ok is False:
-            # Corrupted local copy: flag ourselves before forwarding the
-            # report so the head learns, and fail this node's outcome.
-            state.record_failure(self.name, "digest-mismatch")
-            self.outcome.error = "stored data failed digest verification"
-        outcome = self.link.finish(total=state.offset, quit_first=aborted)
-        if outcome == "tail":
-            self._ring_deliver(state.report.encode())
-        self.outcome.ok = (
-            not aborted and state.complete and digest_ok is not False
-        )
-        # Emit DONE *before* acknowledging upstream: PASSED flows tail to
-        # head, so DONE events order causally (tail first, head last) in
-        # both the runtime and the simulator traces.
-        self.tracer.emit(tracing.DONE, self.name, offset=state.offset,
-                         detail="ok" if self.outcome.ok else "failed")
-        if self.upstream is not None:
-            try:
-                self.upstream.send_message(Passed(), timeout=cfg.io_timeout)
-            except (WriteStalled, ConnectionError):
-                pass
-        state.on_passed()
-        if aborted:
-            self.sink.abort()
-        else:
-            self.sink.finish()
-        self.outcome.failures_detected = list(state.report.failures)
-        self._drop_upstream()
-        self.shutdown()
 
     def _ring_deliver(self, report_bytes: bytes) -> None:
         """Tail duty: close the ring and deliver the report to the head."""

@@ -36,7 +36,15 @@ class TestKascadeConfig:
         ("connect_timeout", 0.0),
         ("report_timeout", -5.0),
         ("max_connect_attempts", -1),
+        ("sink_writeback_depth", -1),
+        ("sink_writeback_budget", -1),
+        ("readahead_chunks", -1),
     ])
     def test_invalid_values_rejected(self, field, value):
         with pytest.raises(ConfigError):
             KascadeConfig(**{field: value})
+
+    def test_stage_off_switches_are_valid(self):
+        cfg = KascadeConfig(sink_writeback_depth=0, readahead_chunks=0)
+        assert cfg.sink_writeback_depth == 0
+        assert cfg.readahead_chunks == 0

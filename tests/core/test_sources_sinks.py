@@ -1,5 +1,6 @@
 """Tests for head-node sources and receiver sinks."""
 
+import errno
 import io
 import os
 
@@ -182,7 +183,72 @@ class TestSinks:
         assert out.read_bytes() == b"via-pipe"
 
     def test_command_sink_failure_raises(self):
-        from repro.core import CommandSink
+        from repro.core import CommandSink, SinkError
         sink = CommandSink("exit 3")
-        with pytest.raises(RuntimeError):
+        with pytest.raises(SinkError):
             sink.finish()
+
+    def test_command_sink_broken_pipe_maps_to_sink_error(self):
+        import time
+        from repro.core import CommandSink, SinkError
+        sink = CommandSink("exit 7")
+        sink._proc.wait()  # ensure the command is gone before writing
+        with pytest.raises(SinkError) as exc_info:
+            # The pipe buffer can absorb small writes after child death;
+            # keep writing until the kernel reports the broken pipe.
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                sink.write_chunk(b"x" * 65536)
+        assert "exit 7" in str(exc_info.value)
+        assert "stopped accepting data" in str(exc_info.value)
+        sink.abort()
+
+    def test_file_sink_preallocate(self, tmp_path):
+        p = tmp_path / "pre.bin"
+        sink = FileSink(p, expected_size=4096)
+        sink.write_chunk(b"abc")
+        sink.finish()
+        # The reservation beyond what was written must not survive.
+        assert p.read_bytes() == b"abc"
+
+    def test_file_sink_preallocate_unsupported_is_silent(self, tmp_path, monkeypatch):
+        def refuse(fd, offset, length):
+            raise OSError(errno.EOPNOTSUPP, "not supported")
+        monkeypatch.setattr(os, "posix_fallocate", refuse, raising=False)
+        p = tmp_path / "nofalloc.bin"
+        with FileSink(p, expected_size=1 << 20) as sink:
+            sink.write_chunk(b"data")
+        assert p.read_bytes() == b"data"
+
+    def test_file_sink_preallocate_enospc_propagates(self, tmp_path, monkeypatch):
+        def full(fd, offset, length):
+            raise OSError(errno.ENOSPC, "No space left on device")
+        monkeypatch.setattr(os, "posix_fallocate", full, raising=False)
+        with pytest.raises(OSError) as exc_info:
+            FileSink(tmp_path / "full.bin", expected_size=1 << 20)
+        assert exc_info.value.errno == errno.ENOSPC
+
+    def test_throttled_sink_models_service_time(self):
+        from repro.core import ThrottledSink
+        sleeps = []
+        inner = BufferSink()
+        sink = ThrottledSink(inner, 1000.0, sleep=sleeps.append)
+        # A synchronous device: every write costs its service time
+        # in-call, so 300 kB at 1000 B/s blocks for 300 s total.
+        for _ in range(300):
+            sink.write_chunk(b"z" * 1000)
+        sink.finish()
+        assert inner.getvalue() == b"z" * 300000
+        assert sum(sleeps) == pytest.approx(300.0)
+
+    def test_throttled_sink_batches_sub_ms_service_debt(self):
+        from repro.core import ThrottledSink
+        sleeps = []
+        sink = ThrottledSink(BufferSink(), 1_000_000.0, sleep=sleeps.append)
+        # 100 B at 1 MB/s is 0.1 ms of service time — far below the 1 ms
+        # sleep floor, so the debt must accumulate instead of micro-sleeping.
+        for _ in range(30):
+            sink.write_chunk(b"z" * 100)
+        assert len(sleeps) == 3  # one ~1 ms sleep per 10 writes
+        assert all(s >= 0.001 for s in sleeps)
+        assert sum(sleeps) == pytest.approx(0.003)

@@ -13,6 +13,8 @@ The package provides:
 * :mod:`repro.baselines` — the compared methods (TakTuk chain/tree,
   UDPCast, MPI broadcast) modelled on the simulator;
 * :mod:`repro.launch` — startup-time models (TakTuk, ClusterShell, SSH);
+* :mod:`repro.deploy` — windowed multi-process deployment: one OS
+  process per node, a supervising coordinator, and real-signal chaos;
 * :mod:`repro.distem` — the failure-injection emulator of §IV-G;
 * :mod:`repro.bench` — the experiment harness regenerating every figure
   of the evaluation section.
@@ -30,11 +32,12 @@ from .core import (
     TransferReport,
 )
 from .runtime.cluster import BroadcastResult, CrashPlan
-from .session import BroadcastSession, run_broadcast
+from .session import BACKENDS, BroadcastSession, run_broadcast
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "BACKENDS",
     "DEFAULT_CONFIG",
     "KascadeConfig",
     "ChunkRingBuffer",

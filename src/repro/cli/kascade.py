@@ -8,7 +8,12 @@ Mirrors the paper's Fig. 2 interface:
   one receiving node (start one per machine/port);
 * ``kascade send --name n1 --nodes <registry> [-i FILE]`` — run the head
   node; reads stdin when ``-i`` is omitted or ``-``, exactly like
-  ``dd if=/dev/sda2 | gzip | kascade ... -O 'gunzip | dd of=/dev/sda2'``.
+  ``dd if=/dev/sda2 | gzip | kascade ... -O 'gunzip | dd of=/dev/sda2'``;
+* ``kascade deploy -n 8 -i myfile.tgz`` — windowed multi-process
+  deployment: one OS process per node, launched ``--window`` at a time,
+  supervised by a coordinator (the §III-B startup phase for real);
+* ``kascade agent --coordinator HOST:PORT --name n3`` — one deployed
+  node process; normally spawned by ``deploy``, not by hand.
 
 The ``--nodes`` registry is ``name=host:port`` pairs, comma separated,
 in pipeline order, the head first:
@@ -153,6 +158,85 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def parse_chaos(specs: List[str]):
+    """Parse ``--chaos NODE:BYTES[:SIG]`` items into ChaosPlans."""
+    from ..core.units import parse_size
+    from ..deploy.chaos import ChaosPlan
+
+    plans = []
+    for spec in specs or []:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise SystemExit(f"bad --chaos entry: {spec!r} "
+                             f"(expected NODE:BYTES[:kill|stop])")
+        node, size = parts[0], parts[1]
+        sig = parts[2] if len(parts) == 3 else "kill"
+        try:
+            plans.append(ChaosPlan(node, after_bytes=int(parse_size(size)),
+                                   sig=sig))
+        except Exception as exc:
+            raise SystemExit(f"bad --chaos entry: {spec!r} ({exc})")
+    return plans
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    """Windowed multi-process deployment: real processes, real signals."""
+    config = build_config(args)
+    receivers = [f"n{i}" for i in range(2, args.nodes + 2)]
+    source = open_source(args.input)
+
+    from ..session import run_broadcast
+
+    result = run_broadcast(
+        source, receivers,
+        backend="procs",
+        config=config,
+        trace=args.trace,
+        timeout=args.run_timeout,
+        crashes=parse_chaos(args.chaos),
+        window=args.window,
+        spawn_retries=args.spawn_retries,
+        startup_timeout=args.startup_timeout,
+        output_template=args.output,
+        stderr_dir=args.stderr_dir,
+    )
+    delivered = [n for n in result.completed_nodes if n != "n1"]
+    print(f"{result.total_bytes} bytes to {len(delivered)} node(s) "
+          f"in {result.duration:.2f}s "
+          f"({result.throughput / 1e6:.1f} MB/s)")
+    if result.launch is not None:
+        print(f"launch: {result.launch.summary()}")
+        print(result.launch.compare().render())
+    print(result.report.summary())
+    for name, outcome in sorted(result.outcomes.items()):
+        status = "ok" if outcome.ok else f"FAILED ({outcome.error})"
+        digest = f", sha256={outcome.digest[:12]}…" if outcome.digest else ""
+        print(f"  {name}: {outcome.bytes_received} bytes, {status}{digest}")
+    if args.trace and result.trace is not None:
+        print(result.trace.failure_chronology())
+        print(f"trace: {result.trace.summary()} -> {args.trace}")
+    return 0 if result.ok else 1
+
+
+def cmd_agent(args: argparse.Namespace) -> int:
+    """One deployed node process (normally spawned by ``deploy``)."""
+    from ..deploy.agent import run_agent
+
+    try:
+        host, port = args.coordinator.rsplit(":", 1)
+        coordinator = (host, int(port))
+    except ValueError:
+        raise SystemExit(f"bad --coordinator {args.coordinator!r} "
+                         f"(expected HOST:PORT)")
+    return run_agent(
+        coordinator, args.name,
+        bind=args.bind,
+        advertise=args.advertise,
+        start_timeout=args.start_timeout,
+        die_on_start=args.die_on_start,
+    )
+
+
 def cmd_recv(args: argparse.Namespace) -> int:
     """One receiving node, listening on its registry address."""
     names, addrs = parse_registry(args.nodes)
@@ -227,6 +311,47 @@ def main(argv: List[str] | None = None) -> int:
     demo.add_argument("--run-timeout", type=float, default=3600.0)
     add_common(demo)
     demo.set_defaults(fn=cmd_demo)
+
+    deploy = sub.add_parser(
+        "deploy",
+        help="run a pipeline as one OS process per node (windowed launch)")
+    deploy.add_argument("-n", "--nodes", type=int, default=3,
+                        help="number of receiving nodes")
+    deploy.add_argument("-i", "--input", required=True,
+                        help="input file, or '-' for stdin (spooled)")
+    deploy.add_argument("-o", "--output", default=None,
+                        help="per-node output path; '{node}' expands to "
+                             "the node name (default: discard, digest only)")
+    deploy.add_argument("--window", type=int, default=8,
+                        help="max agent launches in flight (§III-B)")
+    deploy.add_argument("--spawn-retries", type=int, default=1,
+                        help="extra spawn attempts per node")
+    deploy.add_argument("--startup-timeout", type=float, default=15.0,
+                        help="seconds one spawn may take to register")
+    deploy.add_argument("--chaos", action="append", default=None,
+                        metavar="NODE:BYTES[:SIG]",
+                        help="send a real signal (kill|stop, default kill) "
+                             "to NODE once it received BYTES; repeatable")
+    deploy.add_argument("--stderr-dir", default=None,
+                        help="capture each agent's stderr under this dir")
+    deploy.add_argument("--run-timeout", type=float, default=3600.0)
+    add_common(deploy)
+    deploy.set_defaults(fn=cmd_deploy)
+
+    agent = sub.add_parser(
+        "agent", help="run one deployed node process (spawned by deploy)")
+    agent.add_argument("--coordinator", required=True, metavar="HOST:PORT",
+                       help="control socket of the deploy coordinator")
+    agent.add_argument("--name", required=True)
+    agent.add_argument("--bind", default="127.0.0.1",
+                       help="address to bind the data-plane port on")
+    agent.add_argument("--advertise", default=None,
+                       help="host peers should dial (default: bind address)")
+    agent.add_argument("--start-timeout", type=float, default=60.0,
+                       help="seconds to wait for the coordinator's start")
+    agent.add_argument("--die-on-start", action="store_true",
+                       help=argparse.SUPPRESS)  # test hook: exit before registering
+    agent.set_defaults(fn=cmd_agent)
 
     recv = sub.add_parser("recv", help="run one receiving node")
     recv.add_argument("--name", required=True)

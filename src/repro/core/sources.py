@@ -59,6 +59,12 @@ class FileSource(Source):
     def size(self) -> int:
         return self._size
 
+    @property
+    def path(self) -> str:
+        """Filesystem path this source reads — lets the process backend
+        hand the file to a head agent by name instead of spooling it."""
+        return self._path
+
     def fileno(self) -> int:
         """File descriptor for kernel-side streaming (``os.sendfile``).
 

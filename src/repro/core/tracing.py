@@ -38,6 +38,7 @@ __all__ = [
     "CONNECT", "CHUNK", "STALL", "PING", "FAILOVER", "PGET", "FORGET",
     "QUIT", "REPORT", "DONE", "EVENT_TYPES",
     "DETECTOR_ERROR", "DETECTOR_PING", "DETECTOR_CONNECT",
+    "DETECTOR_PROC_EXIT",
     "classify_detector", "TraceEvent", "NullRecorder", "NULL_TRACER",
     "TraceCollector",
 ]
@@ -63,6 +64,10 @@ EVENT_TYPES = frozenset(
 DETECTOR_ERROR = "error"      #: a syscall failed (reset / refused write)
 DETECTOR_PING = "ping"        #: stalled or silent, then an unanswered ping
 DETECTOR_CONNECT = "connect"  #: connection attempt refused / timed out
+#: Coordinator-only: ``waitpid`` saw the agent process exit.  Unlike the
+#: three in-band detectors above, this one needs no protocol traffic —
+#: it exists only on backends where nodes are real OS processes.
+DETECTOR_PROC_EXIT = "proc-exit"
 
 
 def classify_detector(reason: str) -> str:
@@ -71,8 +76,12 @@ def classify_detector(reason: str) -> str:
     Both the runtime and the protocol simulator phrase their reasons the
     same way (``"... ping unanswered"`` for timeout+ping detections,
     ``"connect-failed: ..."`` for refused connections), so one
-    classifier keeps the two backends' FAILOVER events comparable.
+    classifier keeps the two backends' FAILOVER events comparable.  The
+    process backend's coordinator prefixes its waitpid-based detections
+    with ``"proc-exit"`` to keep them distinguishable from both.
     """
+    if reason.startswith("proc-exit"):
+        return DETECTOR_PROC_EXIT
     if "ping unanswered" in reason:
         return DETECTOR_PING
     if reason.startswith(("connect-failed", "no-handshake")):

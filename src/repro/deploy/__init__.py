@@ -1,0 +1,42 @@
+"""Process-per-node deployment: the paper's startup phase, for real.
+
+Until now every "node" of the TCP runtime was a thread inside one
+process, so crash injection could only *simulate* process death by
+closing sockets.  This package runs each pipeline node as its own OS
+process (§III-B):
+
+* :mod:`repro.deploy.agent` — the ``kascade agent`` entrypoint: one
+  process per node that binds its data port, registers with the
+  coordinator over a control socket, runs the existing
+  :mod:`repro.runtime` node logic, and exits with a structured status;
+* :mod:`repro.deploy.launcher` — windowed parallel spawn (TakTuk's
+  windowed mode) with per-node retry/backoff and startup-timeout
+  detection; nodes that never register are re-planned around *before*
+  data flows, mirroring §III-B's "launcher failures are handled before
+  the transfer";
+* :mod:`repro.deploy.coordinator` — collects registrations, distributes
+  the ordered node list, supervises liveness (``waitpid`` + control
+  heartbeats), gathers the ring-closure report, and tears everything
+  down;
+* :mod:`repro.deploy.chaos` — kills agents with real ``SIGKILL`` /
+  ``SIGSTOP`` mid-transfer, so §III-D failover is exercised against
+  genuine RSTs and silent hangs across process boundaries.
+
+The blessed entry point is ``repro.run_broadcast(..., backend="procs")``.
+"""
+
+from .chaos import ChaosEngine, ChaosPlan
+from .coordinator import ProcBroadcast
+from .launcher import LaunchReport, NodeLaunch, WindowedLauncher
+from .protocol import ControlChannel, DeployError
+
+__all__ = [
+    "ChaosEngine",
+    "ChaosPlan",
+    "ControlChannel",
+    "DeployError",
+    "LaunchReport",
+    "NodeLaunch",
+    "ProcBroadcast",
+    "WindowedLauncher",
+]

@@ -1,0 +1,252 @@
+"""The ``kascade agent`` process: one pipeline node, one OS process.
+
+An agent is what the launcher starts on every node (locally today; the
+command line is ssh-able by construction).  Its life cycle mirrors the
+paper's startup phase (§III-B):
+
+1. bind the data-plane listen socket on an ephemeral port;
+2. dial the coordinator's control socket and register (``hello`` with
+   name, pid, and the bound address);
+3. wait for ``start`` — the final node list (re-planned around launch
+   failures), the config, and this node's source/sink assignment;
+4. run the unmodified :mod:`repro.runtime` node logic (head or
+   receiver) over real TCP, heartbeating on the control socket and
+   reporting throttled progress (which drives the chaos hook);
+5. send a structured ``status`` — outcome, payload digest, the encoded
+   ring report (head only), perfstats, and the agent's trace events —
+   then exit with a structured code.
+
+Exit codes: 0 ok, 1 transfer failed, 2 usage/registration error,
+3 deliberate startup death (the ``--die-on-start`` test hook),
+4 cancelled by the coordinator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from ..core.config import KascadeConfig
+from ..core.perfstats import get_stats
+from ..core.pipeline import PipelinePlan
+from ..core.sinks import FileSink, NullSink, Sink
+from ..core.sources import FileSource
+from ..core.tracing import TraceCollector
+from ..runtime.node import HeadNode, ReceiverNode
+from ..runtime.registry import Registry
+from ..runtime.transport import Address, Listener
+from .protocol import ControlChannel, DeployError, connect_control
+
+EXIT_OK = 0
+EXIT_FAILED = 1
+EXIT_USAGE = 2
+EXIT_DIED_ON_START = 3
+EXIT_CANCELLED = 4
+
+
+class DigestSink(Sink):
+    """Hash every chunk on its way into the real sink.
+
+    Gives the coordinator an end-to-end payload digest per node without
+    shipping payload bytes over the control plane — survivors of a chaos
+    run prove byte-exactness with one hex string.
+    """
+
+    def __init__(self, inner: Sink) -> None:
+        self.inner = inner
+        self._hash = hashlib.sha256()
+        self.bytes_written = 0
+
+    def write_chunk(self, data) -> None:
+        self._hash.update(data)
+        self.bytes_written += len(data)
+        self.inner.write_chunk(data)
+
+    def preallocate(self, size: int) -> None:
+        self.inner.preallocate(size)
+
+    def finish(self) -> None:
+        self.inner.finish()
+
+    def abort(self) -> None:
+        self.inner.abort()
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
+
+
+class _Heartbeat:
+    """Background liveness tick on the control channel.
+
+    A SIGSTOPped agent stops ticking — that silence is exactly what the
+    coordinator's supervision (and the peers' data-plane pings) must
+    resolve, so the thread deliberately has no failure handling beyond
+    "stop quietly when the channel is gone".
+    """
+
+    def __init__(self, channel: ControlChannel, interval: float) -> None:
+        self._channel = channel
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="agent-heartbeat", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            if not self._channel.send({"op": "heartbeat"}):
+                return
+
+
+def _progress_gate(channel: ControlChannel, every: int):
+    """A :data:`~repro.runtime.node.CrashGate` that never crashes.
+
+    Reuses the receiver's per-chunk gate slot to stream throttled
+    progress to the coordinator — the signal the chaos engine keys on.
+    """
+    last = [0]
+
+    def gate(received: int) -> Optional[str]:
+        if received - last[0] >= every:
+            last[0] = received
+            channel.send({"op": "progress", "bytes": received})
+        return None
+
+    return gate
+
+
+def run_agent(
+    coordinator: Tuple[str, int],
+    name: str,
+    *,
+    bind: str = "127.0.0.1",
+    advertise: Optional[str] = None,
+    start_timeout: float = 60.0,
+    die_on_start: bool = False,
+) -> int:
+    """Run one agent to completion; returns the process exit code."""
+    if die_on_start:
+        # Test hook: a node whose process dies before it can register,
+        # exercising the launcher's retry + re-plan path for real.
+        return EXIT_DIED_ON_START
+
+    listener = Listener(host=bind, port=0)
+    try:
+        channel = connect_control(coordinator[0], coordinator[1],
+                                  timeout=start_timeout)
+    except DeployError:
+        listener.close()
+        return EXIT_USAGE
+    try:
+        return _run_registered(channel, listener, name,
+                               advertise or listener.address.host,
+                               start_timeout)
+    finally:
+        channel.close()
+        listener.close()
+
+
+def _run_registered(
+    channel: ControlChannel,
+    listener: Listener,
+    name: str,
+    advertise_host: str,
+    start_timeout: float,
+) -> int:
+    channel.send({
+        "op": "hello",
+        "name": name,
+        "pid": os.getpid(),
+        "host": advertise_host,
+        "port": listener.address.port,
+    })
+    try:
+        msg = channel.recv(timeout=start_timeout)
+    except (TimeoutError, DeployError):
+        return EXIT_USAGE
+    if msg is None or msg.get("op") == "cancel":
+        return EXIT_CANCELLED
+    if msg.get("op") != "start":
+        return EXIT_USAGE
+
+    config = KascadeConfig(**msg["config"])
+    nodes = [(n, Address(h, p)) for n, h, p in msg["nodes"]]
+    registry = Registry(dict(nodes))
+    head = msg["head"]
+    plan = PipelinePlan(head=head,
+                        receivers=tuple(n for n, _ in nodes if n != head))
+    run_timeout = float(msg.get("run_timeout", 600.0))
+
+    tracer = TraceCollector()
+    trace_epoch = time.time()
+    stats_before = get_stats().snapshot()
+    heartbeat = _Heartbeat(channel, float(msg.get("heartbeat_interval", 0.5)))
+    heartbeat.start()
+
+    digest_sink: Optional[DigestSink] = None
+    source: Optional[FileSource] = None
+    if name == head:
+        source = FileSource(msg["source"])
+        node = HeadNode(name, plan, registry, listener, config, source,
+                        tracer=tracer)
+    else:
+        inner: Sink = (FileSink(msg["output"]) if msg.get("output")
+                       else NullSink())
+        digest_sink = DigestSink(inner)
+        node = ReceiverNode(
+            name, plan, registry, listener, config, digest_sink,
+            crash_gate=_progress_gate(
+                channel, int(msg.get("progress_every", 1 << 18))),
+            tracer=tracer,
+        )
+
+    node.start()
+    node.join(run_timeout)
+    if node.thread.is_alive():
+        node.outcome.error = node.outcome.error or (
+            f"agent run exceeded {run_timeout}s"
+        )
+        node.shutdown()
+        node.join(2.0)
+    heartbeat.stop()
+    if source is not None:
+        source.close()
+
+    outcome = node.outcome
+    report_hex: Optional[str] = None
+    failures: List[str] = []
+    if isinstance(node, HeadNode) and node.final_report is not None:
+        report_hex = node.final_report.encode().hex()
+        failures = node.final_report.failed_nodes
+    stats_after = get_stats().snapshot()
+    channel.send({
+        "op": "status",
+        "name": name,
+        "ok": bool(outcome.ok),
+        "bytes": int(outcome.bytes_received),
+        "crashed": bool(outcome.crashed),
+        "error": outcome.error,
+        "digest": digest_sink.hexdigest() if digest_sink is not None else None,
+        "report": report_hex,
+        "failures": failures,
+        "perfstats": {k: stats_after[k] - stats_before.get(k, 0)
+                      for k in stats_after},
+        "trace": tracer.to_jsonl(),
+        "trace_epoch": trace_epoch,
+    })
+    return EXIT_OK if outcome.ok else EXIT_FAILED
+
+
+def config_to_wire(config: KascadeConfig) -> dict:
+    """JSON-safe dict for the ``start`` message (coordinator side)."""
+    return dataclasses.asdict(config)

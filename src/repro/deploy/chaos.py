@@ -1,0 +1,109 @@
+"""Real-signal fault injection for the process-per-node backend.
+
+The thread-based runtime can only *simulate* process death (closing
+sockets from within).  Here the coordinator sends genuine signals to a
+separate OS process, so peers observe exactly what §III-D describes:
+
+* ``SIGKILL`` — abrupt death: the kernel closes every socket, peers see
+  RST on the next read/write (the error-detector path);
+* ``SIGSTOP`` — silent hang: the process is frozen with all its sockets
+  open, so peers must disambiguate congestion from death with the
+  timeout + liveness-ping mechanism of §III-D1.
+
+Triggering is progress-driven: agents report bytes received over the
+control socket (throttled, see ``progress_every``), and the engine fires
+once a node's reported progress crosses its plan's threshold — the same
+semantics as the thread runtime's :class:`~repro.runtime.CrashPlan`
+(``after_bytes`` is a floor, not an exact offset).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from ..core.errors import KascadeError
+
+#: Chaos signal name → the real signal the coordinator sends.
+SIGNALS = {
+    "kill": signal.SIGKILL,
+    "stop": signal.SIGSTOP,
+}
+
+#: CrashPlan mode → chaos signal with the same observable effect.
+MODE_TO_SIGNAL = {"close": "kill", "silent": "stop"}
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Send ``sig`` to ``node`` once it has received ``after_bytes``."""
+
+    node: str
+    after_bytes: int = 0
+    sig: str = "kill"  # "kill" | "stop"
+
+    def __post_init__(self) -> None:
+        if self.sig not in SIGNALS:
+            raise KascadeError(
+                f"unknown chaos signal {self.sig!r}; "
+                f"choose from {sorted(SIGNALS)}"
+            )
+        if self.after_bytes < 0:
+            raise KascadeError("after_bytes must be >= 0")
+
+
+class ChaosEngine:
+    """Fires each plan at most once, keyed on reported progress.
+
+    ``kill_fn`` defaults to :func:`os.kill`; tests inject a recorder.
+    Thread-safe: progress callbacks arrive from per-agent reader threads.
+    """
+
+    def __init__(
+        self,
+        plans: Sequence[ChaosPlan],
+        *,
+        kill_fn: Callable[[int, int], None] = os.kill,
+    ) -> None:
+        dupes = {p.node for p in plans if sum(q.node == p.node for q in plans) > 1}
+        if dupes:
+            raise KascadeError(f"multiple chaos plans for: {sorted(dupes)}")
+        self._pending: Dict[str, ChaosPlan] = {p.node: p for p in plans}
+        self._fired: Dict[str, ChaosPlan] = {}
+        self._kill = kill_fn
+        self._lock = threading.Lock()
+
+    def targets(self):
+        """Names of nodes any plan targets (pending or fired)."""
+        with self._lock:
+            return set(self._pending) | set(self._fired)
+
+    @property
+    def fired(self) -> Dict[str, ChaosPlan]:
+        """Plans that have been executed, by node name."""
+        with self._lock:
+            return dict(self._fired)
+
+    def on_progress(self, node: str, bytes_received: int,
+                    pid: Optional[int]) -> Optional[str]:
+        """Maybe fire the plan for ``node``; returns the signal name fired.
+
+        A dead or unknown pid makes the plan a no-op (the node died on
+        its own first); the plan still counts as fired so the run's
+        ``ok`` accounting stays consistent.
+        """
+        with self._lock:
+            plan = self._pending.get(node)
+            if plan is None or bytes_received < plan.after_bytes:
+                return None
+            del self._pending[node]
+            self._fired[node] = plan
+        if pid is not None:
+            try:
+                self._kill(pid, SIGNALS[plan.sig])
+            except (OSError, ProcessLookupError):
+                pass
+        return plan.sig

@@ -1,0 +1,713 @@
+"""Coordinator: drive a real process-per-node broadcast end to end.
+
+The coordinator is the §III-B root: it launches agents (windowed, via
+:class:`~repro.deploy.launcher.WindowedLauncher`), collects their
+registrations on a control socket, distributes the final ordered node
+list (re-planned around launch failures *before* any payload byte
+flows), supervises liveness during the transfer (``waitpid`` for real
+process death, control-socket heartbeats for silent hangs), gathers the
+ring-closure report from the head's structured status, and tears every
+process down at the end — including ``SIGKILL`` for agents frozen by
+the chaos hook.
+
+:class:`ProcBroadcast` mirrors :class:`repro.runtime.LocalBroadcast`
+(same constructor shape, same :class:`BroadcastResult`), which is what
+lets :func:`repro.run_broadcast` offer it as ``backend="procs"``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import tracing
+from ..core.config import DEFAULT_CONFIG, KascadeConfig
+from ..core.errors import KascadeError
+from ..core.pipeline import PipelinePlan
+from ..core.report import FailureRecord, TransferReport
+from ..core.sources import FileSource, Source
+from ..core.tracing import NULL_TRACER, TraceCollector
+from ..runtime.cluster import BroadcastResult
+from ..runtime.node import NodeOutcome
+from ..runtime.transport import Address
+from .agent import config_to_wire
+from .chaos import ChaosEngine, ChaosPlan
+from .launcher import LaunchReport, WindowedLauncher
+from .protocol import ControlChannel, DeployError
+
+#: How an agent's exit status renders in failure reasons and trace events.
+def describe_exit(code: int) -> str:
+    if code < 0:
+        try:
+            name = signal.Signals(-code).name
+        except ValueError:
+            name = str(-code)
+        return f"proc-exit: signal {name}"
+    return f"proc-exit: code {code}"
+
+
+@dataclass
+class _Agent:
+    """Coordinator-side view of one registered agent."""
+
+    name: str
+    channel: ControlChannel
+    address: Address
+    pid: int
+    registered_at: float
+    last_heard: float
+    bytes_received: int = 0
+    status: Optional[dict] = None
+    dead_reason: Optional[str] = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.status is not None or self.dead_reason is not None
+
+
+class Coordinator:
+    """Control-plane endpoint: registration, supervision, status collection.
+
+    One reader thread per agent connection keeps the implementation
+    obvious (a deployment has tens of agents, not tens of thousands);
+    all shared state is guarded by one condition variable that doubles
+    as the wake-up for ``wait_registered`` / ``wait_statuses``.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        tracer=NULL_TRACER,
+        on_progress: Optional[Callable[[str, int, int], None]] = None,
+        hello_timeout: float = 10.0,
+    ) -> None:
+        self._tracer = tracer
+        self._on_progress = on_progress
+        self._hello_timeout = hello_timeout
+        self._cond = threading.Condition()
+        self._agents: Dict[str, _Agent] = {}
+        self._closed = False
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, 0))
+        self._sock.listen(64)
+        self.address = Address(*self._sock.getsockname()[:2])
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="coord-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- connection handling --------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _peer = self._sock.accept()
+            except OSError:
+                return
+            channel = ControlChannel(conn)
+            threading.Thread(
+                target=self._serve, args=(channel,),
+                name="coord-agent", daemon=True,
+            ).start()
+
+    def _serve(self, channel: ControlChannel) -> None:
+        try:
+            hello = channel.recv(timeout=self._hello_timeout)
+        except (TimeoutError, DeployError):
+            channel.close()
+            return
+        if hello is None or hello.get("op") != "hello":
+            channel.close()
+            return
+        name = str(hello["name"])
+        agent = _Agent(
+            name=name,
+            channel=channel,
+            address=Address(str(hello["host"]), int(hello["port"])),
+            pid=int(hello["pid"]),
+            registered_at=time.monotonic(),
+            last_heard=time.monotonic(),
+        )
+        with self._cond:
+            # Latest registration wins: a retried spawn replaces the
+            # attempt the launcher already killed.
+            self._agents[name] = agent
+            self._cond.notify_all()
+        self._tracer.emit(tracing.CONNECT, "coordinator", peer=name,
+                          detail=f"register pid={agent.pid}")
+        self._read_loop(agent)
+
+    def _read_loop(self, agent: _Agent) -> None:
+        while not self._closed:
+            try:
+                msg = agent.channel.recv(timeout=0.5)
+            except TimeoutError:
+                continue
+            except DeployError:
+                break
+            if msg is None:
+                break  # EOF: death vs normal exit is the reaper's call
+            with self._cond:
+                agent.last_heard = time.monotonic()
+            op = msg.get("op")
+            if op == "progress":
+                received = int(msg.get("bytes", 0))
+                with self._cond:
+                    agent.bytes_received = max(agent.bytes_received, received)
+                if self._on_progress is not None:
+                    self._on_progress(agent.name, received, agent.pid)
+            elif op == "status":
+                with self._cond:
+                    agent.status = msg
+                    self._cond.notify_all()
+            # heartbeats only refresh last_heard
+
+    # -- queries used by the launcher / run loop ------------------------
+
+    def wait_registered(self, name: str, timeout: float) -> bool:
+        with self._cond:
+            return self._cond.wait_for(lambda: name in self._agents, timeout)
+
+    def agent(self, name: str) -> Optional[_Agent]:
+        with self._cond:
+            return self._agents.get(name)
+
+    def registered_names(self) -> List[str]:
+        with self._cond:
+            return list(self._agents)
+
+    def mark_dead(self, name: str, reason: str) -> bool:
+        """Record a supervised death; False if already resolved."""
+        with self._cond:
+            agent = self._agents.get(name)
+            if agent is None or agent.resolved:
+                return False
+            agent.dead_reason = reason
+            self._cond.notify_all()
+            return True
+
+    def send(self, name: str, message: dict) -> bool:
+        agent = self.agent(name)
+        return agent is not None and agent.channel.send(message)
+
+    def wait_statuses(self, names: Sequence[str], deadline: float) -> List[str]:
+        """Block until every name is resolved (status or declared dead);
+        returns the names still unresolved when ``deadline`` passes."""
+        def _unresolved() -> List[str]:
+            return [n for n in names
+                    if n not in self._agents or not self._agents[n].resolved]
+
+        with self._cond:
+            self._cond.wait_for(
+                lambda: not _unresolved(),
+                timeout=max(0.0, deadline - time.monotonic()),
+            )
+            return _unresolved()
+
+    def silent_agents(self, names: Sequence[str], max_age: float) -> List[str]:
+        """Registered, unresolved agents whose control plane went quiet."""
+        now = time.monotonic()
+        with self._cond:
+            return [
+                n for n in names
+                if (a := self._agents.get(n)) is not None
+                and not a.resolved
+                and now - a.last_heard > max_age
+            ]
+
+    def close(self) -> None:
+        self._closed = True
+        self._sock.close()
+        with self._cond:
+            agents = list(self._agents.values())
+        for agent in agents:
+            agent.channel.close()
+
+
+class ProcBroadcast:
+    """One Kascade broadcast with a real OS process per pipeline node.
+
+    Mirrors :class:`~repro.runtime.LocalBroadcast`; prefer
+    ``repro.run_broadcast(..., backend="procs")``.
+
+    Parameters beyond the common set
+    --------------------------------
+    chaos:
+        :class:`~repro.deploy.chaos.ChaosPlan` sequence — real
+        ``SIGKILL``/``SIGSTOP`` injection, receivers only.
+    window / spawn_retries / startup_timeout / backoff:
+        Windowed-launcher knobs (§III-B), see
+        :class:`~repro.deploy.launcher.WindowedLauncher`.
+    heartbeat_interval / heartbeat_timeout:
+        Agent liveness tick and how long the coordinator tolerates
+        control-plane silence before declaring an agent dead.
+    progress_every:
+        Bytes between agent progress reports (chaos trigger resolution).
+    output_template:
+        Per-receiver output path; ``{node}`` expands to the node name.
+        ``None`` = agents discard payload (digest still computed).
+    python:
+        Interpreter for agent processes (default ``sys.executable``).
+    bind_host:
+        Address agents bind their data port on (default localhost).
+    agent_args:
+        ``fn(name, attempt) -> [extra argv]`` hook appended to the agent
+        command line — how tests make specific spawn attempts fail.
+    stderr_dir:
+        When set, each agent's stderr goes to ``<dir>/<name>.stderr.log``
+        instead of ``/dev/null``.
+    """
+
+    def __init__(
+        self,
+        source: Source,
+        receivers: Sequence[str],
+        *,
+        config: KascadeConfig = DEFAULT_CONFIG,
+        head: str = "n1",
+        order: str = "given",
+        chaos: Sequence[ChaosPlan] = (),
+        tracer=NULL_TRACER,
+        window: int = 8,
+        spawn_retries: int = 1,
+        startup_timeout: float = 15.0,
+        backoff: float = 0.2,
+        heartbeat_interval: float = 0.25,
+        heartbeat_timeout: Optional[float] = None,
+        progress_every: int = 1 << 18,
+        output_template: Optional[str] = None,
+        python: Optional[str] = None,
+        bind_host: str = "127.0.0.1",
+        agent_args: Optional[Callable[[str, int], Sequence[str]]] = None,
+        stderr_dir: Optional[str] = None,
+    ) -> None:
+        self.source = source
+        self.config = config
+        self.tracer = tracer
+        self.plan = PipelinePlan.build(head, receivers, order=order)
+        self.chaos = ChaosEngine(chaos)
+        unknown = self.chaos.targets() - set(self.plan.receivers)
+        if unknown:
+            raise KascadeError(f"chaos plans for unknown nodes: {sorted(unknown)}")
+        if (output_template is not None and len(self.plan.receivers) > 1
+                and "{node}" not in output_template):
+            raise KascadeError(
+                "output_template needs a {node} placeholder for >1 receiver"
+            )
+        self.window = window
+        self.spawn_retries = spawn_retries
+        self.startup_timeout = startup_timeout
+        self.backoff = backoff
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = (
+            heartbeat_timeout if heartbeat_timeout is not None
+            else max(2.0, 5 * heartbeat_interval)
+        )
+        self.progress_every = progress_every
+        self.output_template = output_template
+        self.python = python or sys.executable
+        self.bind_host = bind_host
+        self.agent_args = agent_args
+        self.stderr_dir = stderr_dir
+        #: Filled by :meth:`run`.
+        self.launch_report: Optional[LaunchReport] = None
+
+    # -- source materialisation -----------------------------------------
+
+    def _materialize_source(self) -> Tuple[str, Callable[[], None]]:
+        """A filesystem path agents can open, plus its cleanup.
+
+        A :class:`FileSource` is passed by path; anything else (bytes,
+        pattern, stdin) is spooled to a temp file once — the head agent
+        needs a seekable file anyway so PGET recovery works (§III-D2).
+        """
+        if isinstance(self.source, FileSource):
+            return self.source.path, lambda: None
+        fd, path = tempfile.mkstemp(prefix="kascade-src-")
+        try:
+            with os.fdopen(fd, "wb") as spool:
+                while True:
+                    chunk = self.source.read_chunk(1 << 20)
+                    if not chunk:
+                        break
+                    spool.write(chunk)
+        except BaseException:
+            os.unlink(path)
+            raise
+        return path, lambda: os.unlink(path)
+
+    # -- agent spawning --------------------------------------------------
+
+    def _make_spawn(self, control: Address):
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        base = [
+            self.python, "-m", "repro.cli.kascade", "agent",
+            "--coordinator", f"{control.host}:{control.port}",
+            "--bind", self.bind_host,
+            "--start-timeout", str(max(60.0, self.startup_timeout * 4)),
+        ]
+
+        def spawn(name: str, attempt: int) -> subprocess.Popen:
+            cmd = base + ["--name", name]
+            if self.agent_args is not None:
+                cmd += [str(a) for a in self.agent_args(name, attempt)]
+            if self.stderr_dir is not None:
+                stderr_path = os.path.join(self.stderr_dir,
+                                           f"{name}.stderr.log")
+                with open(stderr_path, "ab") as err:
+                    return subprocess.Popen(cmd, stdin=subprocess.DEVNULL,
+                                            stdout=subprocess.DEVNULL,
+                                            stderr=err, env=env)
+            return subprocess.Popen(cmd, stdin=subprocess.DEVNULL,
+                                    stdout=subprocess.DEVNULL,
+                                    stderr=subprocess.DEVNULL, env=env)
+
+        return spawn
+
+    # -- supervision -----------------------------------------------------
+
+    def _reaper_loop(
+        self,
+        coordinator: Coordinator,
+        procs: Dict[str, subprocess.Popen],
+        supervised: Sequence[str],
+        stop: threading.Event,
+    ) -> None:
+        """waitpid + heartbeat supervision (the §III-D coordinator view).
+
+        Process death yields a FAILOVER with the ``proc-exit`` detector —
+        categorically different from the peers' timeout+ping detection,
+        and only available because nodes are real processes now.
+        """
+        reaped: set = set()
+        exit_seen: Dict[str, float] = {}
+        # An agent that exits normally sends its status *first*, but the
+        # reader thread may not have parsed it yet when waitpid fires —
+        # give plain exits a grace window before declaring death.  Signal
+        # deaths (rc < 0) never produce a status, so they are immediate.
+        status_grace = 1.0
+        while not stop.wait(0.05):
+            for name in supervised:
+                proc = procs.get(name)
+                if proc is None or name in reaped:
+                    continue
+                rc = proc.poll()
+                if rc is None:
+                    continue
+                agent = coordinator.agent(name)
+                if agent is not None and agent.resolved:
+                    reaped.add(name)
+                    continue
+                if rc >= 0:
+                    first = exit_seen.setdefault(name, time.monotonic())
+                    if time.monotonic() - first < status_grace:
+                        continue
+                reaped.add(name)
+                reason = describe_exit(rc)
+                if coordinator.mark_dead(name, reason):
+                    agent = coordinator.agent(name)
+                    offset = agent.bytes_received if agent else None
+                    self.tracer.emit(
+                        tracing.FAILOVER, "coordinator", peer=name,
+                        offset=offset, detail=reason,
+                        detector=tracing.DETECTOR_PROC_EXIT,
+                    )
+            for name in coordinator.silent_agents(supervised,
+                                                  self.heartbeat_timeout):
+                if coordinator.mark_dead(
+                    name, f"control-heartbeat silent > {self.heartbeat_timeout}s"
+                ):
+                    self.tracer.emit(
+                        tracing.FAILOVER, "coordinator", peer=name,
+                        detail="control-heartbeat lost",
+                        detector=tracing.DETECTOR_PING,
+                    )
+
+    # -- the run ---------------------------------------------------------
+
+    def run(self, timeout: float = 120.0) -> BroadcastResult:
+        """Launch, transfer, supervise, collect, tear down."""
+        started = time.monotonic()
+        wall0 = time.time()
+        source_path, cleanup_source = self._materialize_source()
+        crashed_by_chaos: Dict[str, str] = {}
+
+        def on_progress(name: str, received: int, pid: int) -> None:
+            fired = self.chaos.on_progress(name, received, pid)
+            if fired is not None:
+                crashed_by_chaos[name] = fired
+
+        coordinator = Coordinator(tracer=self.tracer,
+                                  on_progress=on_progress)
+        launcher = WindowedLauncher(
+            self._make_spawn(coordinator.address),
+            window=self.window,
+            retries=self.spawn_retries,
+            backoff=self.backoff,
+            startup_timeout=self.startup_timeout,
+        )
+        procs: Dict[str, subprocess.Popen] = {}
+        stop_reaper = threading.Event()
+        reaper: Optional[threading.Thread] = None
+        try:
+            launch_report = launcher.launch(self.plan.chain,
+                                            coordinator.wait_registered)
+            self.launch_report = launch_report
+            procs = {name: nl.proc for name, nl in launch_report.nodes.items()
+                     if nl.ok}
+            launch_failures = self._record_launch_failures(launch_report)
+
+            head_nl = launch_report.nodes[self.plan.head]
+            final_receivers = tuple(r for r in self.plan.receivers
+                                    if launch_report.nodes[r].ok)
+            if not head_nl.ok or not final_receivers:
+                why = ("head agent failed to launch" if not head_nl.ok
+                       else "no receiver agent launched")
+                return self._failed_result(
+                    started, launch_report, launch_failures, why)
+
+            # §III-B: the chain is re-planned around launch failures
+            # before a single payload byte flows.
+            final_plan = PipelinePlan(head=self.plan.head,
+                                      receivers=final_receivers)
+            reaper = threading.Thread(
+                target=self._reaper_loop,
+                args=(coordinator, procs, final_plan.chain, stop_reaper),
+                name="coord-reaper", daemon=True,
+            )
+            reaper.start()
+            self._send_starts(coordinator, final_plan, source_path, timeout)
+
+            deadline = started + timeout
+            unresolved = coordinator.wait_statuses(final_plan.chain, deadline)
+            for name in unresolved:
+                coordinator.mark_dead(
+                    name, f"no status within the {timeout}s run deadline")
+            return self._collect(coordinator, final_plan, launch_report,
+                                 launch_failures, crashed_by_chaos,
+                                 started, wall0)
+        finally:
+            stop_reaper.set()
+            if reaper is not None:
+                reaper.join(timeout=2.0)
+            self._teardown(procs)
+            coordinator.close()
+            cleanup_source()
+
+    # -- pieces of run() -------------------------------------------------
+
+    def _record_launch_failures(
+        self, launch_report: LaunchReport
+    ) -> List[FailureRecord]:
+        records = []
+        for name in launch_report.failed:
+            nl = launch_report.nodes[name]
+            reason = f"launch-failed: {nl.error} after {nl.attempts} attempt(s)"
+            records.append(FailureRecord(
+                node=name, detected_by="launcher", at_offset=0, reason=reason,
+            ))
+            detector = (tracing.DETECTOR_PROC_EXIT
+                        if "exited before registering" in (nl.error or "")
+                        else tracing.DETECTOR_CONNECT)
+            self.tracer.emit(tracing.FAILOVER, "launcher", peer=name,
+                             offset=0, detail=reason, detector=detector)
+        return records
+
+    def _send_starts(self, coordinator: Coordinator, final_plan: PipelinePlan,
+                     source_path: str, timeout: float) -> None:
+        nodes_wire = []
+        for name in final_plan.chain:
+            agent = coordinator.agent(name)
+            assert agent is not None  # launched => registered
+            nodes_wire.append([name, agent.address.host, agent.address.port])
+        base = {
+            "op": "start",
+            "nodes": nodes_wire,
+            "head": final_plan.head,
+            "config": config_to_wire(self.config),
+            "run_timeout": timeout,
+            "heartbeat_interval": self.heartbeat_interval,
+            "progress_every": self.progress_every,
+        }
+        for name in final_plan.chain:
+            msg = dict(base)
+            if name == final_plan.head:
+                msg["source"] = source_path
+            elif self.output_template is not None:
+                msg["output"] = self.output_template.replace("{node}", name)
+            coordinator.send(name, msg)
+        # Agents registered but re-planned out (e.g. a late duplicate
+        # registration) must not sit waiting for a start that never comes.
+        for name in set(coordinator.registered_names()) - set(final_plan.chain):
+            coordinator.send(name, {"op": "cancel",
+                                    "reason": "not in final chain"})
+
+    def _collect(
+        self,
+        coordinator: Coordinator,
+        final_plan: PipelinePlan,
+        launch_report: LaunchReport,
+        launch_failures: List[FailureRecord],
+        crashed_by_chaos: Dict[str, str],
+        started: float,
+        wall0: float,
+    ) -> BroadcastResult:
+        duration = time.monotonic() - started
+        outcomes: Dict[str, NodeOutcome] = {}
+        perfstats: Dict[str, int] = {}
+        head_report: Optional[TransferReport] = None
+        merged_events: list = []
+
+        for name in launch_report.failed:
+            nl = launch_report.nodes[name]
+            outcomes[name] = NodeOutcome(
+                name=name, ok=False,
+                error=f"launch failed: {nl.error}",
+            )
+        for name in final_plan.chain:
+            agent = coordinator.agent(name)
+            status = agent.status if agent is not None else None
+            if status is not None:
+                outcomes[name] = NodeOutcome(
+                    name=name,
+                    ok=bool(status.get("ok")),
+                    bytes_received=int(status.get("bytes", 0)),
+                    crashed=bool(status.get("crashed")),
+                    error=status.get("error"),
+                    digest=status.get("digest"),
+                )
+                for key, value in (status.get("perfstats") or {}).items():
+                    perfstats[key] = perfstats.get(key, 0) + int(value)
+                merged_events.extend(self._rebase_events(status, wall0))
+                if name == final_plan.head and status.get("report"):
+                    head_report = TransferReport.decode(
+                        bytes.fromhex(status["report"]))
+                    outcomes[name].failures_detected = list(
+                        head_report.failures)
+                    self.tracer.emit(tracing.REPORT, "coordinator",
+                                     detail="ring-closure via head status")
+            else:
+                reason = (agent.dead_reason if agent is not None
+                          and agent.dead_reason else "agent never resolved")
+                outcomes[name] = NodeOutcome(
+                    name=name, ok=False, crashed=True, error=reason,
+                    bytes_received=(agent.bytes_received
+                                    if agent is not None else 0),
+                )
+
+        for event in sorted(merged_events, key=lambda e: e.t):
+            self.tracer.emit(event.type, event.node, t=event.t,
+                             offset=event.offset, peer=event.peer,
+                             detail=event.detail, detector=event.detector)
+
+        report = head_report if head_report is not None else TransferReport()
+        # Launch failures happened before the protocol's own report
+        # existed; surface them to the caller alongside transfer failures.
+        report.failures[:0] = launch_failures
+
+        head_outcome = outcomes[final_plan.head]
+        # Same accounting as LocalBroadcast: only *planned* deaths are
+        # excused, so an unexpected launch failure fails the run even
+        # though the survivors were served around it.
+        intended = [r for r in self.plan.receivers
+                    if r not in self.chaos.targets()]
+        ok = head_outcome.ok and all(outcomes[r].ok for r in intended)
+        return BroadcastResult(
+            ok=ok,
+            duration=duration,
+            total_bytes=head_outcome.bytes_received,
+            report=report,
+            outcomes=outcomes,
+            trace=(self.tracer if isinstance(self.tracer, TraceCollector)
+                   else None),
+            perfstats=perfstats,
+            backend="procs",
+            launch=launch_report,
+        )
+
+    @staticmethod
+    def _rebase_events(status: dict, wall0: float) -> list:
+        """Agent trace events shifted onto the coordinator's time base.
+
+        Agents stamp events relative to their own collector; the status
+        carries that collector's wall-clock epoch, so on one host (or
+        NTP-disciplined hosts) the rebased events interleave correctly.
+        """
+        trace_text = status.get("trace")
+        if not trace_text:
+            return []
+        shift = float(status.get("trace_epoch", wall0)) - wall0
+        events = TraceCollector.from_jsonl(trace_text)
+        return [
+            tracing.TraceEvent(
+                seq=e.seq, t=e.t + shift, type=e.type, node=e.node,
+                offset=e.offset, peer=e.peer, detail=e.detail,
+                detector=e.detector,
+            )
+            for e in events
+        ]
+
+    def _failed_result(
+        self,
+        started: float,
+        launch_report: LaunchReport,
+        launch_failures: List[FailureRecord],
+        why: str,
+    ) -> BroadcastResult:
+        outcomes = {
+            name: NodeOutcome(
+                name=name, ok=False,
+                error=(None if nl.ok else f"launch failed: {nl.error}"),
+            )
+            for name, nl in launch_report.nodes.items()
+        }
+        report = TransferReport()
+        report.extend(launch_failures)
+        return BroadcastResult(
+            ok=False,
+            duration=time.monotonic() - started,
+            total_bytes=0,
+            report=report,
+            outcomes=outcomes,
+            trace=(self.tracer if isinstance(self.tracer, TraceCollector)
+                   else None),
+            perfstats={},
+            backend="procs",
+            launch=launch_report,
+        )
+
+    @staticmethod
+    def _teardown(procs: Dict[str, subprocess.Popen]) -> None:
+        """Guaranteed cleanup: no agent outlives the run.
+
+        ``SIGKILL`` rather than ``SIGTERM`` because a chaos-stopped
+        process cannot run a handler — kill is the one signal that works
+        on a ``SIGSTOP``ped child.
+        """
+        for proc in procs.values():
+            if proc is not None and proc.poll() is None:
+                try:
+                    proc.kill()
+                except (OSError, ProcessLookupError):
+                    pass
+        for proc in procs.values():
+            if proc is not None:
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass

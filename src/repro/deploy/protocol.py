@@ -1,0 +1,153 @@
+"""Control-plane protocol between the coordinator and its agents.
+
+The data plane speaks the binary Kascade wire protocol
+(:mod:`repro.core.framing`); the *control* plane is deliberately boring:
+newline-delimited JSON objects over one TCP connection per agent, alive
+from registration to exit.  Volume is tiny (a handshake, throttled
+progress updates, one final status), so readability and debuggability
+win over compactness — ``nc`` against the coordinator port shows the
+whole conversation.
+
+Message vocabulary (``op`` field):
+
+=============  =========  ==================================================
+``hello``      agent →    registration: name, pid, and the agent's bound
+                          data-plane address
+``start``      → agent    the final (re-planned) node list, the config,
+                          the head name, and this agent's source/sink spec
+``cancel``     → agent    the agent is not part of the final chain; exit
+``heartbeat``  agent →    liveness tick (a stopped process goes silent)
+``progress``   agent →    bytes received so far (drives the chaos hook)
+``status``     agent →    structured final outcome: ok/bytes/digest/error,
+                          the encoded ring report (head only), perfstats,
+                          and the agent's trace events
+=============  =========  ==================================================
+
+Every message is one JSON object terminated by ``\\n``.  A reader that
+sees EOF returns ``None``; oversized lines (> :data:`MAX_LINE`) are a
+protocol violation, not an allocation.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Optional
+
+from ..core.errors import KascadeError
+
+#: Ceiling for one control message.  Status messages carry a JSONL trace
+#: dump, so this is generous; anything larger is a bug, not a payload.
+MAX_LINE = 16 << 20
+
+
+class DeployError(KascadeError):
+    """Deployment-layer failure (control protocol, spawn, supervision)."""
+
+
+class ControlChannel:
+    """One agent↔coordinator control connection, framed as JSON lines.
+
+    Sends are serialised by a lock (the agent's heartbeat thread and its
+    node thread share the channel) and bounded by ``send_timeout`` so a
+    wedged peer can never block the data plane; send failures after the
+    channel is closed are reported as ``False``, not raised — losing a
+    progress update must not kill an agent.
+    """
+
+    def __init__(self, sock: socket.socket, *, send_timeout: float = 5.0) -> None:
+        self._sock = sock
+        self._send_timeout = send_timeout
+        self._send_lock = threading.Lock()
+        self._recv_buf = bytearray()
+        self._closed = False
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP sockets in tests
+            pass
+
+    # -- sending ---------------------------------------------------------
+
+    def send(self, message: dict) -> bool:
+        """Send one message; True on success, False if the peer is gone."""
+        data = (json.dumps(message, separators=(",", ":")) + "\n").encode()
+        with self._send_lock:
+            if self._closed:
+                return False
+            self._sock.settimeout(self._send_timeout)
+            try:
+                self._sock.sendall(data)
+                return True
+            except (OSError, ValueError):
+                return False
+
+    # -- receiving -------------------------------------------------------
+
+    def recv(self, timeout: Optional[float]) -> Optional[dict]:
+        """Receive one message.
+
+        Returns ``None`` on EOF (peer closed), raises ``TimeoutError``
+        when nothing complete arrives in time (buffered partial bytes are
+        kept), and :class:`DeployError` on an undecodable line.
+        """
+        while True:
+            nl = self._recv_buf.find(b"\n")
+            if nl >= 0:
+                line = bytes(self._recv_buf[:nl])
+                del self._recv_buf[: nl + 1]
+                if not line.strip():
+                    continue
+                try:
+                    msg = json.loads(line)
+                except ValueError as exc:
+                    raise DeployError(f"bad control message: {exc}") from None
+                if not isinstance(msg, dict) or "op" not in msg:
+                    raise DeployError(f"control message without op: {msg!r}")
+                return msg
+            if len(self._recv_buf) > MAX_LINE:
+                raise DeployError(
+                    f"control message exceeds {MAX_LINE} bytes"
+                )
+            self._sock.settimeout(timeout)
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                raise TimeoutError("control read stalled") from None
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            self._recv_buf += chunk
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        with self._send_lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ControlChannel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect_control(host: str, port: int, timeout: float) -> ControlChannel:
+    """Dial the coordinator's control port (agent side)."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise DeployError(f"coordinator {host}:{port} unreachable: {exc}")
+    return ControlChannel(sock)

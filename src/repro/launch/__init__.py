@@ -4,11 +4,13 @@ on every node (§III-B, and the dominant cost for small files in §IV-F)."""
 from .models import (
     ClusterShellWindowed,
     InstantLauncher,
+    LaunchComparison,
     Launcher,
     MpirunLauncher,
     SSHSequential,
     TakTukAdaptiveTree,
     TakTukWindowed,
+    compare_measured,
 )
 
 __all__ = [
@@ -19,4 +21,6 @@ __all__ = [
     "SSHSequential",
     "MpirunLauncher",
     "InstantLauncher",
+    "LaunchComparison",
+    "compare_measured",
 ]

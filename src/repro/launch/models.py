@@ -12,6 +12,22 @@ The models are deliberately simple closed forms with named constants
 (connection setup ≈ an SSH handshake; window = concurrent connections).
 They are *startup latency* models, not network simulations: launcher
 traffic (a few kB of script + node list) is negligible next to payload.
+
+Units, throughout this module:
+
+* every cost constant (``base_cost``, ``per_node``, ``per_hop``,
+  ``per_level``, :data:`SSH_SETUP`, :data:`SPAWN_COST`) and every
+  returned ``startup_time`` is in **seconds**;
+* ``rtt`` is the network round-trip time in **seconds** (the default
+  ``1e-4`` is a 0.1 ms LAN);
+* ``n_nodes`` / ``window`` / ``fanout`` are dimensionless counts.
+  ``n_nodes = 0`` is valid (an empty wave costs only fixed overhead);
+  negative counts raise, and degenerate concurrency (``window`` or
+  ``fanout`` < 1) is rejected at construction.
+
+:func:`compare_measured` closes the loop with the real deployment layer:
+:class:`repro.deploy.WindowedLauncher` records wall-clock startup
+timings, and the comparison scores them against these closed forms.
 """
 
 from __future__ import annotations
@@ -19,9 +35,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-#: One SSH connect + auth + fork on 2010s hardware, LAN.
+#: One SSH connect + auth + fork on 2010s hardware, LAN.  Seconds.
 SSH_SETUP = 0.35
 #: Spawning the tool once the connection exists (interpreter start etc.).
+#: Seconds.
 SPAWN_COST = 0.15
 
 
@@ -35,6 +52,8 @@ class Launcher:
         """Seconds from invocation until the tool runs on all ``n_nodes``."""
         if n_nodes < 0:
             raise ValueError("negative node count")
+        if rtt < 0:
+            raise ValueError("negative rtt")
         return self.base_cost
 
 
@@ -55,6 +74,10 @@ class TakTukWindowed(Launcher):
     window: int = 50
     per_node: float = SSH_SETUP
 
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
     def startup_time(self, n_nodes: int, rtt: float = 1e-4) -> float:
         super().startup_time(n_nodes, rtt)
         waves = math.ceil(n_nodes / self.window) if n_nodes else 0
@@ -70,6 +93,10 @@ class TakTukAdaptiveTree(Launcher):
     base_cost: float = 0.3
     fanout: int = 2
     per_hop: float = SSH_SETUP
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {self.fanout}")
 
     def startup_time(self, n_nodes: int, rtt: float = 1e-4) -> float:
         super().startup_time(n_nodes, rtt)
@@ -88,6 +115,10 @@ class ClusterShellWindowed(Launcher):
     base_cost: float = 0.4
     window: int = 32
     per_node: float = SSH_SETUP
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
 
     def startup_time(self, n_nodes: int, rtt: float = 1e-4) -> float:
         super().startup_time(n_nodes, rtt)
@@ -120,3 +151,63 @@ class MpirunLauncher(Launcher):
         super().startup_time(n_nodes, rtt)
         depth = math.ceil(math.log2(n_nodes + 1)) if n_nodes else 0
         return self.base_cost + depth * (self.per_level + rtt)
+
+
+@dataclass(frozen=True)
+class LaunchComparison:
+    """A measured startup wave scored against one analytic model.
+
+    All times in seconds.  ``ratio`` is measured/predicted (1.0 = the
+    model nailed it; local process spawns typically land well under 1
+    because there is no SSH handshake to pay).
+    """
+
+    launcher: Launcher
+    n_nodes: int
+    measured_s: float
+    predicted_s: float
+
+    @property
+    def error_s(self) -> float:
+        """Signed absolute error: measured − predicted, seconds."""
+        return self.measured_s - self.predicted_s
+
+    @property
+    def ratio(self) -> float:
+        """measured / predicted (``inf`` for a zero-cost prediction)."""
+        if self.predicted_s == 0.0:
+            return math.inf if self.measured_s else 1.0
+        return self.measured_s / self.predicted_s
+
+    def render(self) -> str:
+        """One human-readable line for CLI output."""
+        return (
+            f"startup: measured {self.measured_s:.3f}s vs "
+            f"{type(self.launcher).__name__} prediction "
+            f"{self.predicted_s:.3f}s for {self.n_nodes} node(s) "
+            f"(x{self.ratio:.2f})"
+        )
+
+
+def compare_measured(
+    measured_s: float,
+    launcher: Launcher,
+    n_nodes: int,
+    *,
+    rtt: float = 1e-4,
+) -> LaunchComparison:
+    """Score a measured startup wall-clock against a launcher model.
+
+    ``measured_s`` is the observed seconds from first spawn until every
+    node registered (e.g. ``LaunchReport.total_s`` from
+    :mod:`repro.deploy`); the prediction is the model's closed form for
+    the same node count and round-trip time.
+    """
+    if measured_s < 0:
+        raise ValueError("negative measured time")
+    return LaunchComparison(
+        launcher=launcher,
+        n_nodes=n_nodes,
+        measured_s=measured_s,
+        predicted_s=launcher.startup_time(n_nodes, rtt),
+    )

@@ -69,6 +69,9 @@ class BroadcastResult:
     trace: Optional[TraceCollector] = None
     perfstats: Dict[str, int] = field(default_factory=dict)
     backend: str = "local"
+    #: ``backend="procs"`` only: the measured windowed-startup timings
+    #: (a :class:`repro.deploy.LaunchReport`), ``None`` elsewhere.
+    launch: Optional[object] = None
 
     @property
     def completed_nodes(self) -> List[str]:

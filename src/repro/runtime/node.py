@@ -102,6 +102,10 @@ class NodeOutcome:
     crashed: bool = False
     error: Optional[str] = None
     failures_detected: List = field(default_factory=list)
+    #: SHA-256 of the payload as stored, when the backend computed one
+    #: (the process backend always does; the thread backend only via a
+    #: hashing sink the caller supplied).
+    digest: Optional[str] = None
 
 
 class _Acceptor:

@@ -41,12 +41,29 @@ from .core.tracing import NULL_TRACER, TraceCollector
 from .runtime.cluster import BroadcastResult, CrashPlan, LocalBroadcast
 from .runtime.node import NodeOutcome
 
-__all__ = ["BACKENDS", "BroadcastSession", "TraceSpec", "run_broadcast"]
+__all__ = ["BACKENDS", "BACKEND_CATALOGUE", "BroadcastSession", "TraceSpec",
+           "run_broadcast"]
 
 #: What the ``trace`` argument accepts.
 TraceSpec = Union[None, bool, TraceCollector, str, os.PathLike]
 
-BACKENDS = ("local", "simnet")
+#: Every runnable backend with a one-line description — the unknown-
+#: backend error renders this catalogue so the caller can pick without
+#: opening the docs (same UX as ``bench_loopback.py --scenario``).
+BACKEND_CATALOGUE = {
+    "local": "threads + loopback TCP in this process (default)",
+    "procs": "one OS process per node, real signals for crash injection",
+    "simnet": "protocol-exact discrete-event simulator (no real I/O)",
+}
+
+BACKENDS = tuple(BACKEND_CATALOGUE)
+
+
+def _unknown_backend(backend: str) -> KascadeError:
+    lines = [f"unknown backend {backend!r}; known backends:"]
+    lines += [f"  {name:<7} {desc}" for name, desc in
+              BACKEND_CATALOGUE.items()]
+    return KascadeError("\n".join(lines))
 
 
 def _resolve_trace(trace: TraceSpec):
@@ -69,13 +86,22 @@ class BroadcastSession:
     """A configured broadcast, runnable on any backend.
 
     Parameters mirror :class:`~repro.runtime.LocalBroadcast`; ``backend``
-    selects execution on localhost TCP (``"local"``) or on the
-    protocol-exact discrete-event simulator (``"simnet"``), and
-    ``trace`` enables the structured event timeline (see module docs).
+    selects execution on localhost TCP threads (``"local"``), on one OS
+    process per node with real crash signals (``"procs"``), or on the
+    protocol-exact discrete-event simulator (``"simnet"``); ``trace``
+    enables the structured event timeline (see module docs).
 
     Backend-specific keyword options:
 
     * ``local``: none beyond the common set;
+    * ``procs``: ``window``, ``spawn_retries``, ``startup_timeout``,
+      ``backoff``, ``heartbeat_interval``, ``heartbeat_timeout``,
+      ``progress_every``, ``output_template``, ``python``,
+      ``bind_host``, ``agent_args``, ``stderr_dir`` — see
+      :class:`repro.deploy.ProcBroadcast`.  ``crashes`` become real
+      signals (``"close"`` → SIGKILL, ``"silent"`` → SIGSTOP) and
+      ``sink_factory`` is rejected (sinks cannot cross process
+      boundaries; use ``output_template``);
     * ``simnet``: ``bandwidth`` (bytes/s per link, default 125e6),
       ``latency`` (seconds per hop, default 1e-4), ``sim_horizon``
       (simulated-seconds cap, default 3600).
@@ -96,9 +122,7 @@ class BroadcastSession:
         **backend_opts,
     ) -> None:
         if backend not in BACKENDS:
-            raise KascadeError(
-                f"unknown backend {backend!r}; choose from {BACKENDS}"
-            )
+            raise _unknown_backend(backend)
         self.backend = backend
         self.source = source
         self.receivers = tuple(receivers)
@@ -117,6 +141,8 @@ class BroadcastSession:
         wall clock (the simnet backend is bounded by ``sim_horizon``)."""
         if self.backend == "local":
             result = self._run_local(timeout)
+        elif self.backend == "procs":
+            result = self._run_procs(timeout)
         else:
             result = self._run_simnet()
         if self.trace_path is not None and isinstance(self.tracer,
@@ -138,6 +164,47 @@ class BroadcastSession:
             order=self.order,
             crashes=[self._as_crash_plan(c) for c in self.crashes],
             tracer=self.tracer,
+        )
+        return cluster.run(timeout=timeout)
+
+    #: Keyword options the procs backend forwards to
+    #: :class:`repro.deploy.ProcBroadcast` (everything else is rejected).
+    _PROCS_OPTS = frozenset({
+        "window", "spawn_retries", "startup_timeout", "backoff",
+        "heartbeat_interval", "heartbeat_timeout", "progress_every",
+        "output_template", "python", "bind_host", "agent_args",
+        "stderr_dir",
+    })
+
+    def _run_procs(self, timeout: float) -> BroadcastResult:
+        from .deploy.chaos import MODE_TO_SIGNAL, ChaosPlan
+        from .deploy.coordinator import ProcBroadcast
+
+        if self.sink_factory is not None:
+            raise KascadeError(
+                "procs backend cannot ship a sink_factory across process "
+                "boundaries; use output_template='/path/{node}.out' "
+                "(digests are computed agent-side either way)"
+            )
+        unknown = set(self.backend_opts) - self._PROCS_OPTS
+        if unknown:
+            raise KascadeError(f"unknown procs options: {sorted(unknown)}")
+
+        def as_chaos(crash) -> ChaosPlan:
+            if isinstance(crash, ChaosPlan):
+                return crash
+            plan = self._as_crash_plan(crash)  # normalizes tuples too
+            return ChaosPlan(plan.node, after_bytes=plan.after_bytes,
+                             sig=MODE_TO_SIGNAL[plan.mode])
+
+        cluster = ProcBroadcast(
+            self.source, self.receivers,
+            config=self.config,
+            head=self.head,
+            order=self.order,
+            chaos=[as_chaos(c) for c in self.crashes],
+            tracer=self.tracer,
+            **self.backend_opts,
         )
         return cluster.run(timeout=timeout)
 

@@ -40,6 +40,17 @@ class TestClassifyDetector:
         assert classify_detector("send on dead channel") == \
             tracing.DETECTOR_ERROR
 
+    def test_proc_exit_is_its_own_detector(self):
+        # The process backend's waitpid detections must stay
+        # distinguishable from timeout+ping and connect failures.
+        assert classify_detector("proc-exit: signal SIGKILL") == \
+            tracing.DETECTOR_PROC_EXIT
+        assert classify_detector("proc-exit: code 3") == \
+            tracing.DETECTOR_PROC_EXIT
+        assert tracing.DETECTOR_PROC_EXIT not in (
+            tracing.DETECTOR_ERROR, tracing.DETECTOR_PING,
+            tracing.DETECTOR_CONNECT)
+
 
 class TestNullRecorder:
     def test_disabled_and_silent(self):

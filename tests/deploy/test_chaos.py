@@ -1,0 +1,80 @@
+"""Unit tests for the real-signal chaos engine (injected kill_fn)."""
+
+import signal
+
+import pytest
+
+from repro.core.errors import KascadeError
+from repro.deploy.chaos import MODE_TO_SIGNAL, SIGNALS, ChaosEngine, ChaosPlan
+
+
+class TestChaosPlan:
+    def test_defaults(self):
+        plan = ChaosPlan("n3")
+        assert plan.after_bytes == 0
+        assert plan.sig == "kill"
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(KascadeError, match="unknown chaos signal"):
+            ChaosPlan("n3", sig="term")
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(KascadeError, match="after_bytes"):
+            ChaosPlan("n3", after_bytes=-1)
+
+    def test_signal_map_is_real(self):
+        assert SIGNALS["kill"] == signal.SIGKILL
+        assert SIGNALS["stop"] == signal.SIGSTOP
+
+    def test_crash_modes_map_onto_signals(self):
+        # "close" (process death) -> SIGKILL, "silent" (hang) -> SIGSTOP:
+        # the thread runtime's crash vocabulary carries over 1:1.
+        assert MODE_TO_SIGNAL == {"close": "kill", "silent": "stop"}
+        assert set(MODE_TO_SIGNAL.values()) <= set(SIGNALS)
+
+
+class TestChaosEngine:
+    def test_fires_once_at_threshold(self):
+        sent = []
+        engine = ChaosEngine([ChaosPlan("n3", after_bytes=100, sig="kill")],
+                             kill_fn=lambda pid, sig: sent.append((pid, sig)))
+        assert engine.on_progress("n3", 50, pid=42) is None
+        assert engine.on_progress("n3", 100, pid=42) == "kill"
+        assert engine.on_progress("n3", 200, pid=42) is None  # once only
+        assert sent == [(42, signal.SIGKILL)]
+        assert "n3" in engine.fired
+
+    def test_threshold_is_a_floor_not_exact(self):
+        sent = []
+        engine = ChaosEngine([ChaosPlan("n3", after_bytes=100, sig="stop")],
+                             kill_fn=lambda pid, sig: sent.append(sig))
+        assert engine.on_progress("n3", 5000, pid=1) == "stop"
+        assert sent == [signal.SIGSTOP]
+
+    def test_untargeted_nodes_untouched(self):
+        sent = []
+        engine = ChaosEngine([ChaosPlan("n3")],
+                             kill_fn=lambda pid, sig: sent.append(sig))
+        assert engine.on_progress("n2", 1 << 30, pid=1) is None
+        assert sent == []
+
+    def test_duplicate_plans_rejected(self):
+        with pytest.raises(KascadeError, match="multiple chaos plans"):
+            ChaosEngine([ChaosPlan("n3"), ChaosPlan("n3", after_bytes=5)])
+
+    def test_dead_pid_still_counts_as_fired(self):
+        def kill_dead(pid, sig):
+            raise ProcessLookupError(pid)
+
+        engine = ChaosEngine([ChaosPlan("n3")], kill_fn=kill_dead)
+        # The node died on its own first; the plan must not crash the
+        # coordinator and must still count for ok-accounting.
+        assert engine.on_progress("n3", 10, pid=99999) == "kill"
+        assert "n3" in engine.fired
+
+    def test_targets_span_pending_and_fired(self):
+        engine = ChaosEngine([ChaosPlan("n2"), ChaosPlan("n3")],
+                             kill_fn=lambda pid, sig: None)
+        assert engine.targets() == {"n2", "n3"}
+        engine.on_progress("n2", 0, pid=1)
+        assert engine.targets() == {"n2", "n3"}

@@ -1,0 +1,127 @@
+"""Unit tests for the JSON-lines control-plane protocol."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.deploy.protocol import (
+    MAX_LINE,
+    ControlChannel,
+    DeployError,
+    connect_control,
+)
+
+
+@pytest.fixture
+def channel_pair():
+    a, b = socket.socketpair()
+    left, right = ControlChannel(a), ControlChannel(b)
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestRoundtrip:
+    def test_send_recv_one_message(self, channel_pair):
+        left, right = channel_pair
+        assert left.send({"op": "hello", "name": "n2", "pid": 123})
+        msg = right.recv(timeout=2.0)
+        assert msg == {"op": "hello", "name": "n2", "pid": 123}
+
+    def test_messages_keep_order(self, channel_pair):
+        left, right = channel_pair
+        for i in range(20):
+            left.send({"op": "progress", "bytes": i})
+        got = [right.recv(timeout=2.0)["bytes"] for _ in range(20)]
+        assert got == list(range(20))
+
+    def test_partial_line_is_buffered_across_reads(self, channel_pair):
+        left, right = channel_pair
+        raw = b'{"op": "status", "ok": true}\n'
+        left._sock.sendall(raw[:10])
+        with pytest.raises(TimeoutError):
+            right.recv(timeout=0.05)
+        left._sock.sendall(raw[10:])
+        assert right.recv(timeout=2.0) == {"op": "status", "ok": True}
+
+    def test_concurrent_senders_do_not_interleave(self, channel_pair):
+        # The agent's heartbeat thread and node thread share one channel.
+        left, right = channel_pair
+        n_threads, per_thread = 4, 50
+        threads = [
+            threading.Thread(target=lambda t=t: [
+                left.send({"op": "progress", "t": t, "i": i})
+                for i in range(per_thread)
+            ])
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        msgs = [right.recv(timeout=2.0) for _ in range(n_threads * per_thread)]
+        for t in threads:
+            t.join()
+        assert all(m["op"] == "progress" for m in msgs)
+        for t in range(n_threads):
+            mine = [m["i"] for m in msgs if m["t"] == t]
+            assert mine == list(range(per_thread))
+
+
+class TestFailureModes:
+    def test_eof_returns_none(self, channel_pair):
+        left, right = channel_pair
+        left.close()
+        assert right.recv(timeout=2.0) is None
+
+    def test_send_after_peer_gone_returns_false(self, channel_pair):
+        left, right = channel_pair
+        right.close()
+        # The first send may land in the kernel buffer; eventually False.
+        results = [left.send({"op": "heartbeat"}) for _ in range(10)]
+        assert results[-1] is False
+
+    def test_send_on_closed_channel_returns_false(self, channel_pair):
+        left, _right = channel_pair
+        left.close()
+        assert left.send({"op": "heartbeat"}) is False
+
+    def test_bad_json_raises(self, channel_pair):
+        left, right = channel_pair
+        left._sock.sendall(b"this is not json\n")
+        with pytest.raises(DeployError, match="bad control message"):
+            right.recv(timeout=2.0)
+
+    def test_message_without_op_raises(self, channel_pair):
+        left, right = channel_pair
+        left._sock.sendall(b'{"name": "n2"}\n')
+        with pytest.raises(DeployError, match="without op"):
+            right.recv(timeout=2.0)
+
+    def test_non_object_message_raises(self, channel_pair):
+        left, right = channel_pair
+        left._sock.sendall(b"[1, 2, 3]\n")
+        with pytest.raises(DeployError, match="without op"):
+            right.recv(timeout=2.0)
+
+    def test_blank_lines_are_skipped(self, channel_pair):
+        left, right = channel_pair
+        left._sock.sendall(b'\n\n{"op": "heartbeat"}\n')
+        assert right.recv(timeout=2.0) == {"op": "heartbeat"}
+
+    def test_oversize_line_is_a_protocol_violation(self):
+        a, b = socket.socketpair()
+        right = ControlChannel(b)
+        # Don't actually ship 16 MiB: preload the buffer past the cap.
+        right._recv_buf = bytearray(MAX_LINE + 1)
+        with pytest.raises(DeployError, match="exceeds"):
+            right.recv(timeout=0.1)
+        a.close()
+        right.close()
+
+    def test_connect_control_refused(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        with pytest.raises(DeployError, match="unreachable"):
+            connect_control("127.0.0.1", port, timeout=1.0)

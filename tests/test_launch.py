@@ -1,15 +1,19 @@
 """Tests for the startup-time models."""
 
+import math
+
 import pytest
 
 from repro.launch import (
     ClusterShellWindowed,
     InstantLauncher,
+    LaunchComparison,
     Launcher,
     MpirunLauncher,
     SSHSequential,
     TakTukAdaptiveTree,
     TakTukWindowed,
+    compare_measured,
 )
 
 
@@ -54,3 +58,65 @@ class TestShapes:
         # costing a 2 GB transfer only a few percent (Fig. 7).
         t = TakTukWindowed().startup_time(200)
         assert 1.0 < t < 4.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("window", [0, -1, -50])
+    def test_windowed_models_reject_degenerate_windows(self, window):
+        with pytest.raises(ValueError, match="window"):
+            TakTukWindowed(window=window)
+        with pytest.raises(ValueError, match="window"):
+            ClusterShellWindowed(window=window)
+
+    @pytest.mark.parametrize("fanout", [0, -2])
+    def test_tree_rejects_degenerate_fanout(self, fanout):
+        with pytest.raises(ValueError, match="fanout"):
+            TakTukAdaptiveTree(fanout=fanout)
+
+    def test_window_of_one_is_sequential_but_valid(self):
+        # window=1 degenerates to one wave per node — slow, not illegal.
+        t = TakTukWindowed(window=1).startup_time(10)
+        assert t > TakTukWindowed(window=10).startup_time(10)
+
+    @pytest.mark.parametrize("launcher", [
+        Launcher(), TakTukWindowed(), TakTukAdaptiveTree(),
+        ClusterShellWindowed(), SSHSequential(), MpirunLauncher(),
+    ])
+    def test_negative_counts_rejected_uniformly(self, launcher):
+        with pytest.raises(ValueError, match="negative node count"):
+            launcher.startup_time(-1)
+        with pytest.raises(ValueError, match="negative rtt"):
+            launcher.startup_time(5, rtt=-0.1)
+
+
+class TestCompareMeasured:
+    def test_scores_measured_against_prediction(self):
+        model = TakTukWindowed(window=8)
+        cmp = compare_measured(1.0, model, 8, rtt=0.0)
+        assert isinstance(cmp, LaunchComparison)
+        assert cmp.predicted_s == pytest.approx(model.startup_time(8, 0.0))
+        assert cmp.measured_s == 1.0
+        assert cmp.error_s == pytest.approx(1.0 - cmp.predicted_s)
+        assert cmp.ratio == pytest.approx(1.0 / cmp.predicted_s)
+
+    def test_perfect_prediction_has_ratio_one(self):
+        model = SSHSequential()
+        predicted = model.startup_time(4)
+        cmp = compare_measured(predicted, model, 4)
+        assert cmp.ratio == pytest.approx(1.0)
+        assert cmp.error_s == pytest.approx(0.0)
+
+    def test_zero_cost_model_edge_cases(self):
+        instant = InstantLauncher()
+        assert compare_measured(0.0, instant, 3).ratio == 1.0
+        assert compare_measured(0.5, instant, 3).ratio == math.inf
+
+    def test_negative_measurement_rejected(self):
+        with pytest.raises(ValueError, match="negative measured"):
+            compare_measured(-0.1, TakTukWindowed(), 4)
+
+    def test_render_mentions_model_and_scale(self):
+        line = compare_measured(0.8, TakTukWindowed(window=8), 8).render()
+        assert "TakTukWindowed" in line
+        assert "8 node(s)" in line
+        assert "0.800s" in line

@@ -32,6 +32,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import platform
 import shutil
 import sys
@@ -106,6 +107,10 @@ def build_catalogue() -> dict:
         "pipeline_1mib_3nodes": Scenario(
             KascadeConfig(chunk_size=1 << 20, buffer_chunks=8), 3,
             "pure network relay: 1 MiB chunks, 3 receivers, null sinks"),
+        "pipeline_1mib_6nodes": Scenario(
+            KascadeConfig(chunk_size=1 << 20, buffer_chunks=8), 5,
+            "deeper chain: 5 receivers so per-hop relay cost dominates; "
+            "pipelining predicts throughput ~independent of chain length"),
         "small_chunks_4k": Scenario(
             KascadeConfig(chunk_size=4096, buffer_chunks=64), 2,
             "syscall/batching stress: 4 KiB chunks, 2 receivers"),
@@ -137,9 +142,19 @@ def build_catalogue() -> dict:
     }
 
 
+#: Counters recorded per scenario — the syscall/copy shape of the run,
+#: so a bench entry shows *how* the bytes moved, not just how fast.
+_RECORDED_COUNTERS = (
+    "syscalls_recv", "syscalls_send", "syscalls_sendfile",
+    "splice_syscalls", "splice_bytes", "payload_copy_events",
+    "payload_bytes_copied", "reactor_wakeups",
+)
+
+
 def run_scenario(name: str, spec: Scenario, *, size: int, rounds: int) -> dict:
     """Run one loopback broadcast ``rounds`` times; report the best rate."""
     best = None
+    best_stats: dict = {}
     for _ in range(rounds):
         if spec.setup is not None:
             ctx = spec.setup(size)
@@ -156,6 +171,7 @@ def run_scenario(name: str, spec: Scenario, *, size: int, rounds: int) -> dict:
             raise SystemExit(f"scenario {name!r} failed: {result.report.summary()}")
         if best is None or result.duration < best:
             best = result.duration
+            best_stats = result.perfstats
     rate = size / best / 2**20
     print(f"  {name:24s} {rate:8.1f} MiB/s  ({best:.3f} s, "
           f"{spec.receivers} receivers, chunk {spec.config.chunk_size} B)")
@@ -165,6 +181,8 @@ def run_scenario(name: str, spec: Scenario, *, size: int, rounds: int) -> dict:
         "bytes": size,
         "receivers": spec.receivers,
         "chunk_size": spec.config.chunk_size,
+        "data_plane": spec.config.data_plane,
+        "perfstats": {k: best_stats.get(k, 0) for k in _RECORDED_COUNTERS},
     }
 
 
@@ -188,9 +206,18 @@ def main(argv=None) -> int:
                         metavar="NAME",
                         help="run (and gate) only these scenarios "
                              "(repeatable; default: all)")
+    parser.add_argument("--data-plane", default="threaded",
+                        choices=("threaded", "evloop"),
+                        help="run every scenario on this data plane "
+                             "(default: threaded)")
     args = parser.parse_args(argv)
 
     catalogue = build_catalogue()
+    if args.data_plane != "threaded":
+        import dataclasses
+        for spec in catalogue.values():
+            spec.config = dataclasses.replace(spec.config,
+                                              data_plane=args.data_plane)
     wanted = args.scenario or list(catalogue)
     unknown = [s for s in wanted if s not in catalogue]
     if unknown:
@@ -203,7 +230,8 @@ def main(argv=None) -> int:
 
     size = args.size * 2**20
     print(f"loopback benchmarks: {args.size} MiB stream, "
-          f"best of {args.rounds} rounds, label {args.label!r}")
+          f"best of {args.rounds} rounds, label {args.label!r}, "
+          f"data plane {args.data_plane}")
     scenarios = {
         name: run_scenario(name, catalogue[name], size=size,
                            rounds=args.rounds)
@@ -218,6 +246,10 @@ def main(argv=None) -> int:
     doc["meta"].update({
         "python": platform.python_version(),
         "platform": platform.platform(),
+        # Chain-length scaling (3 vs 6 nodes) is only meaningful
+        # relative to the core count: on a single-core host every
+        # hop's kernel copies serialise onto one CPU.
+        "host_cpus": os.cpu_count(),
         "stream_mib": args.size,
         "rounds": args.rounds,
     })

@@ -84,6 +84,7 @@ def build_config(args: argparse.Namespace) -> KascadeConfig:
         sink_writeback_depth=args.writeback_depth,
         sink_writeback_budget=int(parse_size(args.writeback_budget)),
         readahead_chunks=args.readahead,
+        data_plane=args.data_plane,
     )
 
 
@@ -118,6 +119,13 @@ def add_common(parser: argparse.ArgumentParser) -> None:
                         default=DEFAULT_CONFIG.readahead_chunks,
                         help="chunks the head prefetches from a file/pipe "
                              "source (0 = no read-ahead)")
+    from ..core.config import DATA_PLANES
+    parser.add_argument("--data-plane", choices=DATA_PLANES,
+                        default=DEFAULT_CONFIG.data_plane,
+                        help="I/O engine: 'threaded' (two threads per node, "
+                             "the conformance reference) or 'evloop' (one "
+                             "reactor per process; pure relays forward "
+                             "payloads in-kernel via splice/sendfile)")
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -197,6 +205,7 @@ def cmd_deploy(args: argparse.Namespace) -> int:
         window=args.window,
         spawn_retries=args.spawn_retries,
         startup_timeout=args.startup_timeout,
+        heartbeat_timeout=args.heartbeat_timeout,
         output_template=args.output,
         stderr_dir=args.stderr_dir,
     )
@@ -248,10 +257,16 @@ def cmd_recv(args: argparse.Namespace) -> int:
     listener = Listener(host=me.host, port=me.port)
     sink = open_sink(args.output, args.output_command)
     tracer, finish_trace = make_tracer(args)
-    node = ReceiverNode(args.name, plan, Registry(addrs), listener, config,
-                        sink, tracer=tracer)
-    node.start()
-    node.join()
+    if config.data_plane == "evloop":
+        from ..runtime.evloop import EvReceiverNode, run_nodes
+        node = EvReceiverNode(args.name, plan, Registry(addrs), listener,
+                              config, sink, tracer=tracer)
+        run_nodes([node])
+    else:
+        node = ReceiverNode(args.name, plan, Registry(addrs), listener,
+                            config, sink, tracer=tracer)
+        node.start()
+        node.join()
     finish_trace()
     outcome = node.outcome
     if outcome.ok:
@@ -272,14 +287,31 @@ def cmd_send(args: argparse.Namespace) -> int:
     listener = Listener(host=me.host, port=me.port)
     source = open_source(args.input)
     tracer, finish_trace = make_tracer(args)
-    node = HeadNode(args.name, plan, Registry(addrs), listener, config,
-                    source, tracer=tracer)
-    node.start()
-    try:
-        node.join()
-    except KeyboardInterrupt:
-        node.request_quit()
-        node.join()
+    if config.data_plane == "evloop":
+        from ..runtime.evloop import EvHeadNode, Reactor
+        node = EvHeadNode(args.name, plan, Registry(addrs), listener, config,
+                          source, tracer=tracer)
+        reactor = Reactor()
+        node.attach(reactor)
+        node.start()
+        try:
+            reactor.run(stop_when=lambda: node.finished)
+        except KeyboardInterrupt:
+            # ^C → QUIT path: resume the same reactor so the report
+            # exchange can still complete (bounded by report_timeout).
+            import time as _time
+            node.request_quit()
+            reactor.run(stop_when=lambda: node.finished,
+                        deadline=_time.monotonic() + config.report_timeout * 2)
+    else:
+        node = HeadNode(args.name, plan, Registry(addrs), listener, config,
+                        source, tracer=tracer)
+        node.start()
+        try:
+            node.join()
+        except KeyboardInterrupt:
+            node.request_quit()
+            node.join()
     finish_trace()
     report = node.final_report
     if report is not None:
@@ -335,6 +367,11 @@ def main(argv: List[str] | None = None) -> int:
     deploy.add_argument("--stderr-dir", default=None,
                         help="capture each agent's stderr under this dir")
     deploy.add_argument("--run-timeout", type=float, default=3600.0)
+    deploy.add_argument("--heartbeat-timeout", type=float, default=None,
+                        help="seconds of control-plane silence before the "
+                             "coordinator declares an agent dead (default "
+                             "2.0; raise on oversubscribed hosts where "
+                             "many agents share few cores)")
     add_common(deploy)
     deploy.set_defaults(fn=cmd_deploy)
 

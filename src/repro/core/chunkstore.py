@@ -189,6 +189,24 @@ class ChunkRingBuffer:
             elif chunk_off + len(chunk) > offset:
                 yield offset, chunk[offset - chunk_off:]
 
+    def note_advance(self, size: int) -> None:
+        """Advance the stream position by ``size`` bytes retaining nothing.
+
+        The kernel-path relay (``os.splice``) forwards payload bytes that
+        never enter userspace, so there is nothing to buffer: the window
+        advances and immediately empties (``min_offset == end_offset``).
+        Any later replay request below the live edge is then answered
+        with FORGET and recovered through the head via PGET — the
+        protocol's degraded-but-correct recovery route.
+        """
+        if size < 0:
+            raise ChunkStoreError(f"negative advance: {size}")
+        if size == 0:
+            return
+        self.clear()
+        self._end += size
+        self._min = self._end
+
     def clear(self) -> None:
         """Drop all buffered data, keeping the stream position."""
         self._offsets.clear()

@@ -15,6 +15,9 @@ from typing import Optional
 from .errors import ConfigError
 from .units import MiB
 
+#: Runtime data planes selectable via :attr:`KascadeConfig.data_plane`.
+DATA_PLANES = ("threaded", "evloop")
+
 
 @dataclass(frozen=True)
 class KascadeConfig:
@@ -66,6 +69,17 @@ class KascadeConfig:
         How many chunks the head prefetches from a blocking (file/pipe)
         source so reads overlap its vectored sends.  ``0`` disables
         prefetching.
+    data_plane:
+        Which runtime data plane executes the node I/O.  ``"threaded"``
+        (the default and the conformance reference) runs one acceptor
+        thread plus one main-loop thread per node over blocking sockets;
+        ``"evloop"`` runs each node's entire data plane on a
+        single-threaded ``selectors`` reactor with non-blocking sockets
+        and — for pure relay nodes on Linux — an ``os.splice`` kernel
+        path where forwarded payload bytes never enter Python between
+        recv and send (see :mod:`repro.runtime.evloop`).  Only the real
+        TCP backends (``local``/``procs``) consult this; the simulators
+        have no sockets to drive.
     """
 
     chunk_size: int = 1 * MiB
@@ -80,6 +94,7 @@ class KascadeConfig:
     sink_writeback_depth: int = 8  # 0 = synchronous sink writes
     sink_writeback_budget: int = 32 * MiB
     readahead_chunks: int = 2  # 0 = no head-node prefetch
+    data_plane: str = "threaded"  # "threaded" | "evloop"
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -101,6 +116,11 @@ class KascadeConfig:
             value = getattr(self, name)
             if value < 0:
                 raise ConfigError(f"{name} must be >= 0, got {value}")
+        if self.data_plane not in DATA_PLANES:
+            raise ConfigError(
+                f"data_plane must be one of {DATA_PLANES}, "
+                f"got {self.data_plane!r}"
+            )
 
     @property
     def buffer_bytes(self) -> int:

@@ -102,6 +102,31 @@ class NodeTransferState:
         if self._hasher is not None:
             self._hasher.update(payload)
 
+    def on_data_spliced(self, offset: int, size: int) -> None:
+        """Account for a chunk that was relayed entirely in the kernel.
+
+        The event-loop data plane's ``os.splice`` path moves payload
+        bytes predecessor→successor without them ever entering Python,
+        so there is no buffer to retain (or hash): the ring window
+        advances empty (see :meth:`ChunkRingBuffer.note_advance`).
+        Callers must not enable ``verify_digest`` on a spliced node —
+        there are no bytes to feed the hasher.
+        """
+        if self.phase is not Phase.STREAMING:
+            raise ProtocolError(
+                f"{self.name}: DATA after stream end (phase={self.phase.value})"
+            )
+        if offset != self.offset:
+            raise ProtocolError(
+                f"{self.name}: DATA at offset {offset}, expected {self.offset}"
+            )
+        if self._hasher is not None:
+            raise ProtocolError(
+                f"{self.name}: spliced relay cannot hash the stream "
+                f"(verify_digest requires the userspace path)"
+            )
+        self.buffer.note_advance(size)
+
     def on_end(self, total: int) -> None:
         """Handle END: the stream is complete at ``total`` bytes."""
         if self.phase is not Phase.STREAMING:

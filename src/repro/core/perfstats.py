@@ -21,6 +21,15 @@ path (socket streams, frame decoder, buffer pool) increments a
   across runs are only meaningful from a zeroed instance).
 * ``readahead_hits`` / ``readahead_misses`` — head-node reads served
   from the prefetch queue vs. reads that had to wait for the source.
+* ``splice_syscalls`` / ``splice_bytes`` — ``os.splice`` calls issued by
+  the event-loop relay's kernel path, and the payload bytes they moved
+  (socket→pipe and pipe→socket legs both count; every spliced byte is a
+  byte that never entered Python).
+* ``reactor_wakeups`` — times the event-loop reactor returned from its
+  ``select()`` (readiness or timer) and dispatched tasks.
+* ``evloop_stall_s`` — seconds (a float) the reactor spent blocked in
+  ``select()`` with at least one task waiting — idle wire time, the
+  event-loop analogue of a blocked thread.
 
 Components default to the module-global :func:`get_stats` instance so
 production code needs no plumbing; tests construct a private instance and
@@ -48,6 +57,10 @@ _COUNTERS = (
     "writeback_queue_hwm",
     "readahead_hits",
     "readahead_misses",
+    "splice_syscalls",
+    "splice_bytes",
+    "reactor_wakeups",
+    "evloop_stall_s",
 )
 
 
@@ -97,6 +110,15 @@ class PerfStats:
         """Record time the relay spent blocked on the writeback queue."""
         self.sink_stall_s += seconds
 
+    def splice_syscall(self, nbytes: int) -> None:
+        """Record one ``os.splice`` call that moved ``nbytes``."""
+        self.splice_syscalls += 1
+        self.splice_bytes += nbytes
+
+    def reactor_stalled(self, seconds: float) -> None:
+        """Record time the reactor slept in ``select()`` awaiting I/O."""
+        self.evloop_stall_s += seconds
+
     def note_writeback_depth(self, depth: int) -> None:
         """Track the writeback queue's high-water mark (in chunks)."""
         if depth > self.writeback_queue_hwm:
@@ -106,8 +128,9 @@ class PerfStats:
 
     @property
     def syscalls(self) -> int:
-        """Total socket syscalls across all kinds."""
-        return self.syscalls_recv + self.syscalls_send + self.syscalls_sendfile
+        """Total data-moving syscalls across all kinds."""
+        return (self.syscalls_recv + self.syscalls_send
+                + self.syscalls_sendfile + self.splice_syscalls)
 
     def frames_per_second(self, now: Optional[float] = None) -> float:
         """Decoded frames per second since construction / :meth:`reset`."""

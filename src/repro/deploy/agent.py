@@ -193,31 +193,51 @@ def _run_registered(
     heartbeat = _Heartbeat(channel, float(msg.get("heartbeat_interval", 0.5)))
     heartbeat.start()
 
+    # data_plane travels inside the config: the coordinator's choice
+    # reaches every agent without a new wire field.  Receivers always
+    # wrap their sink in DigestSink (the coordinator's byte-exactness
+    # proof), which is not a bare NullSink — so evloop agents take the
+    # userspace relay path and digests stay comparable across planes.
+    evloop_plane = config.data_plane == "evloop"
+    if evloop_plane:
+        from ..runtime.evloop import EvHeadNode, EvReceiverNode, run_nodes
+        head_cls, recv_cls = EvHeadNode, EvReceiverNode
+    else:
+        head_cls, recv_cls = HeadNode, ReceiverNode
+
     digest_sink: Optional[DigestSink] = None
     source: Optional[FileSource] = None
     if name == head:
         source = FileSource(msg["source"])
-        node = HeadNode(name, plan, registry, listener, config, source,
+        node = head_cls(name, plan, registry, listener, config, source,
                         tracer=tracer)
     else:
         inner: Sink = (FileSink(msg["output"]) if msg.get("output")
                        else NullSink())
         digest_sink = DigestSink(inner)
-        node = ReceiverNode(
+        node = recv_cls(
             name, plan, registry, listener, config, digest_sink,
             crash_gate=_progress_gate(
                 channel, int(msg.get("progress_every", 1 << 18))),
             tracer=tracer,
         )
 
-    node.start()
-    node.join(run_timeout)
-    if node.thread.is_alive():
-        node.outcome.error = node.outcome.error or (
-            f"agent run exceeded {run_timeout}s"
-        )
-        node.shutdown()
-        node.join(2.0)
+    if evloop_plane:
+        # This thread *is* the event loop (heartbeat stays threaded).
+        run_nodes([node], duration=run_timeout)
+        if not node.finished:
+            node.outcome.error = node.outcome.error or (
+                f"agent run exceeded {run_timeout}s"
+            )
+    else:
+        node.start()
+        node.join(run_timeout)
+        if node.thread.is_alive():
+            node.outcome.error = node.outcome.error or (
+                f"agent run exceeded {run_timeout}s"
+            )
+            node.shutdown()
+            node.join(2.0)
     heartbeat.stop()
     if source is not None:
         source.close()
@@ -225,7 +245,7 @@ def _run_registered(
     outcome = node.outcome
     report_hex: Optional[str] = None
     failures: List[str] = []
-    if isinstance(node, HeadNode) and node.final_report is not None:
+    if name == head and node.final_report is not None:
         report_hex = node.final_report.encode().hex()
         failures = node.final_report.failed_nodes
     stats_after = get_stats().snapshot()

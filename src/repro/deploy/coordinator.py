@@ -225,6 +225,23 @@ class Coordinator:
                 and now - a.last_heard > max_age
             ]
 
+    def forgive_silence(self, names: Sequence[str]) -> None:
+        """Reset the silence clocks after a supervision stall.
+
+        If the coordinator process itself was starved off the CPU (a
+        saturated single-core host running dozens of agents), every
+        ``last_heard`` is stale because *we* were not listening, not
+        because the agents stopped talking.  Evidence accumulated while
+        the supervisor was asleep is void — restart the clocks and let
+        a full, actually-observed window elapse before declaring death.
+        """
+        now = time.monotonic()
+        with self._cond:
+            for name in names:
+                agent = self._agents.get(name)
+                if agent is not None and not agent.resolved:
+                    agent.last_heard = now
+
     def close(self) -> None:
         self._closed = True
         self._sock.close()
@@ -401,7 +418,23 @@ class ProcBroadcast:
         # give plain exits a grace window before declaring death.  Signal
         # deaths (rc < 0) never produce a status, so they are immediate.
         status_grace = 1.0
+        # Heartbeat silence is only evidence when this loop actually ran
+        # to observe it.  On a saturated host the coordinator can lose
+        # the CPU for longer than heartbeat_timeout; declaring the whole
+        # fleet dead on wake-up would be a false positive, so a stalled
+        # pass voids the silence clocks instead of reading them.
+        stall_limit = self.heartbeat_timeout / 2
+        # Launch storms starve everyone: interpreters starting up soak
+        # the CPU, so ``last_heard`` stamps from before this loop began
+        # reflect the launcher's contention, not agent health.  Void
+        # them — death is only declared after a silence window this
+        # loop was actually awake to observe.
+        coordinator.forgive_silence(supervised)
+        last_pass = time.monotonic()
         while not stop.wait(0.05):
+            now = time.monotonic()
+            stalled = now - last_pass > stall_limit
+            last_pass = now
             for name in supervised:
                 proc = procs.get(name)
                 if proc is None or name in reaped:
@@ -427,6 +460,9 @@ class ProcBroadcast:
                         offset=offset, detail=reason,
                         detector=tracing.DETECTOR_PROC_EXIT,
                     )
+            if stalled:
+                coordinator.forgive_silence(supervised)
+                continue
             for name in coordinator.silent_agents(supervised,
                                                   self.heartbeat_timeout):
                 if coordinator.mark_dead(

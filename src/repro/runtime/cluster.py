@@ -149,21 +149,34 @@ class LocalBroadcast:
         return gate
 
     def run(self, timeout: float = 120.0) -> BroadcastResult:
-        """Execute the broadcast and gather every node's outcome."""
+        """Execute the broadcast and gather every node's outcome.
+
+        ``config.data_plane`` selects the execution engine: ``"threaded"``
+        runs each node as a thread pair (the conformance reference),
+        ``"evloop"`` hosts every node on one shared reactor in the
+        calling thread (:mod:`repro.runtime.evloop`).
+        """
+        evloop_plane = self.config.data_plane == "evloop"
+        if evloop_plane:
+            from .evloop import EvHeadNode, EvReceiverNode, run_nodes
+            head_cls, recv_cls = EvHeadNode, EvReceiverNode
+        else:
+            head_cls, recv_cls = HeadNode, ReceiverNode
+
         listeners = {name: Listener() for name in self.plan.chain}
         registry = Registry({n: l.address for n, l in listeners.items()})
 
-        head = HeadNode(
+        head = head_cls(
             self.plan.head, self.plan, registry,
             listeners[self.plan.head], self.config, self.source,
             tracer=self.tracer,
         )
-        receivers: List[ReceiverNode] = []
+        receivers: List = []
         for name in self.plan.receivers:
             sink = self.sink_factory(name)
             self.sinks[name] = sink
             receivers.append(
-                ReceiverNode(
+                recv_cls(
                     name, self.plan, registry, listeners[name], self.config,
                     sink, crash_gate=self._crash_gate(name),
                     tracer=self.tracer,
@@ -173,19 +186,27 @@ class LocalBroadcast:
 
         stats_before = get_stats().snapshot()
         started = time.monotonic()
-        for node in receivers:
-            node.start()
-        head.start()
+        if evloop_plane:
+            # The calling thread *is* the event loop; run_nodes returns
+            # once every node finished (or the shared deadline expired).
+            run_nodes([head, *receivers], duration=timeout)
+            duration = time.monotonic() - started
+            head_done = head.finished
+        else:
+            for node in receivers:
+                node.start()
+            head.start()
 
-        # One deadline bounds the *whole* run: joins consume the shared
-        # remaining budget (plus a single one-second grace for teardown),
-        # so a wedged head cannot double the effective wall-clock bound.
-        deadline = started + timeout
-        head.join(max(0.0, deadline - time.monotonic()))
-        grace = deadline + 1.0
-        for node in receivers:
-            node.join(max(0.0, grace - time.monotonic()))
-        duration = time.monotonic() - started
+            # One deadline bounds the *whole* run: joins consume the shared
+            # remaining budget (plus a single one-second grace for teardown),
+            # so a wedged head cannot double the effective wall-clock bound.
+            deadline = started + timeout
+            head.join(max(0.0, deadline - time.monotonic()))
+            grace = deadline + 1.0
+            for node in receivers:
+                node.join(max(0.0, grace - time.monotonic()))
+            duration = time.monotonic() - started
+            head_done = not head.thread.is_alive()
 
         # Force shutdown of anything still alive (e.g. silent crash remains).
         for node in (head, *receivers):
@@ -203,7 +224,7 @@ class LocalBroadcast:
         ok = (
             head.outcome.ok
             and all(r.outcome.ok for r in intended)
-            and not head.thread.is_alive()
+            and head_done
         )
         stats_after = get_stats().snapshot()
         return BroadcastResult(

@@ -133,6 +133,12 @@ class SocketStream:
                 n = self._sock.recv_into(view)
             except socket.timeout:
                 raise TimeoutError("read stalled") from None
+            except (BlockingIOError, InterruptedError):
+                # EAGAIN/EINTR are transient: a signal interrupted the
+                # call (and its handler raised no exception) or a
+                # spurious wakeup fired — retry, exactly as the
+                # sendfile path does.
+                continue
             except OSError as exc:
                 raise ConnectionError(f"receive failed: {exc}") from exc
             finally:
@@ -214,6 +220,11 @@ class SocketStream:
                 raise WriteStalled(
                     f"{self._pending_bytes} bytes still pending"
                 ) from None
+            except (BlockingIOError, InterruptedError):
+                # Transient EAGAIN/EINTR: nothing was sent, the queue is
+                # untouched — retry the vectored send (same contract as
+                # the sendfile loop in send_frame_from_file).
+                continue
             except OSError as exc:
                 raise ConnectionError(f"send failed: {exc}") from exc
             self._stats.send_syscall(sent)
@@ -251,8 +262,12 @@ class SocketStream:
         if need == 0:
             return
         if not HAS_SENDFILE or not hasattr(fileobj, "fileno"):
-            fileobj.seek(offset)
-            data = fileobj.read(need)
+            # Sources expose positional read_range; raw files only seek.
+            if hasattr(fileobj, "read_range"):
+                data = fileobj.read_range(offset, need)
+            else:
+                fileobj.seek(offset)
+                data = fileobj.read(need)
             if len(data) != need:
                 raise ConnectionError(
                     f"file supplied {len(data)} of {need} payload bytes"
@@ -374,6 +389,24 @@ class Listener:
         self._closed = False
         self.address = Address(*self._sock.getsockname()[:2])
 
+    def fileno(self) -> int:
+        """The listening socket's descriptor (reactor registration)."""
+        return self._sock.fileno()
+
+    def set_nonblocking(self) -> None:
+        """Switch to non-blocking mode for event-loop use."""
+        self._sock.setblocking(False)
+
+    def raw_accept(self) -> socket.socket:
+        """Accept one connection without reading its preamble.
+
+        Non-blocking callers (the event-loop acceptor) get the raw
+        ``BlockingIOError`` when nothing is pending and read the
+        preamble themselves under reactor control.
+        """
+        conn, _peer = self._sock.accept()
+        return conn
+
     def accept(self, timeout: Optional[float]) -> Tuple[bytes, SocketStream]:
         """Accept one connection and read its preamble byte.
 
@@ -381,18 +414,26 @@ class Listener:
         arrives, ``ConnectionError`` once closed.
         """
         self._sock.settimeout(timeout)
-        try:
-            conn, _peer = self._sock.accept()
-        except socket.timeout:
-            raise TimeoutError("accept timed out") from None
-        except OSError as exc:
-            raise ConnectionError(f"listener closed: {exc}") from exc
+        while True:
+            try:
+                conn, _peer = self._sock.accept()
+                break
+            except socket.timeout:
+                raise TimeoutError("accept timed out") from None
+            except (BlockingIOError, InterruptedError):
+                continue  # transient EAGAIN/EINTR: retry the accept
+            except OSError as exc:
+                raise ConnectionError(f"listener closed: {exc}") from exc
         conn.settimeout(timeout if timeout is not None else 5.0)
-        try:
-            kind = conn.recv(1)
-        except OSError as exc:
-            conn.close()
-            raise ConnectionError(f"preamble read failed: {exc}") from exc
+        while True:
+            try:
+                kind = conn.recv(1)
+                break
+            except (BlockingIOError, InterruptedError):
+                continue  # transient EAGAIN/EINTR: retry the preamble read
+            except OSError as exc:
+                conn.close()
+                raise ConnectionError(f"preamble read failed: {exc}") from exc
         if not kind:
             conn.close()
             raise ConnectionError("peer closed before preamble")

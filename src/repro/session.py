@@ -30,6 +30,7 @@ are compared field-for-field — and event-for-event via the trace.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from typing import Callable, Optional, Sequence, Union
 
@@ -91,6 +92,11 @@ class BroadcastSession:
     protocol-exact discrete-event simulator (``"simnet"``); ``trace``
     enables the structured event timeline (see module docs).
 
+    ``data_plane`` overrides :attr:`KascadeConfig.data_plane` for this
+    session: ``"threaded"`` (default, the conformance reference) or
+    ``"evloop"`` (one reactor thread per process, kernel-path relay —
+    see :mod:`repro.runtime.evloop`).  Real-I/O backends only.
+
     Backend-specific keyword options:
 
     * ``local``: none beyond the common set;
@@ -119,10 +125,20 @@ class BroadcastSession:
         head: str = "n1",
         order: str = "given",
         crashes: Sequence = (),
+        data_plane: Optional[str] = None,
         **backend_opts,
     ) -> None:
         if backend not in BACKENDS:
             raise _unknown_backend(backend)
+        if data_plane is not None and data_plane != config.data_plane:
+            # Convenience override: ``run_broadcast(..., data_plane="evloop")``
+            # without the caller building a config copy by hand.
+            config = dataclasses.replace(config, data_plane=data_plane)
+        if backend == "simnet" and config.data_plane != "threaded":
+            raise KascadeError(
+                "simnet is a discrete-event simulator; data_plane selects a "
+                "real-I/O engine and only applies to local/procs backends"
+            )
         self.backend = backend
         self.source = source
         self.receivers = tuple(receivers)

@@ -18,6 +18,12 @@ Mirrors the paper's Fig. 2 interface:
 The ``--nodes`` registry is ``name=host:port`` pairs, comma separated,
 in pipeline order, the head first:
 ``--nodes n1=10.0.0.1:3640,n2=10.0.0.2:3640,n3=10.0.0.3:3640``.
+
+``--stripes N`` (any command) splits the stream into N interleaved
+chains.  For ``send``/``recv`` the registry names one address per node
+and stripe ``j`` listens on that port + ``j`` (consecutive ports), so
+the same ``--nodes`` spec — with the same ``--stripes`` — must be given
+to every node.
 """
 
 from __future__ import annotations
@@ -27,9 +33,12 @@ import sys
 from typing import Dict, List, Tuple
 
 from ..core import DEFAULT_CONFIG, KascadeConfig
+from ..core.plan import ChainPlan
+from ..core.recovery import SourceKind
+from ..core.report import TransferReport
 from ..core.sinks import open_sink
 from ..core.sources import open_source
-from ..core.pipeline import PipelinePlan
+from ..core.stripes import StripeMergeSink, StripeSource
 from ..core.tracing import NULL_TRACER, TraceCollector
 from ..runtime import HeadNode, Listener, ReceiverNode, Registry
 from ..runtime.transport import Address
@@ -84,6 +93,7 @@ def build_config(args: argparse.Namespace) -> KascadeConfig:
         sink_writeback_depth=args.writeback_depth,
         sink_writeback_budget=int(parse_size(args.writeback_budget)),
         readahead_chunks=args.readahead,
+        stripes=args.stripes,
         data_plane=args.data_plane,
     )
 
@@ -119,6 +129,12 @@ def add_common(parser: argparse.ArgumentParser) -> None:
                         default=DEFAULT_CONFIG.readahead_chunks,
                         help="chunks the head prefetches from a file/pipe "
                              "source (0 = no read-ahead)")
+    parser.add_argument("--stripes", type=int, default=DEFAULT_CONFIG.stripes,
+                        metavar="N",
+                        help="split the stream into N interleaved chains "
+                             "(default 1 = classic single chain); for "
+                             "send/recv, stripe j listens on the registry "
+                             "port + j")
     from ..core.config import DATA_PLANES
     parser.add_argument("--data-plane", choices=DATA_PLANES,
                         default=DEFAULT_CONFIG.data_plane,
@@ -243,80 +259,144 @@ def cmd_agent(args: argparse.Namespace) -> int:
         advertise=args.advertise,
         start_timeout=args.start_timeout,
         die_on_start=args.die_on_start,
+        stripes=args.stripes,
     )
 
 
+def _stripe_registries(addrs: Dict[str, Address], stripes: int):
+    """One registry per stripe: stripe ``j`` of every node listens on
+    its registry port + ``j`` (the consecutive-port convention, so one
+    ``--nodes`` spec describes all k chains)."""
+    return [
+        Registry({name: Address(a.host, a.port + j)
+                  for name, a in addrs.items()})
+        for j in range(stripes)
+    ]
+
+
 def cmd_recv(args: argparse.Namespace) -> int:
-    """One receiving node, listening on its registry address."""
+    """One receiving node, listening on its registry address.
+
+    With ``--stripes N`` the node runs one chain instance per stripe,
+    listening on registry port + stripe index, and merges the stripes
+    back into the single output in order.
+    """
     names, addrs = parse_registry(args.nodes)
     if args.name not in addrs:
         raise SystemExit(f"--name {args.name!r} not present in --nodes")
     config = build_config(args)
-    plan = PipelinePlan(head=names[0], receivers=tuple(names[1:]))
+    k = config.stripes
+    chain_plan = ChainPlan.build(names[0], tuple(names[1:]),
+                                 stripes=k, order="given")
     me = addrs[args.name]
-    listener = Listener(host=me.host, port=me.port)
+    listeners = [Listener(host=me.host, port=me.port + j) for j in range(k)]
+    registries = _stripe_registries(addrs, k)
     sink = open_sink(args.output, args.output_command)
+    if k == 1:
+        stripe_sinks = [sink]
+    else:
+        merger = StripeMergeSink(sink, k, config.chunk_size)
+        stripe_sinks = [merger.port(j) for j in range(k)]
     tracer, finish_trace = make_tracer(args)
     if config.data_plane == "evloop":
         from ..runtime.evloop import EvReceiverNode, run_nodes
-        node = EvReceiverNode(args.name, plan, Registry(addrs), listener,
-                              config, sink, tracer=tracer)
-        run_nodes([node])
+        nodes = [EvReceiverNode(args.name, chain_plan.stripe(j),
+                                registries[j], listeners[j], config,
+                                stripe_sinks[j], tracer=tracer)
+                 for j in range(k)]
+        run_nodes(nodes)
     else:
-        node = ReceiverNode(args.name, plan, Registry(addrs), listener,
-                            config, sink, tracer=tracer)
-        node.start()
-        node.join()
+        nodes = [ReceiverNode(args.name, chain_plan.stripe(j),
+                              registries[j], listeners[j], config,
+                              stripe_sinks[j], tracer=tracer)
+                 for j in range(k)]
+        for node in nodes:
+            node.start()
+        for node in nodes:
+            node.join()
     finish_trace()
-    outcome = node.outcome
-    if outcome.ok:
-        print(f"{args.name}: received {outcome.bytes_received} bytes")
+    ok = all(node.outcome.ok for node in nodes)
+    if ok:
+        total = sum(node.outcome.bytes_received for node in nodes)
+        print(f"{args.name}: received {total} bytes")
         return 0
-    print(f"{args.name}: FAILED: {outcome.error}", file=sys.stderr)
+    error = next((n.outcome.error for n in nodes if n.outcome.error),
+                 "unknown error")
+    print(f"{args.name}: FAILED: {error}", file=sys.stderr)
     return 1
 
 
 def cmd_send(args: argparse.Namespace) -> int:
-    """The head node: streams the input down the pipeline."""
+    """The head node: streams the input down the pipeline.
+
+    With ``--stripes N`` the input is split into N interleaved chains
+    (chunk i goes to stripe i mod N); every node's stripe ``j`` endpoint
+    is its registry port + ``j``.  Striping needs random access to the
+    input, so stdin cannot be striped.
+    """
     names, addrs = parse_registry(args.nodes)
     if args.name != names[0]:
         raise SystemExit("the sending node must be first in --nodes")
     config = build_config(args)
-    plan = PipelinePlan(head=names[0], receivers=tuple(names[1:]))
+    k = config.stripes
+    chain_plan = ChainPlan.build(names[0], tuple(names[1:]),
+                                 stripes=k, order="given")
     me = addrs[args.name]
-    listener = Listener(host=me.host, port=me.port)
     source = open_source(args.input)
+    if k > 1 and source.kind is not SourceKind.SEEKABLE_FILE:
+        raise SystemExit("--stripes needs a seekable input file; "
+                         "stdin cannot be striped (give -i FILE)")
+    sources = ([source] if k == 1 else
+               [StripeSource(source, j, k, config.chunk_size)
+                for j in range(k)])
+    listeners = [Listener(host=me.host, port=me.port + j) for j in range(k)]
+    registries = _stripe_registries(addrs, k)
     tracer, finish_trace = make_tracer(args)
     if config.data_plane == "evloop":
         from ..runtime.evloop import EvHeadNode, Reactor
-        node = EvHeadNode(args.name, plan, Registry(addrs), listener, config,
-                          source, tracer=tracer)
+        nodes = [EvHeadNode(args.name, chain_plan.stripe(j), registries[j],
+                            listeners[j], config, sources[j], tracer=tracer)
+                 for j in range(k)]
         reactor = Reactor()
-        node.attach(reactor)
-        node.start()
+        for node in nodes:
+            node.attach(reactor)
+            node.start()
         try:
-            reactor.run(stop_when=lambda: node.finished)
+            reactor.run(stop_when=lambda: all(n.finished for n in nodes))
         except KeyboardInterrupt:
             # ^C → QUIT path: resume the same reactor so the report
             # exchange can still complete (bounded by report_timeout).
             import time as _time
-            node.request_quit()
-            reactor.run(stop_when=lambda: node.finished,
+            for node in nodes:
+                node.request_quit()
+            reactor.run(stop_when=lambda: all(n.finished for n in nodes),
                         deadline=_time.monotonic() + config.report_timeout * 2)
     else:
-        node = HeadNode(args.name, plan, Registry(addrs), listener, config,
-                        source, tracer=tracer)
-        node.start()
+        nodes = [HeadNode(args.name, chain_plan.stripe(j), registries[j],
+                          listeners[j], config, sources[j], tracer=tracer)
+                 for j in range(k)]
+        for node in nodes:
+            node.start()
         try:
-            node.join()
+            for node in nodes:
+                node.join()
         except KeyboardInterrupt:
-            node.request_quit()
-            node.join()
+            for node in nodes:
+                node.request_quit()
+            for node in nodes:
+                node.join()
     finish_trace()
-    report = node.final_report
+    if k == 1:
+        report = nodes[0].final_report
+    else:
+        # Pool the per-stripe ring-closure reports for the summary.
+        report = TransferReport()
+        for node in nodes:
+            if node.final_report is not None:
+                report.extend(node.final_report.failures)
     if report is not None:
         print(report.summary())
-    return 0 if node.outcome.ok else 1
+    return 0 if all(node.outcome.ok for node in nodes) else 1
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -386,6 +466,9 @@ def main(argv: List[str] | None = None) -> int:
                        help="host peers should dial (default: bind address)")
     agent.add_argument("--start-timeout", type=float, default=60.0,
                        help="seconds to wait for the coordinator's start")
+    agent.add_argument("--stripes", type=int, default=1, metavar="N",
+                       help="data-plane listeners to bind (one per stripe; "
+                            "set by deploy to match its --stripes)")
     agent.add_argument("--die-on-start", action="store_true",
                        help=argparse.SUPPRESS)  # test hook: exit before registering
     agent.set_defaults(fn=cmd_agent)

@@ -69,6 +69,13 @@ class KascadeConfig:
         How many chunks the head prefetches from a blocking (file/pipe)
         source so reads overlap its vectored sends.  ``0`` disables
         prefetching.
+    stripes:
+        How many interleaved chains carry the stream.  ``1`` (default)
+        is the classic single pipeline, byte-identical to the legacy
+        path.  With ``k > 1`` the stream is split round-robin over the
+        chunk index into ``k`` stripes, each broadcast down its own
+        chain (see :mod:`repro.core.plan`), with per-stripe ring
+        buffers and recovery and an in-order merge at every sink.
     data_plane:
         Which runtime data plane executes the node I/O.  ``"threaded"``
         (the default and the conformance reference) runs one acceptor
@@ -94,6 +101,7 @@ class KascadeConfig:
     sink_writeback_depth: int = 8  # 0 = synchronous sink writes
     sink_writeback_budget: int = 32 * MiB
     readahead_chunks: int = 2  # 0 = no head-node prefetch
+    stripes: int = 1  # 1 = single chain (legacy path)
     data_plane: str = "threaded"  # "threaded" | "evloop"
 
     def __post_init__(self) -> None:
@@ -116,6 +124,8 @@ class KascadeConfig:
             value = getattr(self, name)
             if value < 0:
                 raise ConfigError(f"{name} must be >= 0, got {value}")
+        if self.stripes < 1:
+            raise ConfigError(f"stripes must be >= 1, got {self.stripes}")
         if self.data_plane not in DATA_PLANES:
             raise ConfigError(
                 f"data_plane must be one of {DATA_PLANES}, "

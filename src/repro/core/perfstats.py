@@ -27,6 +27,8 @@ path (socket streams, frame decoder, buffer pool) increments a
   byte that never entered Python).
 * ``reactor_wakeups`` — times the event-loop reactor returned from its
   ``select()`` (readiness or timer) and dispatched tasks.
+* ``stripe_merge_hwm`` — high-water mark, in bytes, of the striped
+  broadcast's in-order merge buffer (a maximum, not a sum).
 * ``evloop_stall_s`` — seconds (a float) the reactor spent blocked in
   ``select()`` with at least one task waiting — idle wire time, the
   event-loop analogue of a blocked thread.
@@ -61,6 +63,7 @@ _COUNTERS = (
     "splice_bytes",
     "reactor_wakeups",
     "evloop_stall_s",
+    "stripe_merge_hwm",
 )
 
 
@@ -123,6 +126,11 @@ class PerfStats:
         """Track the writeback queue's high-water mark (in chunks)."""
         if depth > self.writeback_queue_hwm:
             self.writeback_queue_hwm = depth
+
+    def note_merge_buffered(self, nbytes: int) -> None:
+        """Track the stripe-merge reorder buffer's high-water mark (bytes)."""
+        if nbytes > self.stripe_merge_hwm:
+            self.stripe_merge_hwm = nbytes
 
     # -- reporting -------------------------------------------------------
 

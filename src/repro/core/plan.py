@@ -1,0 +1,290 @@
+"""Explicit broadcast schedules: who feeds whom, per stripe.
+
+Historically the chain was implied by position: a node's predecessor and
+successor fell out of its index in one :class:`~repro.core.pipeline.
+PipelinePlan`.  Striped broadcast breaks that assumption — with ``k``
+stripes a node forwards stripe ``j`` to a (possibly different) successor
+per stripe — so the schedule becomes first-class data:
+
+* :class:`StripePlan` — one stripe's chain.  A frozen subclass of
+  :class:`PipelinePlan` (same navigation API, so links, recovery, and
+  every node implementation consume it unchanged) annotated with which
+  stripe it carries out of how many.
+* :class:`ChainPlan` — the whole schedule: one :class:`StripePlan` per
+  stripe over one shared node set.  Serializable (JSON) so the process
+  backend can ship it to agents and results can carry it; buildable from
+  an ordering strategy (:meth:`ChainPlan.build`) or from explicit
+  per-stripe orders (:meth:`ChainPlan.from_orders`, the hook
+  :mod:`repro.topology.ordering` uses for switch-aware rotations).
+
+Stripe assignment is round-robin over the global chunk index: chunk
+``i`` belongs to stripe ``i % k`` as that stripe's local chunk
+``i // k`` (see :mod:`repro.core.stripes` for the byte-level mapping).
+
+The default multi-stripe schedule rotates the ordered receivers by
+``(j * n) // k`` positions for stripe ``j``: every node is near the
+chain head on some stripe and near the tail on another, so aggregate
+ingress/egress load stays balanced while each stripe remains a single
+topology-friendly chain.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import PipelineError
+from .pipeline import PipelinePlan
+
+__all__ = ["StripePlan", "ChainPlan", "coerce_stripe_plan"]
+
+
+@dataclass(frozen=True)
+class StripePlan(PipelinePlan):
+    """One stripe's chain: a :class:`PipelinePlan` that knows its stripe.
+
+    ``stripe`` is this chain's stripe index, ``of`` the total stripe
+    count of the schedule it belongs to.  The defaults (``0 of 1``)
+    describe the classic single-chain broadcast, which is why a
+    single-stripe plan behaves byte-identically to the legacy path.
+    """
+
+    stripe: int = 0
+    of: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.of < 1:
+            raise PipelineError(f"stripe count must be >= 1, got {self.of}")
+        if not 0 <= self.stripe < self.of:
+            raise PipelineError(
+                f"stripe index {self.stripe} out of range for {self.of} stripe(s)"
+            )
+
+    @classmethod
+    def from_pipeline(
+        cls, plan: PipelinePlan, *, stripe: int = 0, of: int = 1
+    ) -> "StripePlan":
+        """Annotate a plain pipeline plan with stripe coordinates."""
+        return cls(head=plan.head, receivers=plan.receivers,
+                   stripe=stripe, of=of)
+
+
+def _rotated(receivers: Tuple[str, ...], shift: int) -> Tuple[str, ...]:
+    shift %= len(receivers)
+    return receivers[shift:] + receivers[:shift]
+
+
+@dataclass(frozen=True)
+class ChainPlan:
+    """The complete broadcast schedule: one chain per stripe.
+
+    All stripes share the head and the receiver *set*; they may (and for
+    ``k > 1`` should) differ in receiver *order*, which is what spreads
+    load across the fabric.  The plan is pure data — build it, inspect
+    it, serialize it, hand it to any backend via
+    ``run_broadcast(..., plan=...)``.
+    """
+
+    stripes: Tuple[StripePlan, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stripes:
+            raise PipelineError("chain plan needs at least one stripe")
+        k = len(self.stripes)
+        first = self.stripes[0]
+        nodes = frozenset(first.chain)
+        for j, sp in enumerate(self.stripes):
+            if sp.stripe != j or sp.of != k:
+                raise PipelineError(
+                    f"stripe {j} mislabelled as {sp.stripe} of {sp.of}"
+                )
+            if sp.head != first.head:
+                raise PipelineError(
+                    f"stripe {j} has head {sp.head!r}, expected {first.head!r}"
+                )
+            if frozenset(sp.chain) != nodes:
+                raise PipelineError(
+                    f"stripe {j} covers a different node set than stripe 0"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        head: str,
+        receivers: Sequence[str],
+        *,
+        stripes: int = 1,
+        order: str = "hostname",
+        rng: Optional[np.random.Generator] = None,
+    ) -> "ChainPlan":
+        """Build a schedule from an ordering strategy.
+
+        The base order comes from :meth:`PipelinePlan.build`; stripe
+        ``j`` gets that order rotated by ``(j * n) // k``.
+        """
+        if stripes < 1:
+            raise PipelineError(f"stripe count must be >= 1, got {stripes}")
+        base = PipelinePlan.build(head, receivers, order=order, rng=rng)
+        n = len(base.receivers)
+        return cls.from_orders(
+            head,
+            [_rotated(base.receivers, (j * n) // stripes)
+             for j in range(stripes)],
+        )
+
+    @classmethod
+    def from_orders(
+        cls, head: str, orders: Sequence[Sequence[str]]
+    ) -> "ChainPlan":
+        """Build from explicit per-stripe receiver orders."""
+        k = len(orders)
+        return cls(tuple(
+            StripePlan(head=head, receivers=tuple(order), stripe=j, of=k)
+            for j, order in enumerate(orders)
+        ))
+
+    @classmethod
+    def single(cls, head: str, receivers: Sequence[str]) -> "ChainPlan":
+        """The classic one-chain schedule over the given order."""
+        return cls.from_orders(head, [tuple(receivers)])
+
+    @classmethod
+    def from_pipeline(cls, plan: PipelinePlan) -> "ChainPlan":
+        """Lift a legacy single-chain plan into a schedule."""
+        return cls.single(plan.head, plan.receivers)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def head(self) -> str:
+        return self.stripes[0].head
+
+    @property
+    def receivers(self) -> Tuple[str, ...]:
+        """The canonical (stripe-0) receiver order."""
+        return self.stripes[0].receivers
+
+    @property
+    def stripe_count(self) -> int:
+        return len(self.stripes)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """Head plus receivers in canonical order."""
+        return self.stripes[0].chain
+
+    @property
+    def base(self) -> PipelinePlan:
+        """The canonical order as a plain :class:`PipelinePlan`."""
+        return PipelinePlan(head=self.head, receivers=self.receivers)
+
+    def stripe(self, j: int) -> StripePlan:
+        """The chain carrying stripe ``j``."""
+        if not 0 <= j < len(self.stripes):
+            raise PipelineError(
+                f"no stripe {j} in a {len(self.stripes)}-stripe plan"
+            )
+        return self.stripes[j]
+
+    def __iter__(self) -> Iterator[StripePlan]:
+        return iter(self.stripes)
+
+    def __len__(self) -> int:
+        """Stripe count, matching iteration (``for sp in plan``)."""
+        return len(self.stripes)
+
+    # ------------------------------------------------------------------
+    # Re-planning
+    # ------------------------------------------------------------------
+
+    def replan_without(self, dead: Sequence[str]) -> "ChainPlan":
+        """A new schedule with ``dead`` receivers removed from every
+        stripe, each stripe keeping its surviving order.
+
+        This is the launch-time re-plan (a node that never started is
+        simply not in the chain); mid-transfer deaths are *skipped*, not
+        re-planned, exactly as in the single-chain protocol.
+        """
+        gone = set(dead)
+        if self.head in gone:
+            raise PipelineError(f"cannot re-plan without head {self.head!r}")
+        return ChainPlan.from_orders(
+            self.head,
+            [[r for r in sp.receivers if r not in gone]
+             for sp in self.stripes],
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (the wire schema, PROTOCOL.md §12)."""
+        return {
+            "version": 1,
+            "head": self.head,
+            "stripes": [list(sp.receivers) for sp in self.stripes],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ChainPlan":
+        if d.get("version") != 1:
+            raise PipelineError(
+                f"unknown chain plan version: {d.get('version')!r}"
+            )
+        return cls.from_orders(d["head"], d["stripes"])
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChainPlan":
+        return cls.from_dict(json.loads(text))
+
+
+def coerce_stripe_plan(plan, *, owner: str) -> StripePlan:
+    """Adapt whatever a node constructor was given into a :class:`StripePlan`.
+
+    Node implementations each run exactly one stripe's chain.  Accepts:
+
+    * a :class:`StripePlan` — passed through;
+    * a single-stripe :class:`ChainPlan` — unwrapped (a multi-stripe one
+      is ambiguous: pass ``plan.stripe(j)`` instead);
+    * a bare :class:`PipelinePlan` — **deprecated**: the implicit
+      positional predecessor/successor wiring it encodes is superseded
+      by the explicit plan objects.  Warns and adapts for one release.
+    """
+    if isinstance(plan, ChainPlan):
+        if plan.stripe_count != 1:
+            raise PipelineError(
+                f"{owner} runs a single stripe; pass plan.stripe(j), "
+                f"not a {plan.stripe_count}-stripe ChainPlan"
+            )
+        return plan.stripe(0)
+    if isinstance(plan, StripePlan):
+        return plan
+    if isinstance(plan, PipelinePlan):
+        warnings.warn(
+            f"passing a bare PipelinePlan to {owner} is deprecated; its "
+            "implicit predecessor/successor wiring is superseded by "
+            "repro.core.plan.StripePlan / ChainPlan — pass "
+            "ChainPlan.from_pipeline(plan).stripe(0) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return StripePlan.from_pipeline(plan)
+    raise TypeError(
+        f"{owner} needs a StripePlan/ChainPlan/PipelinePlan, "
+        f"got {type(plan).__name__}"
+    )

@@ -32,9 +32,11 @@ from typing import List, Optional, Tuple
 
 from ..core.config import KascadeConfig
 from ..core.perfstats import get_stats
-from ..core.pipeline import PipelinePlan
+from ..core.plan import ChainPlan
+from ..core.report import TransferReport
 from ..core.sinks import FileSink, NullSink, Sink
 from ..core.sources import FileSource
+from ..core.stripes import StripeMergeSink, StripeSource
 from ..core.tracing import TraceCollector
 from ..runtime.node import HeadNode, ReceiverNode
 from ..runtime.registry import Registry
@@ -125,6 +127,32 @@ def _progress_gate(channel: ControlChannel, every: int):
     return gate
 
 
+def _progress_gates(channel: ControlChannel, every: int, stripes: int):
+    """Per-stripe gates reporting the host's *aggregate* byte count.
+
+    Chaos thresholds are host-level on a striped run, so the progress
+    stream the chaos engine keys on must be too.
+    """
+    lock = threading.Lock()
+    seen = [0] * stripes
+    last = [0]
+
+    def for_stripe(stripe: int):
+        def gate(received: int) -> Optional[str]:
+            with lock:
+                seen[stripe] = received
+                total = sum(seen)
+                if total - last[0] < every:
+                    return None
+                last[0] = total
+            channel.send({"op": "progress", "bytes": total})
+            return None
+
+        return gate
+
+    return for_stripe
+
+
 def run_agent(
     coordinator: Tuple[str, int],
     name: str,
@@ -133,32 +161,41 @@ def run_agent(
     advertise: Optional[str] = None,
     start_timeout: float = 60.0,
     die_on_start: bool = False,
+    stripes: int = 1,
 ) -> int:
-    """Run one agent to completion; returns the process exit code."""
+    """Run one agent to completion; returns the process exit code.
+
+    ``stripes > 1`` binds one data-plane listener per stripe; the hello
+    advertises every port and the start message carries the
+    :class:`~repro.core.plan.ChainPlan` naming this node's feeder and
+    successor per stripe.
+    """
     if die_on_start:
         # Test hook: a node whose process dies before it can register,
         # exercising the launcher's retry + re-plan path for real.
         return EXIT_DIED_ON_START
 
-    listener = Listener(host=bind, port=0)
+    listeners = [Listener(host=bind, port=0) for _ in range(max(1, stripes))]
     try:
         channel = connect_control(coordinator[0], coordinator[1],
                                   timeout=start_timeout)
     except DeployError:
-        listener.close()
+        for listener in listeners:
+            listener.close()
         return EXIT_USAGE
     try:
-        return _run_registered(channel, listener, name,
-                               advertise or listener.address.host,
+        return _run_registered(channel, listeners, name,
+                               advertise or listeners[0].address.host,
                                start_timeout)
     finally:
         channel.close()
-        listener.close()
+        for listener in listeners:
+            listener.close()
 
 
 def _run_registered(
     channel: ControlChannel,
-    listener: Listener,
+    listeners: List[Listener],
     name: str,
     advertise_host: str,
     start_timeout: float,
@@ -168,7 +205,9 @@ def _run_registered(
         "name": name,
         "pid": os.getpid(),
         "host": advertise_host,
-        "port": listener.address.port,
+        # "port" stays for pre-stripe readers; "ports" is the full set.
+        "port": listeners[0].address.port,
+        "ports": [ln.address.port for ln in listeners],
     })
     try:
         msg = channel.recv(timeout=start_timeout)
@@ -181,10 +220,25 @@ def _run_registered(
 
     config = KascadeConfig(**msg["config"])
     nodes = [(n, Address(h, p)) for n, h, p in msg["nodes"]]
-    registry = Registry(dict(nodes))
     head = msg["head"]
-    plan = PipelinePlan(head=head,
-                        receivers=tuple(n for n, _ in nodes if n != head))
+    if msg.get("plan"):
+        chain_plan = ChainPlan.from_dict(msg["plan"])
+    else:
+        chain_plan = ChainPlan.single(
+            head, tuple(n for n, _ in nodes if n != head))
+    k = chain_plan.stripe_count
+    if k != len(listeners):
+        return EXIT_USAGE  # coordinator/agent stripe-count mismatch
+    # Stripe j of every node listens on its j-th advertised port; the
+    # legacy single-port start message is the k == 1 degenerate case.
+    ports = {n: [a.port] for n, a in nodes}
+    for node_name, node_ports in (msg.get("ports") or {}).items():
+        ports[node_name] = [int(p) for p in node_ports]
+    hosts = {n: a.host for n, a in nodes}
+    registries = [
+        Registry({n: Address(hosts[n], ports[n][j]) for n in hosts})
+        for j in range(k)
+    ]
     run_timeout = float(msg.get("run_timeout", 600.0))
 
     tracer = TraceCollector()
@@ -207,64 +261,99 @@ def _run_registered(
 
     digest_sink: Optional[DigestSink] = None
     source: Optional[FileSource] = None
+    progress_every = int(msg.get("progress_every", 1 << 18))
+    agent_nodes = []
     if name == head:
         source = FileSource(msg["source"])
-        node = head_cls(name, plan, registry, listener, config, source,
-                        tracer=tracer)
+        for j in range(k):
+            src = (source if k == 1
+                   else StripeSource(source, j, k, config.chunk_size))
+            agent_nodes.append(head_cls(
+                name, chain_plan.stripe(j), registries[j], listeners[j],
+                config, src, tracer=tracer,
+            ))
     else:
         inner: Sink = (FileSink(msg["output"]) if msg.get("output")
                        else NullSink())
+        # The digest hashes the *merged* stream, so it is comparable
+        # across any stripe count (and with the head's source digest).
         digest_sink = DigestSink(inner)
-        node = recv_cls(
-            name, plan, registry, listener, config, digest_sink,
-            crash_gate=_progress_gate(
-                channel, int(msg.get("progress_every", 1 << 18))),
-            tracer=tracer,
-        )
+        if k == 1:
+            stripe_sinks: List[Sink] = [digest_sink]
+            gate_for = lambda j: _progress_gate(channel, progress_every)
+        else:
+            merger = StripeMergeSink(digest_sink, k, config.chunk_size)
+            stripe_sinks = [merger.port(j) for j in range(k)]
+            gates = _progress_gates(channel, progress_every, k)
+            gate_for = gates
+        for j in range(k):
+            agent_nodes.append(recv_cls(
+                name, chain_plan.stripe(j), registries[j], listeners[j],
+                config, stripe_sinks[j], crash_gate=gate_for(j),
+                tracer=tracer,
+            ))
 
     if evloop_plane:
         # This thread *is* the event loop (heartbeat stays threaded).
-        run_nodes([node], duration=run_timeout)
-        if not node.finished:
-            node.outcome.error = node.outcome.error or (
-                f"agent run exceeded {run_timeout}s"
-            )
+        run_nodes(agent_nodes, duration=run_timeout)
+        for node in agent_nodes:
+            if not node.finished:
+                node.outcome.error = node.outcome.error or (
+                    f"agent run exceeded {run_timeout}s"
+                )
     else:
-        node.start()
-        node.join(run_timeout)
-        if node.thread.is_alive():
-            node.outcome.error = node.outcome.error or (
-                f"agent run exceeded {run_timeout}s"
-            )
-            node.shutdown()
-            node.join(2.0)
+        deadline = time.monotonic() + run_timeout
+        for node in agent_nodes:
+            node.start()
+        for node in agent_nodes:
+            node.join(max(0.0, deadline - time.monotonic()))
+            if node.thread.is_alive():
+                node.outcome.error = node.outcome.error or (
+                    f"agent run exceeded {run_timeout}s"
+                )
+                node.shutdown()
+                node.join(2.0)
     heartbeat.stop()
     if source is not None:
         source.close()
 
-    outcome = node.outcome
+    outcomes = [node.outcome for node in agent_nodes]
+    ok = all(o.ok for o in outcomes)
+    total = sum(o.bytes_received for o in outcomes)
+    error = next((o.error for o in outcomes if o.error), None)
+    crashed = any(o.crashed for o in outcomes)
     report_hex: Optional[str] = None
     failures: List[str] = []
-    if name == head and node.final_report is not None:
-        report_hex = node.final_report.encode().hex()
-        failures = node.final_report.failed_nodes
+    if name == head:
+        if k == 1:
+            final_report = agent_nodes[0].final_report
+        else:
+            # Pool the per-stripe ring reports (no single source digest
+            # spans a striped stream, so the merged report carries none).
+            final_report = TransferReport()
+            for node in agent_nodes:
+                if node.final_report is not None:
+                    final_report.extend(node.final_report.failures)
+        if final_report is not None:
+            report_hex = final_report.encode().hex()
+            failures = final_report.failed_nodes
     stats_after = get_stats().snapshot()
     channel.send({
         "op": "status",
         "name": name,
-        "ok": bool(outcome.ok),
-        "bytes": int(outcome.bytes_received),
-        "crashed": bool(outcome.crashed),
-        "error": outcome.error,
+        "ok": bool(ok),
+        "bytes": int(total),
+        "crashed": bool(crashed),
+        "error": error,
         "digest": digest_sink.hexdigest() if digest_sink is not None else None,
         "report": report_hex,
         "failures": failures,
-        "perfstats": {k: stats_after[k] - stats_before.get(k, 0)
-                      for k in stats_after},
+        "perfstats": {k_: stats_after[k_] - stats_before.get(k_, 0)
+                      for k_ in stats_after},
         "trace": tracer.to_jsonl(),
         "trace_epoch": trace_epoch,
     })
-    return EXIT_OK if outcome.ok else EXIT_FAILED
+    return EXIT_OK if ok else EXIT_FAILED
 
 
 def config_to_wire(config: KascadeConfig) -> dict:

@@ -32,6 +32,7 @@ from ..core import tracing
 from ..core.config import DEFAULT_CONFIG, KascadeConfig
 from ..core.errors import KascadeError
 from ..core.pipeline import PipelinePlan
+from ..core.plan import ChainPlan
 from ..core.report import FailureRecord, TransferReport
 from ..core.sources import FileSource, Source
 from ..core.tracing import NULL_TRACER, TraceCollector
@@ -64,6 +65,9 @@ class _Agent:
     pid: int
     registered_at: float
     last_heard: float
+    #: Every data-plane port the agent bound (one per stripe);
+    #: ``address.port`` is always ``ports[0]``.
+    ports: Tuple[int, ...] = ()
     bytes_received: int = 0
     status: Optional[dict] = None
     dead_reason: Optional[str] = None
@@ -130,13 +134,16 @@ class Coordinator:
             channel.close()
             return
         name = str(hello["name"])
+        ports = tuple(int(p) for p in
+                      hello.get("ports") or [hello["port"]])
         agent = _Agent(
             name=name,
             channel=channel,
-            address=Address(str(hello["host"]), int(hello["port"])),
+            address=Address(str(hello["host"]), ports[0]),
             pid=int(hello["pid"]),
             registered_at=time.monotonic(),
             last_heard=time.monotonic(),
+            ports=ports,
         )
         with self._cond:
             # Latest registration wins: a retried spawn replaces the
@@ -283,6 +290,12 @@ class ProcBroadcast:
     stderr_dir:
         When set, each agent's stderr goes to ``<dir>/<name>.stderr.log``
         instead of ``/dev/null``.
+    plan:
+        Pre-built :class:`~repro.core.plan.ChainPlan` overriding
+        ``order``/``config.stripes``-derived planning.  On a striped
+        plan every agent binds one data-plane listener per stripe and
+        runs one chain instance per stripe; the start message ships the
+        (possibly re-planned) ChainPlan and the full port map.
     """
 
     def __init__(
@@ -307,11 +320,28 @@ class ProcBroadcast:
         bind_host: str = "127.0.0.1",
         agent_args: Optional[Callable[[str, int], Sequence[str]]] = None,
         stderr_dir: Optional[str] = None,
+        plan: Optional[ChainPlan] = None,
     ) -> None:
         self.source = source
         self.config = config
         self.tracer = tracer
-        self.plan = PipelinePlan.build(head, receivers, order=order)
+        if plan is not None:
+            if set(plan.receivers) != set(receivers):
+                raise KascadeError(
+                    "chain plan covers different receivers than requested: "
+                    f"{sorted(plan.receivers)} vs {sorted(receivers)}"
+                )
+            if config.stripes not in (1, plan.stripe_count):
+                raise KascadeError(
+                    f"config.stripes={config.stripes} conflicts with a "
+                    f"{plan.stripe_count}-stripe plan"
+                )
+            self.chain_plan = plan
+        else:
+            self.chain_plan = ChainPlan.build(
+                head, receivers, stripes=config.stripes, order=order)
+        self.stripes = self.chain_plan.stripe_count
+        self.plan = self.chain_plan.base
         self.chaos = ChaosEngine(chaos)
         unknown = self.chaos.targets() - set(self.plan.receivers)
         if unknown:
@@ -378,6 +408,8 @@ class ProcBroadcast:
             "--bind", self.bind_host,
             "--start-timeout", str(max(60.0, self.startup_timeout * 4)),
         ]
+        if self.stripes > 1:
+            base += ["--stripes", str(self.stripes)]
 
         def spawn(name: str, attempt: int) -> subprocess.Popen:
             cmd = base + ["--name", name]
@@ -518,23 +550,26 @@ class ProcBroadcast:
                     started, launch_report, launch_failures, why)
 
             # §III-B: the chain is re-planned around launch failures
-            # before a single payload byte flows.
-            final_plan = PipelinePlan(head=self.plan.head,
-                                      receivers=final_receivers)
+            # before a single payload byte flows — every stripe drops
+            # the dead node while keeping its surviving order.
+            dead = tuple(r for r in self.plan.receivers
+                         if not launch_report.nodes[r].ok)
+            final_chain = self.chain_plan.replan_without(dead)
+            final_plan = final_chain.base
             reaper = threading.Thread(
                 target=self._reaper_loop,
                 args=(coordinator, procs, final_plan.chain, stop_reaper),
                 name="coord-reaper", daemon=True,
             )
             reaper.start()
-            self._send_starts(coordinator, final_plan, source_path, timeout)
+            self._send_starts(coordinator, final_chain, source_path, timeout)
 
             deadline = started + timeout
             unresolved = coordinator.wait_statuses(final_plan.chain, deadline)
             for name in unresolved:
                 coordinator.mark_dead(
                     name, f"no status within the {timeout}s run deadline")
-            return self._collect(coordinator, final_plan, launch_report,
+            return self._collect(coordinator, final_chain, launch_report,
                                  launch_failures, crashed_by_chaos,
                                  started, wall0)
         finally:
@@ -564,17 +599,22 @@ class ProcBroadcast:
                              offset=0, detail=reason, detector=detector)
         return records
 
-    def _send_starts(self, coordinator: Coordinator, final_plan: PipelinePlan,
+    def _send_starts(self, coordinator: Coordinator, final_chain: ChainPlan,
                      source_path: str, timeout: float) -> None:
+        final_plan = final_chain.base
         nodes_wire = []
+        ports_wire = {}
         for name in final_plan.chain:
             agent = coordinator.agent(name)
             assert agent is not None  # launched => registered
             nodes_wire.append([name, agent.address.host, agent.address.port])
+            ports_wire[name] = list(agent.ports)
         base = {
             "op": "start",
             "nodes": nodes_wire,
             "head": final_plan.head,
+            "plan": final_chain.to_dict(),
+            "ports": ports_wire,
             "config": config_to_wire(self.config),
             "run_timeout": timeout,
             "heartbeat_interval": self.heartbeat_interval,
@@ -596,13 +636,14 @@ class ProcBroadcast:
     def _collect(
         self,
         coordinator: Coordinator,
-        final_plan: PipelinePlan,
+        final_chain: ChainPlan,
         launch_report: LaunchReport,
         launch_failures: List[FailureRecord],
         crashed_by_chaos: Dict[str, str],
         started: float,
         wall0: float,
     ) -> BroadcastResult:
+        final_plan = final_chain.base
         duration = time.monotonic() - started
         outcomes: Dict[str, NodeOutcome] = {}
         perfstats: Dict[str, int] = {}
@@ -674,6 +715,7 @@ class ProcBroadcast:
             perfstats=perfstats,
             backend="procs",
             launch=launch_report,
+            plan=final_chain,
         )
 
     @staticmethod
@@ -725,6 +767,7 @@ class ProcBroadcast:
             perfstats={},
             backend="procs",
             launch=launch_report,
+            plan=self.chain_plan,
         )
 
     @staticmethod

@@ -4,6 +4,15 @@
 build a pipeline, run it, inject crashes — but on the DES, so failure
 timing is *exact* (down to the simulated microsecond and byte offset)
 and every run is perfectly reproducible.
+
+Striping (``config.stripes > 1`` or a multi-stripe ``plan``) runs one
+chain instance per (host, stripe) on a single shared hub and engine.
+Instances are registered under suffixed names (``n2@s1``); results are
+aggregated back to host names.  Because every :class:`~repro.simnet.
+channels.SimChannel` models its own link bandwidth, ``k`` interleaved
+chains really do move ``k`` links' worth of bytes per simulated second —
+this backend is where the predicted k-way speedup is validated before
+trusting TCP numbers.
 """
 
 from __future__ import annotations
@@ -13,10 +22,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.config import DEFAULT_CONFIG, KascadeConfig
 from ..core.errors import KascadeError
-from ..core.pipeline import PipelinePlan
-from ..core.report import TransferReport
+from ..core.plan import ChainPlan, StripePlan
+from ..core.report import FailureRecord, TransferReport
 from ..core.sinks import NullSink, Sink
 from ..core.sources import Source
+from ..core.stripes import StripeMergeSink, StripeSource
 from ..core.tracing import NULL_TRACER, TraceCollector
 from ..simnet.channels import SimNetHub
 from ..simnet.engine import Engine
@@ -27,7 +37,11 @@ from .node import CrashNow, ProtoHead, ProtoReceiver
 class ProtoCrash:
     """Kill ``node`` either when it has stored ``after_bytes``
     (byte-exact, triggered from inside its receive path) or at simulated
-    time ``at_time`` (wall-clock-exact, triggered externally)."""
+    time ``at_time`` (wall-clock-exact, triggered externally).
+
+    On a striped run the crash is host-level: ``after_bytes`` counts the
+    host's aggregate across stripes and the death takes every one of
+    its chain instances down, like one OS process dying."""
 
     node: str
     after_bytes: Optional[int] = None
@@ -43,7 +57,7 @@ class ProtoCrash:
 
 @dataclass
 class ProtoResult:
-    """Outcome of one protocol-exact broadcast."""
+    """Outcome of one protocol-exact broadcast (host-level keys)."""
 
     ok: bool
     sim_time: float
@@ -60,6 +74,24 @@ class ProtoResult:
     trace: Optional[TraceCollector] = None
 
 
+class _AggregateGate:
+    """Host crash threshold over the sum of its stripes' bytes."""
+
+    def __init__(self, crash: ProtoCrash, stripes: int) -> None:
+        self._crash = crash
+        self._seen = [0] * stripes
+        self._fired = False
+
+    def for_stripe(self, stripe: int):
+        def gate(received: int) -> Optional[str]:
+            self._seen[stripe] = received
+            if self._fired or sum(self._seen) >= self._crash.after_bytes:
+                self._fired = True
+                return self._crash.mode
+            return None
+        return gate
+
+
 class ProtoBroadcast:
     """One protocol-exact broadcast on the DES."""
 
@@ -72,12 +104,30 @@ class ProtoBroadcast:
         config: KascadeConfig = DEFAULT_CONFIG,
         head: str = "n1",
         crashes: Sequence[ProtoCrash] = (),
+        plan: Optional[ChainPlan] = None,
         bandwidth: float = 125e6,
         latency: float = 1e-4,
     ) -> None:
         self.source = source
         self.config = config
-        self.plan = PipelinePlan.build(head, receivers, order="given")
+        if plan is not None:
+            if set(plan.receivers) != set(receivers):
+                raise KascadeError(
+                    "chain plan covers different receivers than requested: "
+                    f"{sorted(plan.receivers)} vs {sorted(receivers)}"
+                )
+            if config.stripes not in (1, plan.stripe_count):
+                raise KascadeError(
+                    f"config.stripes={config.stripes} conflicts with a "
+                    f"{plan.stripe_count}-stripe plan"
+                )
+            self.chain_plan = plan
+        else:
+            self.chain_plan = ChainPlan.build(
+                head, receivers, stripes=config.stripes, order="given"
+            )
+        self.stripes = self.chain_plan.stripe_count
+        self.plan = self.chain_plan.stripe(0)
         self.sink_factory = sink_factory or (lambda name: NullSink())
         self.crashes = {c.node: c for c in crashes}
         unknown = set(self.crashes) - set(self.plan.receivers)
@@ -97,6 +147,15 @@ class ProtoBroadcast:
 
         return gate
 
+    @staticmethod
+    def _instance_name(host: str, stripe: int, stripes: int) -> str:
+        return host if stripes == 1 else f"{host}@s{stripe}"
+
+    @staticmethod
+    def _host_of(instance: str) -> str:
+        base, sep, tail = instance.rpartition("@s")
+        return base if sep and tail.isdigit() else instance
+
     def run(self, sim_horizon: float = 3600.0,
             trace: bool = False, tracer=NULL_TRACER) -> ProtoResult:
         """Run to completion (or ``sim_horizon``).
@@ -110,17 +169,59 @@ class ProtoBroadcast:
         hub = SimNetHub(engine, bandwidth=self.bandwidth,
                         latency=self.latency)
         message_log = hub.start_tracing() if trace else None
+        k = self.stripes
 
-        head = ProtoHead(self.plan.head, self.plan, hub, self.config,
-                         engine, self.source)
-        receivers = [
-            ProtoReceiver(name, self.plan, hub, self.config, engine,
-                          self.sink_factory(name),
-                          crash_gate=self._gate(name))
-            for name in self.plan.receivers
-        ]
-        self.nodes = {head.name: head,
-                      **{r.name: r for r in receivers}}
+        if k == 1:
+            sources: List[Source] = [self.source]
+            instance_sinks = {
+                name: [self.sink_factory(name)]
+                for name in self.plan.receivers
+            }
+        else:
+            sources = [
+                StripeSource(self.source, j, k, self.config.chunk_size)
+                for j in range(k)
+            ]
+            instance_sinks = {}
+            for name in self.plan.receivers:
+                sink = self.sink_factory(name)
+                if type(sink) is NullSink:
+                    instance_sinks[name] = [NullSink() for _ in range(k)]
+                else:
+                    merger = StripeMergeSink(sink, k, self.config.chunk_size)
+                    instance_sinks[name] = [merger.port(j) for j in range(k)]
+        gates = {
+            name: _AggregateGate(crash, k)
+            for name, crash in self.crashes.items()
+            if crash.after_bytes is not None
+        } if k > 1 else {}
+
+        heads: List[ProtoHead] = []
+        by_host: Dict[str, List] = {}
+        for j in range(k):
+            sp = self.chain_plan.stripe(j)
+            plan_j = StripePlan(
+                head=self._instance_name(sp.head, j, k),
+                receivers=tuple(self._instance_name(r, j, k)
+                                for r in sp.receivers),
+                stripe=sp.stripe, of=sp.of,
+            )
+            head = ProtoHead(plan_j.head, plan_j, hub, self.config,
+                             engine, sources[j])
+            heads.append(head)
+            by_host.setdefault(sp.head, []).append(head)
+            for host, name in zip(sp.receivers, plan_j.receivers):
+                if k == 1:
+                    gate = self._gate(host)
+                else:
+                    agg = gates.get(host)
+                    gate = agg.for_stripe(j) if agg else None
+                recv = ProtoReceiver(name, plan_j, hub, self.config, engine,
+                                     instance_sinks[host][j],
+                                     crash_gate=gate)
+                by_host.setdefault(host, []).append(recv)
+        self.nodes = {n.name: n
+                      for nodes in by_host.values() for n in nodes}
         crashed: List[str] = []
 
         def main_of(node, acceptor):
@@ -171,26 +272,53 @@ class ProtoBroadcast:
 
         for crash in self.crashes.values():
             if crash.at_time is not None:
-                engine.call_at(crash.at_time,
-                               kill_at(self.nodes[crash.node], crash.mode))
+                # Host death: every stripe instance dies at that instant.
+                for node in by_host[crash.node]:
+                    engine.call_at(crash.at_time, kill_at(node, crash.mode))
 
         engine.run(until=sim_horizon)
 
-        # Identity check: an all-clear TransferReport is falsy.
-        report = (head.final_report if head.final_report is not None
-                  else TransferReport())
-        intended = [r for r in receivers if r.name not in self.crashes]
-        ok = head.ok and all(r.ok for r in intended)
+        # Pool the per-stripe head reports, projecting instance names
+        # back to hosts.  Identity check: an all-clear TransferReport is
+        # falsy.  A merged stream carries no single source digest (each
+        # stripe ships its own), so only the single-chain report keeps
+        # one.
+        if k == 1:
+            report = (heads[0].final_report
+                      if heads[0].final_report is not None
+                      else TransferReport())
+        else:
+            report = TransferReport()
+            for head in heads:
+                if head.final_report is not None:
+                    report.extend(
+                        FailureRecord(self._host_of(rec.node),
+                                      self._host_of(rec.detected_by),
+                                      rec.at_offset, rec.reason)
+                        for rec in head.final_report.failures
+                    )
+
+        host_ok = {host: all(n.ok for n in nodes)
+                   for host, nodes in by_host.items()}
+        intended = [r for r in self.plan.receivers if r not in self.crashes]
+        head_host = self.plan.head
+        ok = host_ok[head_host] and all(host_ok[r] for r in intended)
+        crashed_hosts: List[str] = []
+        for name in crashed:
+            host = self._host_of(name)
+            if host not in crashed_hosts:
+                crashed_hosts.append(host)
         return ProtoResult(
             ok=ok,
             sim_time=engine.now,
-            total_bytes=head.bytes_received,
+            total_bytes=sum(h.bytes_received for h in heads),
             report=report,
-            node_ok={n.name: n.ok for n in self.nodes.values()},
-            node_bytes={n.name: n.bytes_received
-                        for n in self.nodes.values()},
-            node_errors={n.name: n.error for n in self.nodes.values()},
-            crashed=crashed,
+            node_ok=host_ok,
+            node_bytes={host: sum(n.bytes_received for n in nodes)
+                        for host, nodes in by_host.items()},
+            node_errors={host: next((n.error for n in nodes if n.error), None)
+                         for host, nodes in by_host.items()},
+            crashed=crashed_hosts,
             message_log=message_log,
             trace=tracer if isinstance(tracer, TraceCollector) else None,
         )

@@ -31,6 +31,7 @@ from ..core.messages import (
 )
 from ..core.node_state import NodeTransferState, Phase
 from ..core.pipeline import PipelinePlan
+from ..core.plan import coerce_stripe_plan
 from ..core.recovery import OfferKind, next_alive
 from ..core.report import TransferReport
 from ..core.sinks import Sink
@@ -60,7 +61,7 @@ class ProtoNode:
     def __init__(self, name: str, plan: PipelinePlan, hub: SimNetHub,
                  config: KascadeConfig, engine: Engine) -> None:
         self.name = name
-        self.plan = plan
+        self.plan = coerce_stripe_plan(plan, owner=type(self).__name__)
         self.hub = hub
         self.config = config
         self.engine = engine

@@ -17,6 +17,7 @@ Crash injection reproduces the Distem experiments' failure modes:
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -25,10 +26,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..core.config import DEFAULT_CONFIG, KascadeConfig
 from ..core.errors import KascadeError
 from ..core.perfstats import get_stats
-from ..core.pipeline import PipelinePlan
+from ..core.plan import ChainPlan
 from ..core.report import TransferReport
 from ..core.sinks import NullSink, Sink
 from ..core.sources import Source
+from ..core.stripes import StripeMergeSink, StripeSource
 from ..core.tracing import NULL_TRACER, TraceCollector
 from .node import HeadNode, NodeOutcome, ReceiverNode
 from .registry import Registry
@@ -72,6 +74,9 @@ class BroadcastResult:
     #: ``backend="procs"`` only: the measured windowed-startup timings
     #: (a :class:`repro.deploy.LaunchReport`), ``None`` elsewhere.
     launch: Optional[object] = None
+    #: The schedule the broadcast executed: which chain carried each
+    #: stripe (a :class:`~repro.core.plan.ChainPlan`).
+    plan: Optional[ChainPlan] = None
 
     @property
     def completed_nodes(self) -> List[str]:
@@ -103,12 +108,21 @@ class LocalBroadcast:
     head:
         Name of the sending node.
     order:
-        Node ordering strategy passed to :meth:`PipelinePlan.build`.
+        Node ordering strategy passed to :meth:`ChainPlan.build`.
     crashes:
-        Failure injection plans (see :class:`CrashPlan`).
+        Failure injection plans (see :class:`CrashPlan`).  With
+        ``stripes > 1`` a crash is *host*-level: the threshold counts
+        the host's bytes across every stripe and firing kills all of
+        the host's chain instances, as a real process death would.
+    plan:
+        Optional pre-built :class:`~repro.core.plan.ChainPlan`.  When
+        given it is the schedule (its head and per-stripe orders win);
+        its receiver set must match ``receivers``.  Otherwise a plan is
+        built from ``head``/``order``/``config.stripes``.
     tracer:
         A :class:`~repro.core.tracing.TraceCollector` every node emits
-        structured events into, or the default no-op recorder.
+        structured events into, or the default no-op recorder.  On a
+        striped run event node names carry an ``@s<j>`` stripe suffix.
 
     Prefer :func:`repro.run_broadcast` for new code — it fronts this
     class and the simulator behind one backend-selectable entry point.
@@ -124,12 +138,31 @@ class LocalBroadcast:
         head: str = "n1",
         order: str = "given",
         crashes: Sequence[CrashPlan] = (),
+        plan: Optional[ChainPlan] = None,
         tracer=NULL_TRACER,
     ) -> None:
         self.source = source
         self.config = config
         self.tracer = tracer
-        self.plan = PipelinePlan.build(head, receivers, order=order)
+        if plan is not None:
+            if set(plan.receivers) != set(receivers):
+                raise KascadeError(
+                    "chain plan covers different receivers than requested: "
+                    f"{sorted(plan.receivers)} vs {sorted(receivers)}"
+                )
+            if config.stripes not in (1, plan.stripe_count):
+                raise KascadeError(
+                    f"config.stripes={config.stripes} conflicts with a "
+                    f"{plan.stripe_count}-stripe plan"
+                )
+            self.chain_plan = plan
+        else:
+            self.chain_plan = ChainPlan.build(
+                head, receivers, stripes=config.stripes, order=order
+            )
+        self.stripes = self.chain_plan.stripe_count
+        #: Canonical (stripe-0) order, kept for single-chain callers.
+        self.plan = self.chain_plan.stripe(0)
         self.sink_factory = sink_factory or (lambda name: NullSink())
         self.crashes = {c.node: c for c in crashes}
         unknown = set(self.crashes) - set(self.plan.receivers)
@@ -162,6 +195,9 @@ class LocalBroadcast:
             head_cls, recv_cls = EvHeadNode, EvReceiverNode
         else:
             head_cls, recv_cls = HeadNode, ReceiverNode
+
+        if self.stripes > 1:
+            return self._run_striped(timeout, head_cls, recv_cls)
 
         listeners = {name: Listener() for name in self.plan.chain}
         registry = Registry({n: l.address for n, l in listeners.items()})
@@ -237,7 +273,202 @@ class LocalBroadcast:
             perfstats={k: stats_after[k] - stats_before.get(k, 0)
                        for k in stats_after},
             backend="local",
+            plan=self.chain_plan,
         )
+
+    # ------------------------------------------------------------------
+    # Striped execution (config.stripes > 1)
+    # ------------------------------------------------------------------
+
+    def _run_striped(self, timeout, head_cls, recv_cls) -> BroadcastResult:
+        """Run ``k`` chain sub-broadcasts and merge per-host results.
+
+        Each stripe is a complete, independent broadcast — its own
+        listeners, registry, ring buffers, and recovery — over a view
+        of the shared source (:class:`StripeSource`).  Hosts that write
+        real data get a :class:`StripeMergeSink` reassembling global
+        chunk order; null sinks stay per-instance so the evloop plane's
+        splice relay engages with one pipe per stripe.
+        """
+        k = self.stripes
+        evloop_plane = self.config.data_plane == "evloop"
+        if evloop_plane:
+            from .evloop import run_nodes
+
+        sources = [
+            StripeSource(self.source, j, k, self.config.chunk_size)
+            for j in range(k)
+        ]
+        instance_sinks, mergers = self._striped_sinks(k)
+        gates = {
+            name: _HostCrashGate(crash, k)
+            for name, crash in self.crashes.items()
+        }
+        tracers = [_StripeTracer(self.tracer, j) for j in range(k)]
+
+        heads: List = []
+        stripe_receivers: List[List] = [[] for _ in range(k)]
+        for j in range(k):
+            plan_j = self.chain_plan.stripe(j)
+            listeners = {name: Listener() for name in plan_j.chain}
+            registry = Registry({n: l.address for n, l in listeners.items()})
+            heads.append(head_cls(
+                plan_j.head, plan_j, registry, listeners[plan_j.head],
+                self.config, sources[j], tracer=tracers[j],
+            ))
+            for name in plan_j.receivers:
+                gate = gates.get(name)
+                stripe_receivers[j].append(recv_cls(
+                    name, plan_j, registry, listeners[name], self.config,
+                    instance_sinks[name][j],
+                    crash_gate=gate.for_stripe(j) if gate else None,
+                    tracer=tracers[j],
+                ))
+        all_nodes = [n for j in range(k)
+                     for n in (heads[j], *stripe_receivers[j])]
+        self.nodes = {f"{n.name}@s{j}": n
+                      for j in range(k)
+                      for n in (heads[j], *stripe_receivers[j])}
+
+        stats_before = get_stats().snapshot()
+        started = time.monotonic()
+        if evloop_plane:
+            run_nodes(all_nodes, duration=timeout)
+            duration = time.monotonic() - started
+            head_done = all(h.finished for h in heads)
+        else:
+            for receivers in stripe_receivers:
+                for node in receivers:
+                    node.start()
+            for head in heads:
+                head.start()
+            deadline = started + timeout
+            for head in heads:
+                head.join(max(0.0, deadline - time.monotonic()))
+            grace = deadline + 1.0
+            for receivers in stripe_receivers:
+                for node in receivers:
+                    node.join(max(0.0, grace - time.monotonic()))
+            duration = time.monotonic() - started
+            head_done = not any(h.thread.is_alive() for h in heads)
+
+        for node in all_nodes:
+            node.shutdown()
+        for source in sources:
+            source.close()
+
+        by_host: Dict[str, List] = {}
+        for j in range(k):
+            for node in (heads[j], *stripe_receivers[j]):
+                by_host.setdefault(node.name, []).append(node)
+        outcomes = {name: _merge_outcomes(name, nodes)
+                    for name, nodes in by_host.items()}
+
+        # One report per stripe head; pool the failure records.  A
+        # merged stream has no single source digest (each stripe ships
+        # its own), so the pooled report carries none.
+        report = TransferReport()
+        for head in heads:
+            if head.final_report is not None:
+                report.extend(head.final_report.failures)
+
+        intended = [name for name in self.plan.receivers
+                    if name not in self.crashes]
+        ok = (
+            outcomes[self.plan.head].ok
+            and all(outcomes[name].ok for name in intended)
+            and head_done
+        )
+        stats_after = get_stats().snapshot()
+        return BroadcastResult(
+            ok=ok,
+            duration=duration,
+            total_bytes=sum(h.outcome.bytes_received for h in heads),
+            report=report,
+            outcomes=outcomes,
+            trace=self.tracer if isinstance(self.tracer, TraceCollector) else None,
+            perfstats={k_: stats_after[k_] - stats_before.get(k_, 0)
+                       for k_ in stats_after},
+            backend="local",
+            plan=self.chain_plan,
+        )
+
+    def _striped_sinks(self, k: int):
+        """Per-host instance sinks: merge ports, or per-stripe nulls.
+
+        Returns ``(instance_sinks, mergers)`` where ``instance_sinks``
+        maps host name to its ``k`` per-stripe sinks.  A host whose
+        factory sink is a bare :class:`NullSink` skips the merger —
+        there is nothing to reassemble, and per-instance null sinks
+        keep each stripe's relay eligible for the kernel splice path.
+        """
+        instance_sinks: Dict[str, List[Sink]] = {}
+        mergers: Dict[str, StripeMergeSink] = {}
+        for name in self.plan.receivers:
+            sink = self.sink_factory(name)
+            self.sinks[name] = sink
+            if type(sink) is NullSink:
+                instance_sinks[name] = [NullSink() for _ in range(k)]
+            else:
+                merger = StripeMergeSink(sink, k, self.config.chunk_size)
+                mergers[name] = merger
+                instance_sinks[name] = [merger.port(j) for j in range(k)]
+        return instance_sinks, mergers
+
+
+class _HostCrashGate:
+    """One host's crash plan, shared by its ``k`` stripe instances.
+
+    The threshold counts the host's *aggregate* received bytes; once it
+    fires, every instance's next gate check reports the crash mode, so
+    all of the host's chains die — the closest thread-level analogue of
+    one OS process taking all of its stripes down with it.
+    """
+
+    def __init__(self, crash: CrashPlan, stripes: int) -> None:
+        self._crash = crash
+        self._seen = [0] * stripes
+        self._fired = False
+        self._lock = threading.Lock()
+
+    def for_stripe(self, stripe: int):
+        def gate(received: int) -> Optional[str]:
+            with self._lock:
+                self._seen[stripe] = received
+                if self._fired or sum(self._seen) >= self._crash.after_bytes:
+                    self._fired = True
+                    return self._crash.mode
+            return None
+        return gate
+
+
+class _StripeTracer:
+    """Tag trace events with the stripe their chain instance ran."""
+
+    def __init__(self, inner, stripe: int) -> None:
+        self._inner = inner
+        self._suffix = f"@s{stripe}"
+        self.enabled = inner.enabled
+
+    def emit(self, type_: str, node: str, **kwargs) -> None:
+        peer = kwargs.get("peer")
+        if peer is not None:
+            kwargs["peer"] = peer + self._suffix
+        self._inner.emit(type_, node + self._suffix, **kwargs)
+
+
+def _merge_outcomes(name: str, nodes: Sequence) -> NodeOutcome:
+    """Fold one host's per-stripe instance outcomes into one."""
+    merged = NodeOutcome(name=name)
+    merged.ok = all(n.outcome.ok for n in nodes)
+    merged.bytes_received = sum(n.outcome.bytes_received for n in nodes)
+    merged.crashed = any(n.outcome.crashed for n in nodes)
+    merged.error = next(
+        (n.outcome.error for n in nodes if n.outcome.error), None
+    )
+    for n in nodes:
+        merged.failures_detected.extend(n.outcome.failures_detected)
+    return merged
 
 
 def broadcast(

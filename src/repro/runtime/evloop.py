@@ -105,6 +105,7 @@ from ..core.messages import (
 from ..core.node_state import NodeTransferState, Phase
 from ..core.perfstats import PerfStats, get_stats
 from ..core.pipeline import PipelinePlan
+from ..core.plan import coerce_stripe_plan
 from ..core.recovery import OfferKind, next_alive
 from ..core.report import TransferReport
 from ..core.sinks import NullSink, Sink
@@ -1140,7 +1141,7 @@ class _EvBaseNode:
                  listener: Listener, config: KascadeConfig,
                  tracer=NULL_TRACER) -> None:
         self.name = name
-        self.plan = plan
+        self.plan = coerce_stripe_plan(plan, owner=type(self).__name__)
         self.registry = registry
         self.listener = listener
         self.config = config
@@ -1301,7 +1302,8 @@ class EvHeadNode(_EvBaseNode):
             self._readahead = source
         self.source = source
         self.state = NodeTransferState(name, config, source_kind=source.kind)
-        self.link = EvDownstreamLink(name, plan, registry, config, self.state,
+        self.link = EvDownstreamLink(name, self.plan, registry, config,
+                                     self.state,
                                      tracer)
         self.quit_requested = False
         self.final_report: Optional[TransferReport] = None
@@ -1508,7 +1510,8 @@ class EvReceiverNode(_EvBaseNode):
         self.sink = sink
         self.crash_gate = crash_gate
         self.state = NodeTransferState(name, config)
-        self.link = EvDownstreamLink(name, plan, registry, config, self.state,
+        self.link = EvDownstreamLink(name, self.plan, registry, config,
+                                     self.state,
                                      tracer)
         self.upstream: Optional[EvStream] = None
         self._splice = splice_active(config, self.raw_sink)

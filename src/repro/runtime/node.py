@@ -51,6 +51,7 @@ from ..core.messages import (
 )
 from ..core.node_state import NodeTransferState, Phase
 from ..core.pipeline import PipelinePlan
+from ..core.plan import coerce_stripe_plan
 from ..core.recovery import OfferKind
 from ..core.report import TransferReport
 from ..core.sinks import NullSink, Sink
@@ -178,7 +179,7 @@ class _BaseNode:
         tracer=NULL_TRACER,
     ) -> None:
         self.name = name
-        self.plan = plan
+        self.plan = coerce_stripe_plan(plan, owner=type(self).__name__)
         self.registry = registry
         self.listener = listener
         self.config = config
@@ -264,8 +265,8 @@ class HeadNode(_BaseNode):
             self._readahead = source
         self.source = source
         self.state = NodeTransferState(name, config, source_kind=source.kind)
-        self.link = DownstreamLink(name, plan, registry, config, self.state,
-                                   tracer)
+        self.link = DownstreamLink(name, self.plan, registry, config,
+                                   self.state, tracer)
         self.quit_requested = threading.Event()
         self.final_report: Optional[TransferReport] = None
         self._ring_event = threading.Event()
@@ -430,8 +431,8 @@ class ReceiverNode(_BaseNode):
         self.sink = sink
         self.crash_gate = crash_gate
         self.state = NodeTransferState(name, config)
-        self.link = DownstreamLink(name, plan, registry, config, self.state,
-                                   tracer)
+        self.link = DownstreamLink(name, self.plan, registry, config,
+                                   self.state, tracer)
         self.upstream: Optional[SocketStream] = None
 
     # -- upstream management ----------------------------------------------

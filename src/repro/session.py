@@ -36,14 +36,16 @@ from typing import Callable, Optional, Sequence, Union
 
 from .core.config import DEFAULT_CONFIG, KascadeConfig
 from .core.errors import KascadeError
+from .core.plan import ChainPlan
+from .core.recovery import SourceKind
 from .core.sinks import Sink
 from .core.sources import Source
 from .core.tracing import NULL_TRACER, TraceCollector
 from .runtime.cluster import BroadcastResult, CrashPlan, LocalBroadcast
 from .runtime.node import NodeOutcome
 
-__all__ = ["BACKENDS", "BACKEND_CATALOGUE", "BroadcastSession", "TraceSpec",
-           "run_broadcast"]
+__all__ = ["BACKENDS", "BACKEND_CATALOGUE", "STRIPE_CATALOGUE",
+           "BroadcastSession", "TraceSpec", "run_broadcast"]
 
 #: What the ``trace`` argument accepts.
 TraceSpec = Union[None, bool, TraceCollector, str, os.PathLike]
@@ -64,6 +66,25 @@ def _unknown_backend(backend: str) -> KascadeError:
     lines = [f"unknown backend {backend!r}; known backends:"]
     lines += [f"  {name:<7} {desc}" for name, desc in
               BACKEND_CATALOGUE.items()]
+    return KascadeError("\n".join(lines))
+
+
+#: How each backend realises ``stripes > 1`` — rendered into the error
+#: when a requested combination cannot be honored (same catalogue UX as
+#: :func:`_unknown_backend`).
+STRIPE_CATALOGUE = {
+    "local": "k in-process chains; needs a seekable-file source",
+    "procs": "k listeners per agent; any source (the head spools it)",
+    "simnet": "k simulated channels; needs a seekable-file source",
+}
+
+
+def _stripes_unsupported(backend: str, stripes: int,
+                         reason: str) -> KascadeError:
+    lines = [f"backend {backend!r} cannot run stripes={stripes}: {reason}; "
+             f"stripe support by backend:"]
+    lines += [f"  {name:<7} {desc}" for name, desc in
+              STRIPE_CATALOGUE.items()]
     return KascadeError("\n".join(lines))
 
 
@@ -96,6 +117,15 @@ class BroadcastSession:
     session: ``"threaded"`` (default, the conformance reference) or
     ``"evloop"`` (one reactor thread per process, kernel-path relay —
     see :mod:`repro.runtime.evloop`).  Real-I/O backends only.
+    ``stripes`` overrides :attr:`KascadeConfig.stripes` the same way.
+
+    ``plan`` supplies a pre-built :class:`~repro.core.plan.ChainPlan`
+    (who feeds whom, per stripe) instead of having the backend derive
+    one from ``order`` and ``config.stripes``; the executed plan is
+    returned on ``result.plan`` either way.  Striped sessions
+    (``config.stripes > 1`` or a multi-stripe plan) on the local and
+    simnet backends need a seekable-file source — the stripe views read
+    the stream at k interleaved offsets (see :data:`STRIPE_CATALOGUE`).
 
     Backend-specific keyword options:
 
@@ -126,6 +156,8 @@ class BroadcastSession:
         order: str = "given",
         crashes: Sequence = (),
         data_plane: Optional[str] = None,
+        stripes: Optional[int] = None,
+        plan: Optional[ChainPlan] = None,
         **backend_opts,
     ) -> None:
         if backend not in BACKENDS:
@@ -134,10 +166,21 @@ class BroadcastSession:
             # Convenience override: ``run_broadcast(..., data_plane="evloop")``
             # without the caller building a config copy by hand.
             config = dataclasses.replace(config, data_plane=data_plane)
+        if stripes is not None and stripes != config.stripes:
+            # Same convenience for ``run_broadcast(..., stripes=4)``.
+            config = dataclasses.replace(config, stripes=stripes)
         if backend == "simnet" and config.data_plane != "threaded":
             raise KascadeError(
                 "simnet is a discrete-event simulator; data_plane selects a "
                 "real-I/O engine and only applies to local/procs backends"
+            )
+        stripes = plan.stripe_count if plan is not None else config.stripes
+        if stripes > 1 and backend in ("local", "simnet") \
+                and source.kind is not SourceKind.SEEKABLE_FILE:
+            raise _stripes_unsupported(
+                backend, stripes,
+                f"splitting a {type(source).__name__} into stripes needs "
+                f"random access (source.kind is {source.kind.name})"
             )
         self.backend = backend
         self.source = source
@@ -147,6 +190,7 @@ class BroadcastSession:
         self.head = head
         self.order = order
         self.crashes = tuple(crashes)
+        self.plan = plan
         self.tracer, self.trace_path = _resolve_trace(trace)
         self.backend_opts = backend_opts
 
@@ -180,6 +224,7 @@ class BroadcastSession:
             order=self.order,
             crashes=[self._as_crash_plan(c) for c in self.crashes],
             tracer=self.tracer,
+            plan=self.plan,
         )
         return cluster.run(timeout=timeout)
 
@@ -220,6 +265,7 @@ class BroadcastSession:
             order=self.order,
             chaos=[as_chaos(c) for c in self.crashes],
             tracer=self.tracer,
+            plan=self.plan,
             **self.backend_opts,
         )
         return cluster.run(timeout=timeout)
@@ -240,6 +286,7 @@ class BroadcastSession:
             config=self.config,
             head=self.head,
             crashes=[self._as_proto_crash(c) for c in self.crashes],
+            plan=self.plan,
             **opts,
         )
         proto = sim.run(sim_horizon=sim_horizon, tracer=self.tracer)
@@ -263,6 +310,7 @@ class BroadcastSession:
             trace=proto.trace,
             perfstats={},  # the simulator does no real I/O
             backend="simnet",
+            plan=sim.chain_plan,
         )
 
     # -- crash-plan coercion --------------------------------------------

@@ -8,7 +8,13 @@ from .builders import (
     build_two_switch,
 )
 from .graph import DiskSpec, Host, Link, Network
-from .ordering import OrderAudit, audit_order, crossing_count, order_by_attachment
+from .ordering import (
+    OrderAudit,
+    audit_order,
+    chain_plan_by_attachment,
+    crossing_count,
+    order_by_attachment,
+)
 from .serialize import load_network, network_from_json, network_to_json, parse_rate
 from .multisite import (
     ALL_SITES,
@@ -32,6 +38,7 @@ __all__ = [
     "link_usage",
     "LAN_LATENCY",
     "order_by_attachment",
+    "chain_plan_by_attachment",
     "crossing_count",
     "audit_order",
     "OrderAudit",

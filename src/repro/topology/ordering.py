@@ -15,7 +15,11 @@ module computes orders that minimise inter-switch crossings:
   once up and once down);
 * :func:`audit_order` — a report comparing a proposed order against the
   topology-derived one, for operators who want to know *why* their
-  broadcast underperforms before reaching for Fig. 10.
+  broadcast underperforms before reaching for Fig. 10;
+* :func:`chain_plan_by_attachment` — the striped form: a
+  :class:`~repro.core.plan.ChainPlan` whose stripes rotate the chain at
+  switch-group granularity, spreading k chains' crossings over the
+  switch layer.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.pipeline import hostname_sort_key
+from ..core.plan import ChainPlan
 from .graph import Network
 
 
@@ -41,16 +46,51 @@ def order_by_attachment(net: Network, hosts: Optional[Sequence[str]] = None) -> 
     ``(number of used switches) - 1`` times — the minimum possible for
     a single chain.
     """
+    return [name for members in _attachment_groups(net, hosts)
+            for name in members]
+
+
+def _attachment_groups(net: Network,
+                       hosts: Optional[Sequence[str]]) -> List[List[str]]:
+    """Switch groups in the deterministic order of
+    :func:`order_by_attachment` (whose result is their flattening)."""
     pool = list(hosts) if hosts is not None else net.host_names()
     groups: Dict[Optional[str], List[str]] = {}
     for name in pool:
         groups.setdefault(net.host(name).switch, []).append(name)
     for members in groups.values():
         members.sort(key=hostname_sort_key)
-    ordered_groups = sorted(
-        groups.values(), key=lambda members: hostname_sort_key(members[0])
-    )
-    return [name for members in ordered_groups for name in members]
+    return sorted(groups.values(),
+                  key=lambda members: hostname_sort_key(members[0]))
+
+
+def chain_plan_by_attachment(
+    net: Network,
+    head: str,
+    hosts: Optional[Sequence[str]] = None,
+    *,
+    stripes: int = 1,
+) -> ChainPlan:
+    """Topology-derived :class:`~repro.core.plan.ChainPlan`.
+
+    Stripe 0 is exactly :func:`order_by_attachment`.  Further stripes
+    rotate the chain at *switch-group* granularity — stripe ``j`` starts
+    ``(j * G) // stripes`` groups in — so every stripe still crosses
+    switches the minimum number of times while its traffic starts on a
+    different switch, spreading the k chains' inter-switch load instead
+    of stacking all k crossings onto the same uplink.
+
+    ``head`` is the sender and stays out of the receiver ordering (give
+    ``hosts`` explicitly when the head is part of ``net``).
+    """
+    groups = _attachment_groups(net, hosts)
+    n_groups = len(groups)
+    orders = []
+    for j in range(stripes):
+        shift = (j * n_groups) // stripes
+        rotated = groups[shift:] + groups[:shift]
+        orders.append([name for members in rotated for name in members])
+    return ChainPlan.from_orders(head, orders)
 
 
 @dataclass(frozen=True)

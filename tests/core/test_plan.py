@@ -1,0 +1,157 @@
+"""The ChainPlan / StripePlan API (`repro.core.plan`).
+
+The plan is the PR-7 redesign's contract: an explicit, serializable
+description of who feeds whom per stripe, consumed identically by the
+local, procs, and simnet backends.  Under test:
+
+* stripe construction — rotated receiver orders, the k == 1 degenerate
+  case being exactly the legacy single chain;
+* navigation parity — a StripePlan *is* a PipelinePlan, so successor/
+  predecessor/is_tail work unchanged per stripe;
+* the wire form — JSON roundtrip, versioning;
+* re-planning — dropping dead nodes from every stripe;
+* the deprecation shim — bare PipelinePlans still work, with a warning.
+"""
+
+import json
+
+import pytest
+
+from repro.core.errors import PipelineError
+from repro.core.pipeline import PipelinePlan
+from repro.core.plan import ChainPlan, StripePlan, coerce_stripe_plan
+
+RECEIVERS = ("n2", "n3", "n4", "n5")
+
+
+class TestStripePlan:
+    def test_is_a_pipeline_plan(self):
+        sp = StripePlan(head="n1", receivers=RECEIVERS, stripe=1, of=3)
+        assert isinstance(sp, PipelinePlan)
+        assert sp.successor("n2") == "n3"
+        assert sp.predecessor("n2") == "n1"
+        assert sp.is_tail("n5")
+
+    def test_labels_validated(self):
+        with pytest.raises(PipelineError):
+            StripePlan(head="n1", receivers=RECEIVERS, stripe=3, of=3)
+        with pytest.raises(PipelineError):
+            StripePlan(head="n1", receivers=RECEIVERS, stripe=0, of=0)
+
+    def test_from_pipeline(self):
+        base = PipelinePlan(head="n1", receivers=RECEIVERS)
+        sp = StripePlan.from_pipeline(base, stripe=2, of=4)
+        assert sp.receivers == base.receivers
+        assert (sp.stripe, sp.of) == (2, 4)
+
+
+class TestChainPlanBuild:
+    def test_single_stripe_matches_legacy_plan(self):
+        plan = ChainPlan.build("n1", RECEIVERS, stripes=1, order="given")
+        legacy = PipelinePlan.build("n1", RECEIVERS, order="given")
+        assert plan.stripe_count == 1
+        assert plan.stripe(0).receivers == legacy.receivers
+        assert plan.receivers == legacy.receivers
+
+    def test_stripes_rotate_the_order(self):
+        plan = ChainPlan.build("n1", RECEIVERS, stripes=4, order="given")
+        assert [sp.receivers for sp in plan] == [
+            ("n2", "n3", "n4", "n5"),
+            ("n3", "n4", "n5", "n2"),
+            ("n4", "n5", "n2", "n3"),
+            ("n5", "n2", "n3", "n4"),
+        ]
+        # Every stripe covers the same node set with the same head.
+        assert all(set(sp.receivers) == set(RECEIVERS) for sp in plan)
+        assert all(sp.head == "n1" for sp in plan)
+
+    def test_more_stripes_than_receivers_spread_evenly(self):
+        plan = ChainPlan.build("n1", ("n2", "n3"), stripes=4, order="given")
+        starts = [sp.receivers[0] for sp in plan]
+        assert starts == ["n2", "n2", "n3", "n3"]
+
+    def test_stripe_index_bounds(self):
+        plan = ChainPlan.build("n1", RECEIVERS, stripes=2, order="given")
+        assert len(plan) == 2
+        with pytest.raises(PipelineError):
+            plan.stripe(2)
+
+    def test_mismatched_orders_rejected(self):
+        with pytest.raises(PipelineError):
+            ChainPlan.from_orders("n1", [["n2", "n3"], ["n3", "n9"]])
+
+    def test_base_is_a_plain_pipeline_plan(self):
+        plan = ChainPlan.build("n1", RECEIVERS, stripes=3, order="given")
+        base = plan.base
+        assert type(base) is PipelinePlan
+        assert base.receivers == plan.stripe(0).receivers
+
+
+class TestChainPlanWireForm:
+    def test_json_roundtrip(self):
+        plan = ChainPlan.build("n1", RECEIVERS, stripes=3, order="given")
+        restored = ChainPlan.from_json(plan.to_json())
+        assert restored == plan
+
+    def test_dict_shape_is_versioned(self):
+        plan = ChainPlan.build("n1", RECEIVERS, stripes=2, order="given")
+        doc = plan.to_dict()
+        assert doc["version"] == 1
+        assert doc["head"] == "n1"
+        assert doc["stripes"] == [list(sp.receivers) for sp in plan]
+        # and it is plain JSON all the way down
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_unknown_version_rejected(self):
+        doc = ChainPlan.single("n1", RECEIVERS).to_dict()
+        doc["version"] = 99
+        with pytest.raises(PipelineError, match="version"):
+            ChainPlan.from_dict(doc)
+
+
+class TestReplan:
+    def test_dead_node_dropped_from_every_stripe(self):
+        plan = ChainPlan.build("n1", RECEIVERS, stripes=3, order="given")
+        replanned = plan.replan_without(("n4",))
+        assert replanned.stripe_count == 3
+        for sp in replanned:
+            assert "n4" not in sp.receivers
+            assert len(sp.receivers) == 3
+        # Surviving relative order is preserved per stripe.
+        assert replanned.stripe(0).receivers == ("n2", "n3", "n5")
+
+    def test_head_death_is_not_replannable(self):
+        plan = ChainPlan.single("n1", RECEIVERS)
+        with pytest.raises(PipelineError):
+            plan.replan_without(("n1",))
+
+    def test_noop_replan(self):
+        plan = ChainPlan.build("n1", RECEIVERS, stripes=2, order="given")
+        assert plan.replan_without(()) == plan
+
+
+class TestCoercionShim:
+    def test_stripe_plan_passes_through(self):
+        sp = StripePlan(head="n1", receivers=RECEIVERS)
+        assert coerce_stripe_plan(sp, owner="X") is sp
+
+    def test_single_stripe_chain_plan_unwraps(self):
+        plan = ChainPlan.single("n1", RECEIVERS)
+        assert coerce_stripe_plan(plan, owner="X") == plan.stripe(0)
+
+    def test_multi_stripe_chain_plan_rejected(self):
+        plan = ChainPlan.build("n1", RECEIVERS, stripes=2, order="given")
+        with pytest.raises(PipelineError, match="single stripe"):
+            coerce_stripe_plan(plan, owner="X")
+
+    def test_bare_pipeline_plan_warns_and_adapts(self):
+        base = PipelinePlan(head="n1", receivers=RECEIVERS)
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            sp = coerce_stripe_plan(base, owner="X")
+        assert isinstance(sp, StripePlan)
+        assert sp.receivers == base.receivers
+        assert (sp.stripe, sp.of) == (0, 1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            coerce_stripe_plan("n1,n2", owner="X")

@@ -1,0 +1,151 @@
+"""The stripe data path (`repro.core.stripes`).
+
+Split and merge are inverses: chunk ``i`` of the stream goes to stripe
+``i % k`` (as that stripe's chunk ``i // k``), and the sink-side merger
+reassembles the global order.  Under test:
+
+* :func:`stripe_extent` — per-stripe byte counts, including the partial
+  tail chunk, summing to the stream size;
+* :class:`StripeSource` — the seekable per-stripe view, byte-for-byte
+  against a hand-computed interleave;
+* :class:`StripeMergeSink` — in-order reassembly regardless of stripe
+  arrival order, bounded buffering accounting, desync/abort handling.
+"""
+
+import hashlib
+import io
+import random
+
+import pytest
+
+from repro.core.errors import DataLossError, SinkError
+from repro.core.perfstats import get_stats, reset_stats
+from repro.core.sinks import BufferSink
+from repro.core.sources import FileSource, StreamSource
+from repro.core.stripes import StripeMergeSink, StripeSource, stripe_extent
+
+
+def interleave_split(data: bytes, k: int, c: int):
+    """Reference split: chunk i -> stripe i % k."""
+    chunks = [data[i:i + c] for i in range(0, len(data), c)] or [b""]
+    out = [b"" for _ in range(k)]
+    for i, chunk in enumerate(chunks):
+        out[i % k] += chunk
+    return out
+
+
+class TestStripeExtent:
+    @pytest.mark.parametrize("total", [0, 1, 7, 8, 100, 4096 * 13 + 5])
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 7])
+    def test_extents_partition_the_stream(self, total, k):
+        c = 8
+        sizes = [stripe_extent(total, j, k, c) for j in range(k)]
+        assert sum(sizes) == total
+        ref = interleave_split(b"x" * total, k, c)
+        assert sizes == [len(r) for r in ref]
+
+
+class TestStripeSource:
+    def test_view_matches_reference_interleave(self, tmp_path):
+        data = bytes(random.Random(7).randbytes(4096 * 13 + 5))
+        path = tmp_path / "stream.bin"
+        path.write_bytes(data)
+        c, k = 4096, 3
+        ref = interleave_split(data, k, c)
+        src = FileSource(path)
+        for j in range(k):
+            view = StripeSource(src, j, k, c)
+            assert view.size == len(ref[j])
+            got = b""
+            while True:
+                piece = view.read_chunk(1000)  # non-chunk-aligned reads
+                if not piece:
+                    break
+                got += bytes(piece)
+            assert got == ref[j]
+            view.close()
+        src.close()
+
+    def test_read_range_random_access(self, tmp_path):
+        data = bytes(range(256)) * 64
+        path = tmp_path / "stream.bin"
+        path.write_bytes(data)
+        ref = interleave_split(data, 2, 100)[1]
+        src = FileSource(path)
+        view = StripeSource(src, 1, 2, 100)
+        for offset, size in [(0, 37), (95, 110), (5000, 250),
+                             (len(ref) - 10, 10)]:
+            assert bytes(view.read_range(offset, size)) == ref[offset:offset + size]
+        view.close()
+        src.close()
+
+    def test_requires_random_access(self):
+        with pytest.raises(DataLossError, match="seekable"):
+            StripeSource(StreamSource(io.BytesIO(b"ab")), 0, 2, 1)
+
+
+class TestStripeMergeSink:
+    def _merge(self, data: bytes, k: int, c: int, order=None) -> bytes:
+        out = BufferSink()
+        merger = StripeMergeSink(out, k, c)
+        parts = interleave_split(data, k, c)
+        ports = [merger.port(j) for j in range(k)]
+        # Feed stripes in the given (possibly adversarial) order, in
+        # odd-sized pieces so chunk boundaries are crossed freely.
+        sequence = order or list(range(k))
+        for j in sequence:
+            buf = parts[j]
+            pos = 0
+            while pos < len(buf):
+                take = min(c // 3 + 1, len(buf) - pos)
+                ports[j].write_chunk(buf[pos:pos + take])
+                pos += take
+            ports[j].finish()
+        return out.getvalue()
+
+    @pytest.mark.parametrize("total", [0, 1, 100, 4096 * 13 + 5])
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_roundtrip(self, total, k):
+        data = bytes(random.Random(total + k).randbytes(total))
+        assert self._merge(data, k, 4096) == data
+
+    def test_reverse_arrival_order(self):
+        data = bytes(random.Random(3).randbytes(64 * 10 + 17))
+        assert self._merge(data, 4, 64, order=[3, 2, 1, 0]) == data
+
+    def test_buffering_high_water_mark_recorded(self):
+        reset_stats()
+        data = b"z" * (64 * 8)
+        # Worst case order: stripe 1 fully buffered before stripe 0.
+        assert self._merge(data, 2, 64, order=[1, 0]) == data
+        assert get_stats().stripe_merge_hwm >= 64 * 4
+        reset_stats()
+
+    def test_desync_detected(self):
+        out = BufferSink()
+        merger = StripeMergeSink(out, 2, 4)
+        p0, p1 = merger.port(0), merger.port(1)
+        # Stripe 0 claims EOS while stripe 1 still holds full chunks the
+        # global order needed first -> the merge cannot be completed.
+        p1.write_chunk(b"AAAA" * 3)
+        with pytest.raises(SinkError, match="desync"):
+            p0.finish()
+
+    def test_abort_propagates_once(self):
+        class CountingAbort(BufferSink):
+            aborts = 0
+
+            def abort(self):
+                type(self).aborts += 1
+
+        out = CountingAbort()
+        merger = StripeMergeSink(out, 2, 4)
+        merger.port(0).abort()
+        merger.port(1).abort()
+        assert CountingAbort.aborts == 1
+
+    def test_digest_parity_with_plain_stream(self):
+        data = bytes(random.Random(11).randbytes(1 << 16))
+        merged = self._merge(data, 4, 1024, order=[2, 0, 3, 1])
+        assert hashlib.sha256(merged).hexdigest() == \
+            hashlib.sha256(data).hexdigest()

@@ -153,6 +153,40 @@ class TestChaos:
         assert {e.detector for e in peer_detections} == {DETECTOR_PING}
 
 
+class TestStriped:
+    def test_two_stripes_byte_exact_output(self, tmp_path):
+        """k = 2 through real processes: each agent binds two listeners,
+        runs two interleaved chains, and the merged file on disk is
+        byte-identical to the source."""
+        source = PatternSource(2 * 1024 * 1024, seed=4)
+        result = run_broadcast(
+            source, ["n2", "n3", "n4"], stripes=2,
+            output_template=str(tmp_path / "{node}.out"), **PROCS)
+        assert result.ok, result.outcomes
+        assert result.plan is not None and result.plan.stripe_count == 2
+        expected = sha256_of(source)
+        payload = source.expected_bytes(0, source.size)
+        for name in ("n2", "n3", "n4"):
+            assert result.outcomes[name].digest == expected, name
+            assert (tmp_path / f"{name}.out").read_bytes() == payload, name
+
+    def test_sigkill_on_a_striped_run(self):
+        """A real SIGKILL takes down both of the victim's stripe chains;
+        survivors' merged digests stay exact and the pooled report names
+        the dead host."""
+        source = PatternSource(4 * 1024 * 1024, seed=6)
+        result = run_broadcast(
+            source, ["n2", "n3", "n4", "n5"], stripes=2,
+            crashes=[("n3", 400_000, "close")], **PROCS)
+        assert result.ok, result.outcomes
+        expected = sha256_of(source)
+        for name in ("n2", "n4", "n5"):
+            assert result.outcomes[name].ok, result.outcomes[name]
+            assert result.outcomes[name].digest == expected, name
+        assert not result.outcomes["n3"].ok
+        assert set(result.report.failed_nodes) == {"n3"}
+
+
 class TestLaunchFailures:
     def test_agent_dying_before_registering_is_retried(self):
         result = run_broadcast(

@@ -150,6 +150,50 @@ class TestBothBackends:
                           config=FAST, order="random")
 
 
+class TestStripeValidation:
+    def _stream_source(self):
+        import io
+
+        from repro.core.sources import StreamSource
+        return StreamSource(io.BytesIO(PAYLOAD))
+
+    @pytest.mark.parametrize("backend", ["local", "simnet"])
+    def test_unstripeable_source_rejected_with_catalogue(self, backend):
+        """A non-seekable source cannot be striped in place; the error
+        names the backend and renders the per-backend support table."""
+        with pytest.raises(KascadeError) as exc:
+            BroadcastSession(
+                self._stream_source(), ["n2", "n3"], backend=backend,
+                config=FAST, stripes=2)
+        text = str(exc.value)
+        assert f"backend {backend!r} cannot run stripes=2" in text
+        assert "stripe support by backend" in text
+        # Every backend appears in the catalogue, including the one that
+        # *would* work (procs spools the stream to a file first).
+        for name in ("local", "procs", "simnet"):
+            assert name in text
+
+    def test_multi_stripe_plan_triggers_same_validation(self):
+        from repro.core.plan import ChainPlan
+
+        plan = ChainPlan.build("n1", ("n2", "n3"), stripes=2, order="given")
+        with pytest.raises(KascadeError, match="stripe support by backend"):
+            BroadcastSession(self._stream_source(), ["n2", "n3"],
+                             config=FAST, plan=plan)
+
+    @pytest.mark.parametrize("backend", ["local", "simnet"])
+    def test_prebuilt_plan_rides_through_to_the_result(self, backend):
+        from repro.core.plan import ChainPlan
+
+        plan = ChainPlan.build("n1", ("n2", "n3"), stripes=2, order="given")
+        result = run_broadcast(BytesSource(PAYLOAD), ["n2", "n3"],
+                               backend=backend, config=FAST, plan=plan,
+                               timeout=60.0)
+        assert result.ok
+        assert result.plan == plan
+        assert result.total_bytes == len(PAYLOAD)
+
+
 class TestDeprecationShim:
     def test_runtime_broadcast_warns_but_works(self):
         from repro.runtime import broadcast

@@ -1,0 +1,335 @@
+#!/usr/bin/env python
+"""Benchmark the simulation kernel and record a perf trajectory.
+
+Measures the two simulators' hot paths — the protocol-exact DES
+(engine + channels, the ``simnet`` session backend) and the fluid
+fabric (max–min solver) — reporting, per scenario:
+
+* ``events_per_s``    — engine dispatches per wall-clock second (the
+  kernel's raw speed; the headline metric for the protocol-exact path),
+* ``gib_per_wall_s``  — simulated GiB delivered per wall second
+  (receivers × stream size over wall time; the "how long does a big
+  study take" metric, and the regression-gate score),
+* ``sim_time`` and the engine/solver perfstats counters.
+
+History accumulates in ``BENCH_sim.json`` keyed by ``--label`` so future
+PRs can compare against the numbers this PR measured.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_sim.py [--out BENCH_sim.json]
+        [--label current] [--rounds 3] [--scenario NAME ...]
+        [--compare LABEL [--max-regression PCT]] [--profile [PATH]]
+
+``--compare LABEL`` turns the run into a regression gate (exit non-zero
+when ``gib_per_wall_s`` drops more than ``--max-regression`` percent vs
+the stored LABEL).  ``--profile`` wraps every scenario in cProfile and
+prints the top functions by cumulative time; with a PATH argument the
+raw stats are dumped there for ``pstats``/``snakeviz``.
+
+The ``*_10k`` scenarios are scale smokes (10k simulated nodes) and are
+excluded from the default set — name them explicitly via ``--scenario``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.core import KascadeConfig, PatternSource
+from repro.core.perfstats import get_stats, reset_stats
+
+#: Counters recorded per scenario — the dispatch/solve shape of the run,
+#: so a bench entry shows *what the kernel did*, not just how fast.
+_RECORDED_COUNTERS = (
+    "sim_events_processed", "sim_heap_peak", "sim_cancelled_skips",
+    "solver_rounds", "solver_full_rebuilds",
+)
+
+
+@dataclass
+class Scenario:
+    """One kernel benchmark entry."""
+
+    kind: str                 # "proto" (protocol-exact DES) | "fluid"
+    receivers: int
+    size: int                 # stream bytes (simulated payload)
+    description: str
+    config: KascadeConfig = field(default_factory=KascadeConfig)
+    topology: str = "switch"  # fluid only: "switch" | "fat_tree"
+    sim_horizon: float = 3600.0
+    default: bool = True      # excluded from the default set when False
+
+
+def build_catalogue() -> dict:
+    # Small chunks on purpose: the kernel cost is per *message*, so a
+    # dense chunk stream measures the engine/channel hot path rather
+    # than the per-run setup (which a handful of big chunks would).
+    proto_cfg = KascadeConfig(chunk_size=8 * 1024, buffer_chunks=8,
+                              io_timeout=0.5, ping_timeout=0.25,
+                              connect_timeout=1.0, report_timeout=10.0)
+    smoke_cfg = proto_cfg.with_(chunk_size=64 * 1024)
+    return {
+        # The acceptance scenario for the kernel refactor: a paper-scale
+        # protocol-exact chain (the paper's testbed runs ~200 nodes),
+        # dispatching ~400k engine events.  Depth matters: the legacy
+        # kernel's per-receive timer churn grows with the number of
+        # concurrently blocked receivers, which is exactly the regime
+        # this PR targets.
+        "proto_chain": Scenario(
+            "proto", 200, 8 << 20,
+            "protocol-exact chain: 200 receivers, 8 MiB, 8 KiB chunks",
+            config=proto_cfg),
+        "proto_chain_short": Scenario(
+            "proto", 8, 32 << 20,
+            "protocol-exact chain: 8 receivers, 32 MiB, 8 KiB chunks",
+            config=proto_cfg),
+        "proto_striped_k4": Scenario(
+            "proto", 8, 32 << 20,
+            "protocol-exact striped: 4 interleaved chains, 8 receivers",
+            config=proto_cfg.with_(stripes=4)),
+        "proto_chain_10k": Scenario(
+            "proto", 10_000, 1 << 20,
+            "scale smoke: 10k-receiver protocol-exact chain, 1 MiB stream",
+            config=smoke_cfg, default=False),
+        "fluid_chain_200": Scenario(
+            "fluid", 200, 2_000_000_000,
+            "fluid solver, paper scale: 200 clients, one switch, 2 GB"),
+        "fluid_fat_tree_512": Scenario(
+            "fluid", 511, 2_000_000_000,
+            "fluid solver: 512-host fat tree (30/switch), 2 GB",
+            topology="fat_tree"),
+        "fluid_fat_tree_2000": Scenario(
+            "fluid", 2000, 2_000_000_000,
+            "10x paper scale: 2000 clients on a fat tree, 2 GB",
+            topology="fat_tree", default=False),
+        # 10k *coupled fluid* streams pay O(n^2 log n) solver work (each
+        # of ~n rate events re-solves n flows) — a half-hour run by
+        # construction, so it never joins the default set or CI.
+        "fluid_fat_tree_10k": Scenario(
+            "fluid", 10_000, 2_000_000_000,
+            "scale soak: 10k clients on a fat tree, 2 GB (slow: ~30 min)",
+            topology="fat_tree", default=False),
+    }
+
+
+def _prepare_proto(spec: Scenario):
+    """Build everything that is setup, not kernel: outside the clock."""
+    return (PatternSource(spec.size, seed=1),)
+
+
+def _run_proto_once(spec: Scenario, source) -> float:
+    from repro.protosim.broadcast import ProtoBroadcast
+
+    receivers = [f"n{i}" for i in range(2, 2 + spec.receivers)]
+    result = ProtoBroadcast(
+        source, receivers, config=spec.config,
+    ).run(sim_horizon=spec.sim_horizon)
+    if not result.ok:
+        raise SystemExit(f"proto scenario failed: {result.node_errors}")
+    return result.sim_time
+
+
+def _prepare_fluid(spec: Scenario):
+    from repro.baselines.base import SimSetup
+    from repro.topology import build_fat_tree, build_single_switch
+
+    n = spec.receivers
+    if spec.topology == "fat_tree":
+        net = build_fat_tree(n + 1)
+    else:
+        net = build_single_switch(n + 1)
+    setup = SimSetup(
+        network=net, head="node-1",
+        receivers=tuple(f"node-{i}" for i in range(2, n + 2)),
+        size=float(spec.size), include_startup=False, rng=None,
+    )
+    return (setup,)
+
+
+def _run_fluid_once(spec: Scenario, setup) -> float:
+    from repro.baselines import KascadeSim
+
+    n = spec.receivers
+    result = KascadeSim().run(setup)
+    if len(result.completed) != n:
+        raise SystemExit(
+            f"fluid scenario incomplete: {len(result.completed)}/{n} done")
+    return result.data_time
+
+
+def run_scenario(name: str, spec: Scenario, *, rounds: int,
+                 profile: Optional[str] = None) -> dict:
+    """Run one scenario ``rounds`` times; report the best wall time.
+
+    Sources and topologies are built *outside* the timed region — this
+    benchmark measures the simulation kernel, not scenario setup.
+    """
+    if spec.kind == "proto":
+        prepare, runner = _prepare_proto, _run_proto_once
+    else:
+        prepare, runner = _prepare_fluid, _run_fluid_once
+    best = None
+    best_stats: dict = {}
+    sim_time = 0.0
+    for round_no in range(rounds):
+        args = prepare(spec)
+        reset_stats()
+        prof = None
+        if profile is not None and round_no == 0:
+            import cProfile
+            prof = cProfile.Profile()
+            prof.enable()
+        t0 = time.perf_counter()
+        sim_time = runner(spec, *args)
+        wall = time.perf_counter() - t0
+        if prof is not None:
+            prof.disable()
+            _report_profile(name, prof, profile)
+        stats = get_stats().snapshot()
+        if best is None or wall < best:
+            best = wall
+            best_stats = stats
+    events = best_stats.get("sim_events_processed", 0)
+    delivered_gib = spec.size * spec.receivers / 2**30
+    events_per_s = events / best if best > 0 else 0.0
+    gib_per_s = delivered_gib / best if best > 0 else 0.0
+    print(f"  {name:22s} {events_per_s:12,.0f} ev/s  "
+          f"{gib_per_s:8.2f} GiB/wall-s  "
+          f"(wall {best:.3f} s, sim {sim_time:.3f} s, {events:,} events)")
+    return {
+        "kind": spec.kind,
+        "receivers": spec.receivers,
+        "bytes": spec.size,
+        "wall_s": round(best, 4),
+        "sim_time": round(sim_time, 6),
+        "events": events,
+        "events_per_s": round(events_per_s, 1),
+        "gib_per_wall_s": round(gib_per_s, 4),
+        "perfstats": {k: best_stats.get(k, 0) for k in _RECORDED_COUNTERS},
+    }
+
+
+def _report_profile(name: str, prof, path: str) -> None:
+    import pstats
+
+    print(f"  --- cProfile top 15 (cumulative) for {name} ---")
+    stats = pstats.Stats(prof, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(15)
+    if path:
+        out = Path(path)
+        if len(build_catalogue()) > 1:
+            out = out.with_name(f"{out.stem}-{name}{out.suffix or '.prof'}")
+        prof.dump_stats(out)
+        print(f"  profile dumped to {out}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--out", default="BENCH_sim.json")
+    parser.add_argument("--label", default="current")
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--merge", default=None,
+                        help="existing JSON to merge this run into "
+                             "(defaults to --out when it exists)")
+    parser.add_argument("--compare", default=None, metavar="LABEL",
+                        help="gate mode: fail if a scenario regresses vs "
+                             "the run stored under LABEL")
+    parser.add_argument("--max-regression", type=float, default=10.0,
+                        metavar="PCT",
+                        help="allowed slowdown for --compare (default 10%%)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        metavar="NAME",
+                        help="run (and gate) only these scenarios "
+                             "(repeatable; default: all non-smoke)")
+    parser.add_argument("--profile", nargs="?", const="", default=None,
+                        metavar="PATH",
+                        help="cProfile each scenario's first round; print "
+                             "top-15 and optionally dump stats to PATH")
+    args = parser.parse_args(argv)
+
+    catalogue = build_catalogue()
+    wanted = args.scenario or [n for n, s in catalogue.items() if s.default]
+    unknown = [s for s in wanted if s not in catalogue]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(sorted(unknown))}\n",
+              file=sys.stderr)
+        print("known scenarios:", file=sys.stderr)
+        for name, spec in catalogue.items():
+            smoke = "" if spec.default else "  [smoke, opt-in]"
+            print(f"  {name:22s} {spec.description}{smoke}", file=sys.stderr)
+        return 2
+
+    print(f"simulation-kernel benchmarks: best of {args.rounds} rounds, "
+          f"label {args.label!r}")
+    scenarios = {
+        name: run_scenario(name, catalogue[name], rounds=args.rounds,
+                           profile=args.profile)
+        for name in wanted
+    }
+
+    merge_path = args.merge or (args.out if Path(args.out).exists() else None)
+    doc = {}
+    if merge_path and Path(merge_path).exists():
+        doc = json.loads(Path(merge_path).read_text())
+    doc.setdefault("meta", {})
+    doc["meta"].update({
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "host_cpus": os.cpu_count(),
+        "rounds": args.rounds,
+    })
+    doc.setdefault("runs", {})[args.label] = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scenarios": scenarios,
+    }
+    Path(args.out).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.compare is not None:
+        return gate(doc, baseline_label=args.compare, current=scenarios,
+                    max_regression=args.max_regression)
+    return 0
+
+
+def gate(doc: dict, *, baseline_label: str, current: dict,
+         max_regression: float) -> int:
+    """Exit non-zero when any shared scenario's simulated-GiB-per-wall-
+    second dropped by more than ``max_regression``% vs the stored run."""
+    baseline = doc.get("runs", {}).get(baseline_label)
+    if baseline is None:
+        print(f"gate: no run labelled {baseline_label!r} in the results file",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for name, now in sorted(current.items()):
+        then = baseline["scenarios"].get(name)
+        if then is None:
+            print(f"  gate {name:22s} (not in baseline, skipped)")
+            continue
+        delta = ((now["gib_per_wall_s"] - then["gib_per_wall_s"])
+                 / then["gib_per_wall_s"] * 100)
+        verdict = "ok" if delta >= -max_regression else "REGRESSION"
+        failed = failed or delta < -max_regression
+        print(f"  gate {name:22s} {then['gib_per_wall_s']:8.2f} -> "
+              f"{now['gib_per_wall_s']:8.2f} GiB/wall-s  "
+              f"({delta:+.1f}%)  {verdict}")
+    if failed:
+        print(f"gate: regression beyond {max_regression:.1f}% vs "
+              f"{baseline_label!r}", file=sys.stderr)
+        return 1
+    print(f"gate: within {max_regression:.1f}% of {baseline_label!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,24 +52,31 @@ class _TreeRun(RunState):
     def _split_contiguous(self, parent: int, lo: int, hi: int) -> None:
         """TakTuk-style layout: the parent splits the remaining *contiguous*
         node range among its children, so subtrees stay on their switches
-        when the order is topology-sorted."""
-        if lo >= hi:
-            self._children.setdefault(parent, [])
-            return
+        when the order is topology-sorted.
+
+        Explicit work stack, not recursion: a chain (arity 1) nests one
+        level per node, which for the 10k-node scale experiments is far
+        past the interpreter's recursion limit."""
         arity = self.method.arity
-        span = hi - lo
-        n_blocks = min(arity, span)
-        base, extra = divmod(span, n_blocks)
-        kids = []
-        start = lo
-        for b in range(n_blocks):
-            size = base + (1 if b < extra else 0)
-            child = start
-            kids.append(child)
-            self._depth[child] = self._depth[parent] + 1
-            self._split_contiguous(child, start + 1, start + size)
-            start += size
-        self._children[parent] = kids
+        stack = [(parent, lo, hi)]
+        while stack:
+            parent, lo, hi = stack.pop()
+            if lo >= hi:
+                self._children.setdefault(parent, [])
+                continue
+            span = hi - lo
+            n_blocks = min(arity, span)
+            base, extra = divmod(span, n_blocks)
+            kids = []
+            start = lo
+            for b in range(n_blocks):
+                size = base + (1 if b < extra else 0)
+                child = start
+                kids.append(child)
+                self._depth[child] = self._depth[parent] + 1
+                stack.append((child, start + 1, start + size))
+                start += size
+            self._children[parent] = kids
 
     def _build_heap(self) -> None:
         """Heap layout (children of i are a·i+1..a·i+a): rank-stride edges

@@ -4,6 +4,7 @@ from .figures import (
     FIGURES,
     FigureResult,
     fig07_scalability,
+    fig07_scalability_10x,
     fig08_10gbe,
     fig09_infiniband,
     fig10_random_order,
@@ -37,6 +38,7 @@ __all__ = [
     "ConfidenceInterval",
     "t_confidence",
     "fig07_scalability",
+    "fig07_scalability_10x",
     "fig08_10gbe",
     "fig09_infiniband",
     "fig10_random_order",

@@ -130,6 +130,42 @@ def fig07_scalability(quick: bool = False, repetitions: int = 5) -> FigureResult
     return result
 
 
+def fig07_scalability_10x(quick: bool = False,
+                          repetitions: int = 1) -> FigureResult:
+    """Beyond the paper: the Fig. 7 sweep pushed to 10× the testbed.
+
+    The paper stops at 200 clients — the size of the Grid'5000 slice it
+    ran on.  This extension re-runs the chain-structured contenders on
+    fat trees up to 2000 hosts, the regime the simulation-kernel
+    overhaul targets.  Two things are being measured at once: that the
+    *simulated* rankings extrapolate (pipelines beat the flat TakTuk
+    chain; per-hop fill time, not bandwidth, is what erodes a deep
+    unsegmented chain), and that the kernel itself sustains 10× scale
+    in minutes of wall clock.  One repetition by default — the fluid
+    model is deterministic per seed, and each 2000-host point costs
+    ~1 min of simulation.
+    """
+    result = FigureResult(
+        figure="Fig. 7 (10x)",
+        title="Scalability beyond the testbed, 1 Gbit/s Ethernet, 2 GB file",
+        x_label="clients",
+        notes="extension — not a figure of the paper",
+    )
+    runner = ExperimentRunner(repetitions=_reps(quick, repetitions))
+    grid = (2000,) if quick else (500, 1000, 2000)
+    for method_factory in (KascadeSim, TakTukChain, MpiEthernet):
+        points = []
+        for n in grid:
+            def factory(rng, n=n):
+                net = build_fat_tree(n + 1)
+                hosts = order_by_hostname(net.host_names())
+                return SimSetup(network=net, head=hosts[0],
+                                receivers=tuple(hosts[1: n + 1]), size=2 * GB)
+            points.append((n, factory))
+        _sweep(result, runner, method_factory, points)
+    return result
+
+
 # ---------------------------------------------------------------------------
 # Figure 8 — 10 GbE cluster
 # ---------------------------------------------------------------------------
@@ -361,6 +397,7 @@ def fig15_fault_tolerance(quick: bool = False, repetitions: int = 10) -> FigureR
 #: Registry for the CLI and the benchmark suite.
 FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig07": fig07_scalability,
+    "fig07_10x": fig07_scalability_10x,
     "fig08": fig08_10gbe,
     "fig09": fig09_infiniband,
     "fig10": fig10_random_order,

@@ -43,6 +43,8 @@ def _method_registry():
 
 _DESCRIPTIONS = {
     "fig07": "raw performance & scalability, 1 GbE, 2 GB file, <=200 clients",
+    "fig07_10x": "extension beyond the paper: the fig07 sweep at 10x scale "
+                 "(<=2000 clients, ~3 min)",
     "fig08": "10 GbE cluster, 14 nodes, 5 GB file",
     "fig09": "IP over InfiniBand (20 Gb), two switches, 5 GB file",
     "fig10": "randomized node ordering vs Kascade/ordered reference",
@@ -122,10 +124,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+# Beyond-the-paper extensions: runnable by name, but `all` regenerates
+# the paper's evaluation only.
+_EXTENSIONS = {"fig07_10x"}
+
+
 def cmd_all(args: argparse.Namespace) -> int:
     print(fig12_site_map())
     print()
-    for key in sorted(FIGURES):
+    for key in sorted(set(FIGURES) - _EXTENSIONS):
         _run_one(key, args.quick, args.reps,
                  plot=args.plot, csv_dir=args.csv, json_dir=args.json,
                  cache_dir=args.cache)
@@ -306,15 +313,26 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument("--version", action="version",
                         version=f"kascade-sim {__version__}")
+    # Shared by every subcommand so users can profile their own scenarios
+    # with the same cProfile view the bench harness prints.
+    profiled = argparse.ArgumentParser(add_help=False)
+    profiled.add_argument("--profile", nargs="?", const="", default=None,
+                          metavar="PATH",
+                          help="cProfile this command: print the top-25 "
+                               "entries, and dump raw stats to PATH for "
+                               "python -m pstats / snakeviz")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    lst = sub.add_parser("list", help="list reproducible figures")
+    lst = sub.add_parser("list", parents=[profiled],
+                         help="list reproducible figures")
     lst.set_defaults(fn=cmd_list)
 
-    mp = sub.add_parser("map", help="print the Fig. 12 multi-site topology")
+    mp = sub.add_parser("map", parents=[profiled],
+                        help="print the Fig. 12 multi-site topology")
     mp.set_defaults(fn=cmd_map)
 
-    run = sub.add_parser("run", help="regenerate one or more figures")
+    run = sub.add_parser("run", parents=[profiled],
+                         help="regenerate one or more figures")
     run.add_argument("figures", nargs="+", metavar="FIG",
                      help="figure keys, e.g. fig07 fig15")
     run.add_argument("--quick", action="store_true",
@@ -332,7 +350,8 @@ def main(argv: List[str] | None = None) -> int:
                           "persist new ones there")
     run.set_defaults(fn=cmd_run)
 
-    al = sub.add_parser("all", help="regenerate every figure")
+    al = sub.add_parser("all", parents=[profiled],
+                        help="regenerate every figure")
     al.add_argument("--quick", action="store_true")
     al.add_argument("--reps", type=int, default=None)
     al.add_argument("--plot", action="store_true")
@@ -343,7 +362,7 @@ def main(argv: List[str] | None = None) -> int:
     al.set_defaults(fn=cmd_all)
 
     cmp_ = sub.add_parser(
-        "compare",
+        "compare", parents=[profiled],
         help="what-if scenario: compare methods on a custom platform",
     )
     cmp_.add_argument("--clients", type=int, default=50)
@@ -371,7 +390,7 @@ def main(argv: List[str] | None = None) -> int:
     cmp_.set_defaults(fn=cmd_compare)
 
     proto = sub.add_parser(
-        "proto",
+        "proto", parents=[profiled],
         help="run a protocol-exact scenario (deterministic, byte-exact)",
     )
     proto.add_argument("--nodes", type=int, default=3,
@@ -394,7 +413,7 @@ def main(argv: List[str] | None = None) -> int:
     proto.set_defaults(fn=cmd_proto)
 
     diff = sub.add_parser(
-        "diff",
+        "diff", parents=[profiled],
         help="compare two cached result sets (model regression check)",
     )
     diff.add_argument("old_dir", help="baseline cache directory")
@@ -404,7 +423,7 @@ def main(argv: List[str] | None = None) -> int:
     diff.set_defaults(fn=cmd_diff)
 
     fuzz = sub.add_parser(
-        "fuzz",
+        "fuzz", parents=[profiled],
         help="soak-test the protocol: randomized crash schedules, "
              "byte-exact invariants",
     )
@@ -414,7 +433,27 @@ def main(argv: List[str] | None = None) -> int:
     fuzz.set_defaults(fn=cmd_fuzz)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    profile_to = getattr(args, "profile", None)
+    if profile_to is None:
+        return args.fn(args)
+
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        rc = args.fn(args)
+    finally:
+        prof.disable()
+        print("--- cProfile top 25 (cumulative) ---", file=sys.stderr)
+        stats = pstats.Stats(prof, stream=sys.stderr)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+        if profile_to:
+            prof.dump_stats(profile_to)
+            print(f"profile stats dumped to {profile_to} "
+                  f"(inspect with python -m pstats)", file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -57,8 +57,12 @@ class ChunkRingBuffer:
         self._offsets: List[int] = []
         self._data: List[Optional[Chunk]] = []
         self._first = 0  # index of the oldest live chunk
-        self._min = start_offset  # oldest buffered byte
-        self._end = start_offset  # one past the newest buffered byte
+        #: Oldest stream offset still buffered (the FORGET(o) value) and
+        #: one past the newest buffered byte.  Plain attributes, read on
+        #: every chunk of every simulated transfer — do not assign from
+        #: outside this class.
+        self.min_offset = start_offset
+        self.end_offset = start_offset
 
     # ------------------------------------------------------------------
     # Introspection
@@ -69,18 +73,8 @@ class ChunkRingBuffer:
         return self._capacity
 
     @property
-    def min_offset(self) -> int:
-        """Oldest stream offset still buffered (the FORGET(o) value)."""
-        return self._min
-
-    @property
-    def end_offset(self) -> int:
-        """One past the newest buffered byte — the stream position so far."""
-        return self._end
-
-    @property
     def buffered_bytes(self) -> int:
-        return self._end - self._min
+        return self.end_offset - self.min_offset
 
     def __len__(self) -> int:
         return self.buffered_bytes
@@ -91,7 +85,7 @@ class ChunkRingBuffer:
         ``offset == end_offset`` counts as covered: the caller can resume
         streaming live data from there with no replay at all.
         """
-        return self._min <= offset <= self._end
+        return self.min_offset <= offset <= self.end_offset
 
     # ------------------------------------------------------------------
     # Mutation
@@ -110,28 +104,32 @@ class ChunkRingBuffer:
         is a configuration error (chunk_size > buffer_bytes).
         """
         size = len(data)
-        if size > self._capacity:
+        capacity = self._capacity
+        if size > capacity:
             raise ChunkStoreError(
-                f"chunk of {size} bytes exceeds buffer capacity {self._capacity}"
+                f"chunk of {size} bytes exceeds buffer capacity {capacity}"
             )
         if size == 0:
             return
-        self._offsets.append(self._end)
+        end = self.end_offset
+        self._offsets.append(end)
         self._data.append(data)
-        self._end += size
-        while self._end - self._min > self._capacity:
-            old = self._data[self._first]
-            assert old is not None and self._offsets[self._first] == self._min
-            self._data[self._first] = None  # drop the ref *now*
-            self._first += 1
-            self._min += len(old)
-        if (
-            self._first >= _COMPACT_THRESHOLD
-            and self._first * 2 >= len(self._data)
-        ):
-            del self._offsets[: self._first]
-            del self._data[: self._first]
-            self._first = 0
+        self.end_offset = end = end + size
+        if end - self.min_offset > capacity:
+            chunks = self._data
+            first = self._first
+            low = self.min_offset
+            while end - low > capacity:
+                old = chunks[first]
+                chunks[first] = None  # drop the ref *now*
+                first += 1
+                low += len(old)
+            self._first = first
+            self.min_offset = low
+            if first >= _COMPACT_THRESHOLD and first * 2 >= len(chunks):
+                del self._offsets[:first]
+                del chunks[:first]
+                self._first = 0
 
     def _start_index(self, offset: int) -> int:
         """Index of the chunk containing ``offset`` (binary search)."""
@@ -148,9 +146,9 @@ class ChunkRingBuffer:
         if not self.covers(offset):
             raise ChunkStoreError(
                 f"offset {offset} outside buffered window "
-                f"[{self._min}, {self._end}]"
+                f"[{self.min_offset}, {self.end_offset}]"
             )
-        want = self._end - offset
+        want = self.end_offset - offset
         if limit is not None:
             want = min(want, limit)
         if want == 0:
@@ -180,7 +178,7 @@ class ChunkRingBuffer:
         if not self.covers(offset):
             raise ChunkStoreError(
                 f"offset {offset} outside buffered window "
-                f"[{self._min}, {self._end}]"
+                f"[{self.min_offset}, {self.end_offset}]"
             )
         for idx in range(self._start_index(offset), len(self._data)):
             chunk_off, chunk = self._offsets[idx], self._data[idx]
@@ -204,12 +202,12 @@ class ChunkRingBuffer:
         if size == 0:
             return
         self.clear()
-        self._end += size
-        self._min = self._end
+        self.end_offset += size
+        self.min_offset = self.end_offset
 
     def clear(self) -> None:
         """Drop all buffered data, keeping the stream position."""
         self._offsets.clear()
         self._data.clear()
         self._first = 0
-        self._min = self._end
+        self.min_offset = self.end_offset

@@ -83,7 +83,6 @@ class Forget:
     op = Op.FORGET
 
 
-@dataclass(frozen=True)
 class Data:
     """Header announcing ``size`` bytes of stream payload at ``offset``.
 
@@ -91,18 +90,35 @@ class Data:
     the offset implicitly.  We carry the explicit offset as well — it costs
     8 bytes per chunk and turns silent desynchronisation bugs into loud
     protocol errors, which matters for a fault-tolerance tool.
+
+    Unlike its siblings this is a hand-written ``__slots__`` class, not a
+    frozen dataclass: one is constructed per chunk per hop, and the frozen
+    ``object.__setattr__`` constructor is measurably the dearest part of
+    that.  repr/eq/hash match what ``@dataclass(frozen=True)`` generated.
     """
 
-    offset: int
-    size: int
+    __slots__ = ("offset", "size")
 
     op = Op.DATA
 
-    def __post_init__(self) -> None:
-        if self.size < 0:
-            raise ValueError(f"negative DATA size: {self.size}")
-        if self.offset < 0:
-            raise ValueError(f"negative DATA offset: {self.offset}")
+    def __init__(self, offset: int, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"negative DATA size: {size}")
+        if offset < 0:
+            raise ValueError(f"negative DATA offset: {offset}")
+        self.offset = offset
+        self.size = size
+
+    def __repr__(self) -> str:
+        return f"Data(offset={self.offset!r}, size={self.size!r})"
+
+    def __eq__(self, other: object):
+        if other.__class__ is Data:
+            return (self.offset, self.size) == (other.offset, other.size)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.offset, self.size))
 
     @property
     def end(self) -> int:

@@ -90,15 +90,16 @@ class NodeTransferState:
         Raises :class:`ProtocolError` on out-of-order data: a relay that
         tolerated gaps would corrupt every node downstream of it.
         """
+        buffer = self.buffer
         if self.phase is not Phase.STREAMING:
             raise ProtocolError(
                 f"{self.name}: DATA after stream end (phase={self.phase.value})"
             )
-        if offset != self.offset:
+        if offset != buffer.end_offset:
             raise ProtocolError(
                 f"{self.name}: DATA at offset {offset}, expected {self.offset}"
             )
-        self.buffer.append(payload)
+        buffer.append(payload)
         if self._hasher is not None:
             self._hasher.update(payload)
 

@@ -32,6 +32,14 @@ path (socket streams, frame decoder, buffer pool) increments a
 * ``evloop_stall_s`` — seconds (a float) the reactor spent blocked in
   ``select()`` with at least one task waiting — idle wire time, the
   event-loop analogue of a blocked thread.
+* ``sim_events_processed`` / ``sim_cancelled_skips`` — discrete-event
+  engine dispatches, and heap entries popped dead (cancelled before
+  their time came).  ``sim_heap_peak`` is the event queue's high-water
+  mark (a maximum, not a sum).
+* ``solver_rounds`` / ``solver_full_rebuilds`` — fluid max–min solver
+  invocations, and how many of them could not reuse the incremental
+  problem (topology changed under it).  A healthy large run has many
+  rounds and few rebuilds.
 
 Components default to the module-global :func:`get_stats` instance so
 production code needs no plumbing; tests construct a private instance and
@@ -64,6 +72,11 @@ _COUNTERS = (
     "reactor_wakeups",
     "evloop_stall_s",
     "stripe_merge_hwm",
+    "sim_events_processed",
+    "sim_heap_peak",
+    "sim_cancelled_skips",
+    "solver_rounds",
+    "solver_full_rebuilds",
 )
 
 
@@ -131,6 +144,20 @@ class PerfStats:
         """Track the stripe-merge reorder buffer's high-water mark (bytes)."""
         if nbytes > self.stripe_merge_hwm:
             self.stripe_merge_hwm = nbytes
+
+    def sim_ran(self, processed: int, skips: int, heap_peak: int) -> None:
+        """Flush one engine run's dispatch counts (called once per
+        :meth:`repro.simnet.engine.Engine.run`, not per event)."""
+        self.sim_events_processed += processed
+        self.sim_cancelled_skips += skips
+        if heap_peak > self.sim_heap_peak:
+            self.sim_heap_peak = heap_peak
+
+    def solver_solved(self, full_rebuild: bool) -> None:
+        """Record one fluid max–min solve."""
+        self.solver_rounds += 1
+        if full_rebuild:
+            self.solver_full_rebuilds += 1
 
     # -- reporting -------------------------------------------------------
 

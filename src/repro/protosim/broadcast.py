@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.config import DEFAULT_CONFIG, KascadeConfig
 from ..core.errors import KascadeError
+from ..core.perfstats import get_stats
 from ..core.plan import ChainPlan, StripePlan
 from ..core.report import FailureRecord, TransferReport
 from ..core.sinks import NullSink, Sink
@@ -72,6 +73,10 @@ class ProtoResult:
     message_log: Optional[List] = None
     #: Structured event trace when a collector was passed to ``run``.
     trace: Optional[TraceCollector] = None
+    #: Simulation-kernel counters for this run (``sim_events_processed``,
+    #: ``sim_cancelled_skips``, ``solver_rounds``, ``solver_full_rebuilds``
+    #: as per-run deltas; ``sim_heap_peak`` as the process high-water mark).
+    perfstats: Dict[str, int] = field(default_factory=dict)
 
 
 class _AggregateGate:
@@ -224,34 +229,35 @@ class ProtoBroadcast:
                       for nodes in by_host.values() for n in nodes}
         crashed: List[str] = []
 
-        def main_of(node, acceptor):
-            def wrapper():
-                try:
-                    yield from node.run()
-                except CrashNow as crash:
-                    # The main process dies by returning; only the
-                    # acceptor needs killing (we cannot close our own
-                    # running generator).
-                    node.crashed = crash.mode
-                    node.error = f"injected crash ({crash.mode})"
+        def supervisor_of(node, acceptor):
+            # Installed as ``Process.on_error`` instead of wrapping
+            # ``node.run()`` in a try/except generator: a wrapper would
+            # cost a delegation hop on every resume of every node.
+            def absorb(exc: BaseException) -> bool:
+                if isinstance(exc, CrashNow):
+                    node.crashed = exc.mode
+                    node.error = f"injected crash ({exc.mode})"
                     crashed.append(node.name)
                     acceptor.kill()
-                    if crash.mode == "silent":
+                    if exc.mode == "silent":
                         hub.kill_silent(node.name)
                     else:
                         hub.kill(node.name)
                     node.done = True
-                except (KascadeError,) as exc:
+                    return True
+                if isinstance(exc, KascadeError):
                     node.error = f"{type(exc).__name__}: {exc}"
                     node.done = True
+                    return True
+                return False
 
-            return wrapper
+            return absorb
 
         for node in self.nodes.values():
             acceptor = engine.spawn(node.acceptor(),
                                     name=f"accept:{node.name}")
-            main = engine.spawn(main_of(node, acceptor)(),
-                                name=f"node:{node.name}")
+            main = engine.spawn(node.run(), name=f"node:{node.name}")
+            main.on_error = supervisor_of(node, acceptor)
             node.procs = [acceptor, main]
 
         def kill_at(node, mode):
@@ -276,7 +282,16 @@ class ProtoBroadcast:
                 for node in by_host[crash.node]:
                     engine.call_at(crash.at_time, kill_at(node, crash.mode))
 
+        stats = get_stats()
+        before = stats.snapshot()
         engine.run(until=sim_horizon)
+        after = stats.snapshot()
+        perf = {
+            key: after[key] - before[key]
+            for key in ("sim_events_processed", "sim_cancelled_skips",
+                        "solver_rounds", "solver_full_rebuilds")
+        }
+        perf["sim_heap_peak"] = after["sim_heap_peak"]
 
         # Pool the per-stripe head reports, projecting instance names
         # back to hosts.  Identity check: an all-clear TransferReport is
@@ -321,4 +336,5 @@ class ProtoBroadcast:
             crashed=crashed_hosts,
             message_log=message_log,
             trace=tracer if isinstance(tracer, TraceCollector) else None,
+            perfstats=perf,
         )

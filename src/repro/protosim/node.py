@@ -38,7 +38,9 @@ from ..core.sinks import Sink
 from ..core.sources import Source
 from ..core import tracing
 from ..core.tracing import classify_detector
-from ..simnet.channels import ChannelClosed, ChannelTimeout, SimNetHub
+from ..simnet.channels import (
+    _HEADER_BYTES, ChannelClosed, ChannelTimeout, SimNetHub,
+)
 from ..simnet.engine import Engine, Event
 
 DATA_CONN = b"D"
@@ -193,8 +195,9 @@ class ProtoLink:
         cfg = self.node.config
         while True:
             try:
-                yield from self.end.send_wait(msg, payload,
-                                              timeout=cfg.io_timeout)
+                if not self.end.try_send(msg, payload):
+                    yield from self.end.send_wait(msg, payload,
+                                                  timeout=cfg.io_timeout)
                 return
             except ChannelTimeout:
                 self.node.engine.trace(tracing.STALL, self.node.name,
@@ -210,6 +213,9 @@ class ProtoLink:
         cfg = self.node.config
         while True:
             try:
+                item = self.end.recv_nowait()
+                if item is not None:
+                    return item
                 return (yield from self.end.recv(timeout=cfg.io_timeout))
             except ChannelTimeout:
                 self.node.engine.trace(tracing.STALL, self.node.name,
@@ -296,9 +302,37 @@ class ProtoLink:
 
     # -- public ops ---------------------------------------------------------
 
+    def try_send_data(self, offset: int, payload: bytes) -> bool:
+        """Synchronous fast path for :meth:`send_data`.
+
+        Covers the steady state — connected, in order, window open —
+        without allocating the sub-generator chain.  Returns False when
+        the caller must fall back to ``yield from send_data(...)``
+        (reconnect, replayed data, stalled window); a dead channel is
+        marked/dropped here so the slow path starts at failover, exactly
+        where the generator's own exception handler would land.
+        """
+        if self.end is None or self.downstream_aborted:
+            return False
+        n = len(payload)
+        end_off = offset + n
+        if self.sent_offset >= end_off:
+            return True
+        try:
+            if self.end.try_send(Data(offset, n), payload):
+                self.sent_offset = end_off
+                return True
+        except ChannelClosed as exc:
+            self._mark_dead(self.target, str(exc))
+            self._drop()
+        return False
+
     def send_data(self, offset: int, payload: bytes):
         while True:
-            ok = yield from self._ensure_connected()
+            if self.end is not None and not self.downstream_aborted:
+                ok = True      # connected: skip the sub-generator
+            else:
+                ok = yield from self._ensure_connected()
             if not ok:
                 return False
             if self.sent_offset >= offset + len(payload):
@@ -416,7 +450,10 @@ class ProtoHead(ProtoNode):
             if self.engine.tracer.enabled:
                 self.engine.trace(tracing.CHUNK, self.name, offset=off,
                                   detail=f"read {len(chunk)}")
-            delivered = yield from self.link.send_data(off, chunk)
+            if self.link.try_send_data(off, chunk):
+                delivered = True
+            else:
+                delivered = yield from self.link.send_data(off, chunk)
             if not delivered:
                 break
         total = state.offset
@@ -434,6 +471,7 @@ class ProtoHead(ProtoNode):
             self.engine._cancel_timeout(token)
         if self.final_report is None:
             self.final_report = state.report
+        self.link._drop()       # process exit closes the data connection
         self.ok = outcome == "passed"
         self.bytes_received = total
         self.engine.trace(tracing.DONE, self.name, offset=total,
@@ -455,18 +493,44 @@ class ProtoReceiver(ProtoNode):
 
     # -- helpers ------------------------------------------------------------
 
-    def _consume_chunk(self, offset: int, payload: bytes):
-        self.state.on_data(offset, payload)
-        if self.engine.tracer.enabled:
-            self.engine.trace(tracing.CHUNK, self.name, offset=offset,
-                              detail=f"recv {len(payload)}")
+    def _consume_chunk_fast(self, offset: int, payload: bytes) -> bool:
+        """Store + forward one chunk without touching the engine.
+
+        The synchronous twin of :meth:`_consume_chunk`: does everything
+        except the blocking downstream send, and returns False when that
+        slow path is needed (caller falls back to
+        ``yield from _forward_slow(...)``).  In the pipelined steady
+        state this is the entire per-chunk receiver path — no generator
+        is allocated at all.
+        """
+        state = self.state
+        state.on_data(offset, payload)
+        engine = self.engine
+        if engine.tracer.enabled:
+            engine.trace(tracing.CHUNK, self.name, offset=offset,
+                         detail=f"recv {len(payload)}")
         self.sink.write_chunk(payload)
-        self.bytes_received = self.state.offset
+        self.bytes_received = state.buffer.end_offset
+        if not self.link.try_send_data(offset, payload):
+            return False
+        gate = self.crash_gate
+        if gate is not None:
+            mode = gate(state.offset)
+            if mode is not None:
+                raise CrashNow(mode)
+        return True
+
+    def _forward_slow(self, offset: int, payload: bytes):
+        """The blocking tail of chunk consumption (send stalled/failover)."""
         yield from self.link.send_data(offset, payload)
         if self.crash_gate is not None:
             mode = self.crash_gate(self.state.offset)
             if mode is not None:
                 raise CrashNow(mode)
+
+    def _consume_chunk(self, offset: int, payload: bytes):
+        if not self._consume_chunk_fast(offset, payload):
+            yield from self._forward_slow(offset, payload)
 
     def _fetch_hole(self, until: int):
         cfg = self.config
@@ -512,11 +576,13 @@ class ProtoReceiver(ProtoNode):
     def run(self):
         cfg = self.config
         state = self.state
+        engine = self.engine
+        io_timeout = cfg.io_timeout
         upstream_report: Optional[bytes] = None
-        last_progress = self.engine.now
+        last_progress = engine.now
 
         while True:
-            if state.phase is Phase.ENDED and upstream_report is not None:
+            if upstream_report is not None and state.phase is Phase.ENDED:
                 break
             if self.upstream is None:
                 try:
@@ -534,8 +600,29 @@ class ProtoReceiver(ProtoNode):
                 last_progress = self.engine.now
                 continue
             try:
-                msg, payload = yield from self.upstream.recv(
-                    timeout=cfg.io_timeout)
+                # Inlined recv: poll, then yield the endpoint's armed
+                # arrival event directly — no sub-generator per blocked
+                # receive on the hottest loop in the simulator.  The
+                # post-wake inbox pop is inlined too (recv_nowait stays
+                # for the empty/closed cases, where it raises or loops).
+                upstream = self.upstream
+                inbox = upstream.inbox
+                item = upstream.recv_nowait()
+                while item is None:
+                    arrival = upstream.recv_begin(io_timeout)
+                    try:
+                        yield arrival
+                    finally:
+                        upstream.recv_finish()
+                    if inbox:
+                        msg, payload = inbox.popleft()
+                        upstream.inbox_bytes -= _HEADER_BYTES + len(payload)
+                        if upstream._drain_waiter is not None:
+                            upstream._wake_drainer()
+                        break
+                    item = upstream.recv_nowait()
+                else:
+                    msg, payload = item
             except ChannelTimeout:
                 replacement = self.poll_data_conn()
                 if replacement is not None:
@@ -557,10 +644,35 @@ class ProtoReceiver(ProtoNode):
                 self.upstream.close()
                 self.upstream = None
                 continue
-            last_progress = self.engine.now
+            last_progress = engine.now
 
-            if isinstance(msg, Data):
-                yield from self._consume_chunk(msg.offset, payload)
+            if msg.__class__ is Data:
+                # Fully inlined _consume_chunk_fast: store + forward one
+                # chunk without a single avoidable call.  The guarded
+                # ``buffer.append`` IS ``state.on_data`` for the in-order
+                # streaming case; anything unusual (gap, ended stream,
+                # digest mode) takes the full protocol-checked path.
+                offset = msg.offset
+                buffer = state.buffer
+                if (offset == buffer.end_offset
+                        and state.phase is Phase.STREAMING
+                        and state._hasher is None):
+                    buffer.append(payload)
+                else:
+                    state.on_data(offset, payload)
+                if engine.tracer.enabled:
+                    engine.trace(tracing.CHUNK, self.name, offset=offset,
+                                 detail=f"recv {len(payload)}")
+                self.sink.write_chunk(payload)
+                self.bytes_received = buffer.end_offset
+                if not self.link.try_send_data(offset, payload):
+                    yield from self._forward_slow(offset, payload)
+                else:
+                    gate = self.crash_gate
+                    if gate is not None:
+                        mode = gate(buffer.end_offset)
+                        if mode is not None:
+                            raise CrashNow(mode)
             elif isinstance(msg, End):
                 if state.phase is Phase.STREAMING:
                     state.on_end(msg.total)
@@ -620,6 +732,7 @@ class ProtoReceiver(ProtoNode):
             except ChannelClosed:
                 pass
             self.upstream.close()
+        self.link._drop()       # process exit closes the data connection
         state.on_passed()
         if aborted:
             self.sink.abort()

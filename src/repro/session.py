@@ -308,7 +308,10 @@ class BroadcastSession:
             report=proto.report,
             outcomes=outcomes,
             trace=proto.trace,
-            perfstats={},  # the simulator does no real I/O
+            # No real I/O happens in the simulator; what matters is the
+            # kernel's own work: events dispatched, dead heap entries
+            # skipped, solver rounds vs full rebuilds.
+            perfstats=proto.perfstats,
             backend="simnet",
             plan=sim.chain_plan,
         )

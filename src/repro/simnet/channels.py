@@ -21,10 +21,11 @@ endpoints after the path latency.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Deque, Dict, Optional, Tuple
 
 from ..core.errors import KascadeError
-from .engine import Engine, Event, Timeout
+from .engine import _CALL, Engine, Event, Timeout
 
 _HEADER_BYTES = 32  # generous per-message framing cost
 
@@ -47,6 +48,26 @@ class _Endpoint:
         self.inbox_bytes = 0
         self._recv_waiter: Optional[Event] = None
         self._drain_waiter: Optional[Event] = None
+        # Receive-timeout watchdog: ``recv`` records its deadline here
+        # instead of arming (and almost always cancelling) a heap timer
+        # per call; one persistent timer per endpoint re-arms itself
+        # toward the recorded deadline.  See ``_deadline_fired``.
+        self._recv_deadline: Optional[float] = None
+        self._wd_token: Optional[int] = None    # armed timer's cancel token
+        self._wd_at = 0.0                       # ... and its fire time
+        # Reusable arrival event for recv_begin/recv_finish: a channel
+        # has at most one receiver waiting at a time, so one Event per
+        # endpoint (reset between waits) replaces a pool borrow/recycle
+        # round trip per blocked receive.
+        self._arrival: Optional[Event] = None
+        # Same watchdog scheme for the send side: a flow-controlled
+        # sender blocked on *this* endpoint's window records its stall
+        # deadline here instead of arming a heap timer per stall (the
+        # head stalls once per chunk in the pipelined steady state).
+        self._drain_deadline: Optional[float] = None
+        self._dwd_token: Optional[int] = None
+        self._dwd_at = 0.0
+        self._drain_ev: Optional[Event] = None
         self.closed = False
 
     # -- sending ---------------------------------------------------------
@@ -80,26 +101,109 @@ class _Endpoint:
             if outstanding + size <= channel.window or outstanding == 0:
                 channel._transmit(self._side, msg, payload)
                 return
-            drained = channel.engine.event(name="chan-drain")
-            self._drain_waiter_set(peer, drained)
-            token = None
-            if timeout is not None:
-                token = channel.engine.call_after(
-                    timeout,
-                    lambda ev=drained: ev.fail(ChannelTimeout("send stalled"))
-                    if not ev.triggered else None,
-                )
+            drained = peer.drain_begin(timeout)
             try:
                 yield drained
             finally:
-                if peer._drain_waiter is drained:
-                    peer._drain_waiter = None
-                if token is not None:
-                    channel.engine._cancel_timeout(token)
+                peer.drain_finish()
 
-    @staticmethod
-    def _drain_waiter_set(peer: "_Endpoint", event: Event) -> None:
-        peer._drain_waiter = event
+    def drain_begin(self, timeout: Optional[float] = None) -> Event:
+        """Arm a wait for *this* endpoint's receive window to drain.
+
+        The send-side twin of :meth:`recv_begin`: the blocked sender
+        yields the returned event and calls :meth:`drain_finish` when
+        resumed.  ``ChannelTimeout`` ("send stalled") surfaces at the
+        yield via the drain watchdog when the stall outlasts ``timeout``.
+        """
+        engine = self._channel.engine
+        drained = self._drain_ev
+        if drained is None:
+            self._drain_ev = drained = Event(engine, name="chan-drain")
+        else:
+            drained._done = False
+            drained._value = None
+            drained._exc = None
+        self._drain_waiter = drained
+        if timeout is not None:
+            deadline = engine.now + timeout
+            self._drain_deadline = deadline
+            if self._dwd_token is None or deadline < self._dwd_at:
+                self._arm_drain_watchdog(deadline)
+        return drained
+
+    def drain_finish(self) -> None:
+        self._drain_waiter = None
+        self._drain_deadline = None
+
+    def _arm_drain_watchdog(self, deadline: float) -> None:
+        engine = self._channel.engine
+        if self._dwd_token is not None:
+            engine._cancel_timeout(self._dwd_token)
+        self._dwd_token = engine.call_at1(
+            deadline, self._drain_deadline_fired, None)
+        self._dwd_at = deadline
+
+    def _drain_deadline_fired(self, _unused) -> None:
+        self._dwd_token = None
+        deadline = self._drain_deadline
+        if deadline is None:
+            return
+        engine = self._channel.engine
+        if deadline > engine.now:     # progress since armed: chase it
+            self._arm_drain_watchdog(deadline)
+            return
+        waiter = self._drain_waiter
+        if waiter is not None and not waiter.triggered:
+            waiter.fail(ChannelTimeout("send stalled"))
+
+    def try_send(self, msg: object, payload: bytes = b"") -> bool:
+        """Windowed send without blocking — the data-plane fast path.
+
+        Transmits and returns True when the peer's window has room (the
+        common case: window ≫ chunk), else returns False so the caller
+        falls back to the :meth:`send_wait` sub-generator.  Raises
+        :class:`ChannelClosed` exactly when ``send_wait`` would; the
+        dispatch order on the wire is identical either way, because
+        ``send_wait`` with an open window also transmits synchronously.
+        """
+        channel = self._channel
+        side = self._side
+        peer = channel.ends[1 - side]
+        if channel.failed or self.closed or peer.closed:
+            raise ChannelClosed("send on dead channel")
+        size = _HEADER_BYTES + len(payload)
+        in_flight = channel._in_flight
+        outstanding = peer.inbox_bytes + in_flight[side]
+        if outstanding + size > channel.window and outstanding != 0:
+            return False
+        # Inlined ``_transmit_sized`` + the engine push: this is the
+        # per-chunk data-plane send, worth flattening five calls into
+        # straight-line code.  Semantics are identical: same message-log
+        # entry, same busy-until/in-flight accounting, same (time, seq)
+        # queue entry the generic path would have produced.
+        engine = channel.engine
+        now = engine.now
+        hub = channel.hub
+        if hub is not None and hub.message_log is not None:
+            hub.message_log.append(
+                (now, channel.hosts[side], channel.hosts[1 - side],
+                 msg, size - _HEADER_BYTES))
+        start = channel._busy_until[side]
+        if start < now:
+            start = now
+        done = start + size / channel.bandwidth
+        channel._busy_until[side] = done
+        in_flight[side] += size
+        when = done + channel.latency
+        engine._seq = seq = engine._seq + 1
+        if when > now:
+            heappush(engine._heap,
+                     (when, seq, _CALL, channel._deliver,
+                      (side, msg, payload, size)))
+        else:
+            engine._immediate.append(
+                (seq, _CALL, channel._deliver, (side, msg, payload, size)))
+        return True
 
     # -- receiving ---------------------------------------------------------
 
@@ -110,38 +214,127 @@ class _Endpoint:
         seconds, :class:`ChannelClosed` when the peer is gone and the
         inbox is drained.
         """
-        engine = self._channel.engine
-        peer = self._channel.ends[1 - self._side]
         while True:
-            if self.inbox:
-                msg, payload = self.inbox.popleft()
-                self.inbox_bytes -= _HEADER_BYTES + len(payload)
-                self._wake_drainer()
-                return msg, payload
-            # A graceful peer close still delivers in-flight messages
-            # (TCP semantics: close after send flushes); a failure does
-            # not (a reset drops the queue).
-            in_flight = self._channel._in_flight[1 - self._side]
-            if self.closed or self._channel.failed or (
-                    peer.closed and in_flight == 0):
-                raise ChannelClosed("peer gone")
-            arrival = engine.event(name="chan-recv")
-            self._recv_waiter = arrival
-            token = None
-            if timeout is not None:
-                token = engine.call_after(
-                    timeout,
-                    lambda ev=arrival: ev.fail(ChannelTimeout("recv timeout"))
-                    if not ev.triggered else None,
-                )
+            item = self.recv_nowait()
+            if item is not None:
+                return item
+            arrival = self.recv_begin(timeout)
             try:
                 yield arrival
             finally:
-                self._recv_waiter = None
-                if token is not None:
-                    engine._cancel_timeout(token)
-            # Loop: either a message arrived or the channel failed (the
-            # notification re-checks state at the top).
+                self.recv_finish()
+            # Loop: either a message arrived or the channel failed
+            # (``recv_nowait`` re-checks state at the top).
+
+    def recv_begin(self, timeout: Optional[float] = None) -> Event:
+        """Arm a bare wait for the next message; returns the Event to yield.
+
+        This is the blocking half of :meth:`recv` without the
+        sub-generator: the caller checks :meth:`recv_nowait` first,
+        then does ``yield endpoint.recv_begin(t)`` directly from its own
+        run loop, calls :meth:`recv_finish` (in a ``finally``), and
+        re-polls ``recv_nowait`` — looping on ``None`` for spurious
+        wakes, exactly as ``recv`` itself loops.  ``ChannelTimeout`` /
+        ``ChannelClosed`` surface at the yield / the re-poll just as
+        they would from ``recv``.
+        """
+        engine = self._channel.engine
+        arrival = self._arrival
+        if arrival is None:
+            self._arrival = arrival = Event(engine, name="chan-recv")
+        else:
+            arrival._done = False
+            arrival._value = None
+            arrival._exc = None
+        self._recv_waiter = arrival
+        if timeout is not None:
+            deadline = engine.now + timeout
+            self._recv_deadline = deadline
+            if self._wd_token is None or deadline < self._wd_at:
+                self._arm_watchdog(deadline)
+        return arrival
+
+    def recv_finish(self) -> None:
+        """Detach the wait armed by :meth:`recv_begin`.
+
+        The waiter slot and the recorded deadline must not outlive the
+        wait (the armed watchdog may outlive it — it checks both).
+        """
+        self._recv_waiter = None
+        self._recv_deadline = None
+
+    def _arm_watchdog(self, deadline: float) -> None:
+        """(Re-)arm the single watchdog timer to fire at ``deadline``.
+
+        Invariant: while a timed wait with deadline D is pending, the
+        armed timer fires at or before D — arming earlier cancels the
+        old entry (rare: only when a shorter timeout follows a longer
+        one on the same endpoint); arming later is a no-op because the
+        earlier fire re-arms itself toward D.
+        """
+        engine = self._channel.engine
+        if self._wd_token is not None:
+            engine._cancel_timeout(self._wd_token)
+        self._wd_token = engine.call_at1(deadline, self._deadline_fired, None)
+        self._wd_at = deadline
+
+    def _disarm_watchdog(self) -> None:
+        """Cancel both deadline watchdogs (receive and drain).
+
+        Called when this endpoint can no longer time out — close, channel
+        failure, silent host death — so a leftover armed timer cannot
+        advance the clock past the last real event of a run.
+        """
+        if self._wd_token is not None:
+            self._channel.engine._cancel_timeout(self._wd_token)
+            self._wd_token = None
+        if self._dwd_token is not None:
+            self._channel.engine._cancel_timeout(self._dwd_token)
+            self._dwd_token = None
+
+    def _deadline_fired(self, _unused) -> None:
+        """Watchdog tick: fail the waiter iff its deadline truly passed.
+
+        Fires at the deadline recorded by the *first* timed ``recv``;
+        when later receives have moved the deadline forward (progress
+        happened), re-arms at the current deadline instead of failing —
+        so a streaming endpoint costs one timer per timeout-interval of
+        simulated time rather than one per message.  The failure time is
+        exact: the final arm lands on the recorded deadline itself.
+        """
+        self._wd_token = None
+        deadline = self._recv_deadline
+        if deadline is None:          # nobody is waiting (or no timeout)
+            return
+        engine = self._channel.engine
+        if deadline > engine.now:     # progress since armed: chase it
+            self._arm_watchdog(deadline)
+            return
+        waiter = self._recv_waiter
+        if waiter is not None and not waiter.triggered:
+            waiter.fail(ChannelTimeout("recv timeout"))
+
+    def recv_nowait(self) -> Optional[Tuple[object, bytes]]:
+        """Non-blocking receive — the inbox-ready fast path.
+
+        Returns the next ``(msg, payload)`` when one is queued, ``None``
+        when a blocking :meth:`recv` would have to wait.  Raises
+        :class:`ChannelClosed` exactly when ``recv`` would.  This is the
+        synchronous prefix of ``recv`` without the sub-generator
+        machinery: callers avoid a generator allocation per message on
+        the (hot) path where data is already waiting.
+        """
+        if self.inbox:
+            msg, payload = self.inbox.popleft()
+            self.inbox_bytes -= _HEADER_BYTES + len(payload)
+            self._wake_drainer()
+            return msg, payload
+        channel = self._channel
+        peer = channel.ends[1 - self._side]
+        if self.closed or channel.failed or (
+                peer.closed and channel._in_flight[1 - self._side] == 0):
+            raise ChannelClosed("peer gone")
+        return None
 
     def _wake_drainer(self) -> None:
         waiter, self._drain_waiter = self._drain_waiter, None
@@ -158,6 +351,7 @@ class _Endpoint:
         """Close this side; the peer sees ChannelClosed once drained."""
         if not self.closed:
             self.closed = True
+            self._disarm_watchdog()
             self._channel._on_side_closed(self._side)
 
 
@@ -184,32 +378,57 @@ class SimChannel:
             raise ChannelClosed("send on dead channel")
         if self.ends[1 - side].closed:
             raise ChannelClosed("peer closed")
+        self._transmit_sized(side, msg, payload, _HEADER_BYTES + len(payload))
+
+    def _transmit_sized(self, side: int, msg: object, payload: bytes,
+                        size: int) -> None:
+        """Liveness-checked transmit core (callers verified the channel)."""
         engine = self.engine
-        if self.hub is not None and self.hub.message_log is not None:
-            self.hub.message_log.append(
+        hub = self.hub
+        if hub is not None and hub.message_log is not None:
+            hub.message_log.append(
                 (engine.now, self.hosts[side], self.hosts[1 - side],
-                 msg, len(payload))
+                 msg, size - _HEADER_BYTES)
             )
-        size = _HEADER_BYTES + len(payload)
         service = size / self.bandwidth
-        start = max(engine.now, self._busy_until[side])
+        start = self._busy_until[side]
+        now = engine.now
+        if start < now:
+            start = now
         done = start + service
         self._busy_until[side] = done
         self._in_flight[side] += size
-        deliver_at = done + self.latency
+        engine.call_at1(done + self.latency, self._deliver,
+                        (side, msg, payload, size))
 
-        def deliver() -> None:
-            self._in_flight[side] -= size
-            if self.failed:
-                return
-            peer = self.ends[1 - side]
-            if peer.closed:
-                return
-            peer.inbox.append((msg, payload))
-            peer.inbox_bytes += size
-            peer._notify()
-
-        engine.call_at(deliver_at, deliver)
+    def _deliver(self, item: Tuple[int, object, bytes, int]) -> None:
+        side, msg, payload, size = item
+        self._in_flight[side] -= size
+        if self.failed:
+            return
+        peer = self.ends[1 - side]
+        if peer.closed:
+            return
+        peer.inbox.append((msg, payload))
+        peer.inbox_bytes += size
+        # Inlined ``peer._notify()``: this runs once per delivered
+        # message, and the generic Event.succeed/_flush path costs four
+        # calls for what is two appends here.  The resume still goes
+        # through the engine's immediate queue, so dispatch order is
+        # identical to the generic path.
+        waiter = peer._recv_waiter
+        if waiter is not None:
+            peer._recv_waiter = None
+            if not waiter._done:
+                waiter._done = True
+                waiters = waiter._waiters
+                if waiters:
+                    engine = self.engine
+                    for proc in waiters:
+                        engine._schedule_resume(proc, None)
+                    waiters.clear()
+        if peer._drain_waiter is not None:
+            peer._wake_drainer()
 
     def _on_side_closed(self, side: int) -> None:
         # Wake a peer blocked in recv/send so it observes the close.
@@ -228,6 +447,7 @@ class SimChannel:
         for end in self.ends:
             end.inbox.clear()
             end.inbox_bytes = 0
+            end._disarm_watchdog()
             end._notify()
 
 
@@ -248,21 +468,20 @@ class SimListener:
                 return self._queue.popleft()
             if self.closed:
                 raise ChannelClosed("listener closed")
-            arrival = self.engine.event(name=f"accept:{self.name}")
+            engine = self.engine
+            arrival = engine._borrow_event(name=f"accept:{self.name}")
             self._waiter = arrival
             token = None
             if timeout is not None:
-                token = self.engine.call_after(
-                    timeout,
-                    lambda ev=arrival: ev.fail(ChannelTimeout("accept timeout"))
-                    if not ev.triggered else None,
-                )
+                token = engine.fail_after(
+                    timeout, arrival, ChannelTimeout, "accept timeout")
             try:
                 yield arrival
             finally:
                 self._waiter = None
                 if token is not None:
-                    self.engine._cancel_timeout(token)
+                    engine._cancel_timeout(token)
+                engine._recycle_event(arrival)
 
     def _offer(self, kind: bytes, endpoint: _Endpoint) -> None:
         self._queue.append((kind, endpoint))
@@ -338,3 +557,11 @@ class SimNetHub:
         only discover the death through timeouts and unanswered pings.
         """
         self.dead.add(name)
+        # The dead node's own receive watchdogs will never matter again
+        # (its processes are gone); disarm them so they drain as skips
+        # instead of firing no-ops that would advance the clock.  The
+        # *peers'* watchdogs stay armed — timeouts are exactly how they
+        # discover the silent death.
+        for channel in self.channels:
+            if name in channel.hosts:
+                channel.ends[channel.hosts.index(name)]._disarm_watchdog()

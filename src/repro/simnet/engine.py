@@ -4,8 +4,10 @@ A minimal, deterministic, generator-coroutine engine in the style of
 SimPy, purpose-built for this reproduction (SimPy itself is not available
 offline, and we need far fewer features than it offers):
 
-* :class:`Engine` — binary-heap event queue with deterministic
-  tie-breaking ``(time, seq)``; no wall-clock anywhere.
+* :class:`Engine` — binary-heap event queue plus a FIFO for this
+  instant's work, with deterministic tie-breaking ``(time, seq)`` across
+  both; no wall-clock anywhere.  Queue entries are direct ``(when, seq,
+  kind, a, b)`` records dispatched inline — no closure per event.
 * :class:`Process` — a Python generator that ``yield``s waitables
   (:class:`Timeout`, :class:`Event`, or another :class:`Process`) and is
   resumed with the waitable's value — or has an exception thrown into it
@@ -29,9 +31,31 @@ Example::
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from ..core.errors import SimulationError
+from ..core.perfstats import get_stats
+
+#: The engine's single time tolerance: ``call_at`` accepts targets up to
+#: this far in the (float-drift) past, and :meth:`Engine.run` treats a
+#: larger backwards jump as corruption.  Historically these were two
+#: different constants (1e-12 and 1e-9); one named epsilon keeps "just
+#: now, modulo rounding" meaning the same thing everywhere.
+TIME_EPS = 1e-9
+
+# Queue-entry kinds, dispatched inline by the run loop.  Heap entries are
+# ``(when, seq, kind, a, b)``; immediate entries ``(seq, kind, a, b)``.
+# Direct entries replace the historical one-closure-per-event scheme
+# (``lambda: self._step(proc, value, None)``): no closure or cell
+# allocation per resume, and the hot kinds dispatch without a Python
+# frame beyond the target itself.
+_CB = 0       # a = zero-argument callable
+_CALL = 1     # a = one-argument callable, b = its argument
+_STEP = 2     # a = process, b = value to send
+_THROW = 3    # a = process, b = exception to throw
+_TIMER = 4    # a = process; resume with None if still alive
+_EVFAIL = 5   # a = event, b = (exc_type, message); fail if untriggered
 
 
 class Interrupted(Exception):
@@ -85,12 +109,21 @@ class Event:
         self._flush()
 
     def _flush(self) -> None:
-        waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            if self._exc is not None:
-                self._engine._schedule_throw(proc, self._exc)
-            else:
-                self._engine._schedule_resume(proc, self._value)
+        waiters = self._waiters
+        if not waiters:
+            return
+        # Safe to clear after iterating: once _done is set, _add_waiter
+        # schedules directly instead of appending here.
+        engine = self._engine
+        exc = self._exc
+        if exc is not None:
+            for proc in waiters:
+                engine._schedule_throw(proc, exc)
+        else:
+            value = self._value
+            for proc in waiters:
+                engine._schedule_resume(proc, value)
+        waiters.clear()
 
     def _add_waiter(self, proc: "Process") -> None:
         if self._done:
@@ -112,7 +145,7 @@ class Process:
     """A running generator coroutine inside the engine."""
 
     __slots__ = ("engine", "gen", "name", "done", "value", "exc",
-                 "_completion", "_waiting_on", "_timeout_seq")
+                 "on_error", "_completion", "_waiting_on", "_timeout_seq")
 
     def __init__(self, engine: "Engine", gen: Generator, name: str) -> None:
         self.engine = engine
@@ -121,6 +154,13 @@ class Process:
         self.done = False
         self.value: Any = None
         self.exc: Optional[BaseException] = None
+        #: Optional supervisor hook: called with the exception when the
+        #: generator raises.  Returning True absorbs the failure (the
+        #: process completes as if it returned None) — this replaces the
+        #: historical per-node wrapper *generator* whose only job was a
+        #: try/except around ``yield from node.run()``, which cost a
+        #: delegation hop on every resume of every process.
+        self.on_error: Optional[Callable[[BaseException], bool]] = None
         self._completion: Optional[Event] = None
         self._waiting_on: Optional[Event] = None
         self._timeout_seq: Optional[int] = None  # pending Timeout identity
@@ -179,9 +219,16 @@ class Engine:
 
     def __init__(self, tracer=None) -> None:
         self.now = 0.0
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: List[Tuple[float, int, int, Any, Any]] = []
+        #: FIFO of work scheduled for *this* instant: same-time resumes
+        #: (the overwhelmingly common case on the protocol-exact data
+        #: path) append/popleft here instead of round-tripping the heap.
+        #: Entries carry their global ``seq``, so merging with the heap
+        #: preserves the engine's ``(time, seq)`` dispatch order exactly.
+        self._immediate: deque = deque()
         self._seq = 0
         self._cancelled: set[int] = set()
+        self._event_pool: List[Event] = []
         if tracer is None:
             from ..core.tracing import NULL_TRACER
             tracer = NULL_TRACER
@@ -197,40 +244,104 @@ class Engine:
     # Scheduling primitives
     # ------------------------------------------------------------------
 
+    def _push(self, when: float, kind: int, a: Any, b: Any) -> int:
+        """Schedule one queue entry; returns its cancellation token.
+
+        Targets at or (within :data:`TIME_EPS`) before ``now`` go to the
+        immediate FIFO — they are *this* instant's work, and a deque
+        append/popleft is far cheaper than a heap round trip.  Strictly
+        future targets go to the heap.
+        """
+        self._seq += 1
+        if when <= self.now:
+            if when < self.now - TIME_EPS:
+                raise SimulationError(
+                    f"cannot schedule in the past: {when} < {self.now}")
+            self._immediate.append((self._seq, kind, a, b))
+        else:
+            heapq.heappush(self._heap, (when, self._seq, kind, a, b))
+        return self._seq
+
     def call_at(self, when: float, fn: Callable[[], None]) -> int:
         """Schedule ``fn()`` at absolute simulated time ``when``.
 
         Returns a token usable with :meth:`_cancel_timeout`.
         """
-        if when < self.now - 1e-12:
-            raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
-        self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, fn))
-        return self._seq
+        return self._push(when, _CB, fn, None)
 
     def call_after(self, delay: float, fn: Callable[[], None]) -> int:
-        return self.call_at(self.now + delay, fn)
+        return self._push(self.now + delay, _CB, fn, None)
+
+    def call_at1(self, when: float, fn: Callable[[Any], None],
+                 arg: Any) -> int:
+        """Schedule ``fn(arg)`` at ``when`` without building a closure —
+        the hot-path variant for per-message work (channel delivery)."""
+        return self._push(when, _CALL, fn, arg)
+
+    def fail_after(self, delay: float, event: "Event", exc_type: type,
+                   message: str) -> int:
+        """Schedule ``event.fail(exc_type(message))`` after ``delay``
+        unless the event has triggered by then.
+
+        This is the deadline primitive behind every channel timeout; as
+        a direct queue entry it replaces the historical per-wait
+        ``lambda ev=...: ev.fail(...) if not ev.triggered else None``
+        closures.  The exception is constructed only if the deadline
+        actually fires.  Cancel with :meth:`_cancel_timeout`.
+        """
+        return self._push(self.now + delay, _EVFAIL, event,
+                          (exc_type, message))
 
     def _cancel_timeout(self, seq: int) -> None:
-        """Lazily cancel a scheduled callback by its token.
+        """Lazily cancel a scheduled entry by its token.
 
-        The heap entry stays in place (removing from a binary heap is
+        The queue entry stays in place (removing from a binary heap is
         O(n)) and is skipped when popped.  When cancellations outnumber
-        half the queue, the heap is compacted in one O(n) pass so a
+        half the queue, both queues are compacted in one O(n) pass so a
         cancel-heavy workload — or a :meth:`run` stopped at ``until``
         before the cancelled entries' times — cannot grow ``_cancelled``
         without bound.
         """
         self._cancelled.add(seq)
-        if len(self._cancelled) > len(self._heap) // 2:
+        if len(self._cancelled) > (len(self._heap)
+                                   + len(self._immediate)) // 2:
             self._heap = [
                 entry for entry in self._heap if entry[1] not in self._cancelled
             ]
             heapq.heapify(self._heap)
+            if self._immediate:
+                self._immediate = deque(
+                    e for e in self._immediate if e[0] not in self._cancelled
+                )
             self._cancelled.clear()
 
     def event(self, name: str = "") -> Event:
         return Event(self, name)
+
+    # -- event pooling --------------------------------------------------
+    #
+    # The protocol-exact channel layer needs one waiter cell per blocked
+    # receive/send; at millions of simulated messages that is millions
+    # of allocations.  Waits are strictly nested (create → yield →
+    # finally: recycle), so a free list is safe *provided the recycler
+    # has detached every alias* — the channel code clears its waiter
+    # slot and cancels the deadline entry before recycling.
+
+    def _borrow_event(self, name: str = "") -> Event:
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev._done = False
+            ev._value = None
+            ev._exc = None
+            ev.name = name
+            return ev
+        return Event(self, name)
+
+    def _recycle_event(self, ev: Event) -> None:
+        if ev._waiters:
+            del ev._waiters[:]
+        self._event_pool.append(ev)
 
     # ------------------------------------------------------------------
     # Processes
@@ -242,10 +353,12 @@ class Engine:
         return proc
 
     def _schedule_resume(self, proc: Process, value: Any) -> None:
-        self.call_at(self.now, lambda: self._step(proc, value, None))
+        self._seq += 1
+        self._immediate.append((self._seq, _STEP, proc, value))
 
     def _schedule_throw(self, proc: Process, exc: BaseException) -> None:
-        self.call_at(self.now, lambda: self._step(proc, None, exc))
+        self._seq += 1
+        self._immediate.append((self._seq, _THROW, proc, exc))
 
     def _step(self, proc: Process, value: Any, exc: Optional[BaseException]) -> None:
         if proc.done:
@@ -269,6 +382,12 @@ class Engine:
             return
         except Exception as err:  # noqa: BLE001 - propagate to completion
             proc.done = True
+            handler = proc.on_error
+            if handler is not None and handler(err):
+                # Supervisor absorbed it: complete as if run() returned.
+                if proc._completion is not None:
+                    proc._completion.succeed(None)
+                return
             proc.exc = err
             if proc._completion is not None:
                 proc._completion.fail(err)
@@ -277,16 +396,28 @@ class Engine:
                     f"process {proc.name!r} raised with no-one waiting: {err!r}"
                 ) from err
             return
+        # Inline the Event wait — the hottest yield target by far (every
+        # blocked channel receive); anything else takes the full path.
+        if target.__class__ is Event:
+            proc._waiting_on = target
+            if target._done:
+                if target._exc is not None:
+                    self._schedule_throw(proc, target._exc)
+                else:
+                    self._schedule_resume(proc, target._value)
+            else:
+                target._waiters.append(proc)
+            return
         self._wait_on(proc, target)
 
     def _wait_on(self, proc: Process, target: Any) -> None:
-        if isinstance(target, Timeout):
-            proc._timeout_seq = self.call_after(
-                target.delay, lambda: self._resume_if_pending(proc)
-            )
-        elif isinstance(target, Event):
+        if isinstance(target, Event):          # hottest: channel waits
             proc._waiting_on = target
             target._add_waiter(proc)
+        elif isinstance(target, Timeout):
+            proc._timeout_seq = self._push(
+                self.now + target.delay, _TIMER, proc, None
+            )
         elif isinstance(target, Process):
             ev = target.completion
             proc._waiting_on = ev
@@ -296,37 +427,93 @@ class Engine:
                 f"process {proc.name!r} yielded non-waitable {target!r}"
             )
 
-    def _resume_if_pending(self, proc: Process) -> None:
-        if not proc.done:
-            self._step(proc, None, None)
-
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the queue drains (or simulated time passes ``until``).
+        """Run until the queues drain (or simulated time passes ``until``).
 
-        Returns the final simulated time.
+        Dispatch order is the engine's determinism contract: globally by
+        ``(time, seq)``.  Immediate entries all live at the current
+        instant, so the merge rule below — take the FIFO head unless the
+        heap front is due *now* with a smaller seq (or is an epsilon-
+        drifted past entry) — reproduces exactly the order a single heap
+        would have produced.  Returns the final simulated time.
+
+        NB: no local aliases of ``_heap``/``_immediate`` — compaction in
+        :meth:`_cancel_timeout` rebinds them mid-run.
         """
-        while self._heap:
-            when, seq, fn = self._heap[0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            if seq in self._cancelled:
-                self._cancelled.discard(seq)
-                continue
-            if when < self.now - 1e-9:
-                raise SimulationError("time went backwards")
-            self.now = max(self.now, when)
-            fn()
-        return self.now
+        processed = skips = 0
+        peak = 0
+        # One float compare per heap pop instead of a None test + compare.
+        horizon = float("inf") if until is None else until
+        cancelled = self._cancelled  # set identity is stable (clear() mutates)
+        try:
+            while True:
+                imm = self._immediate
+                heap = self._heap
+                pending = len(heap) + len(imm)
+                if pending > peak:
+                    peak = pending
+                now = self.now
+                if imm:
+                    if heap:
+                        head = heap[0]
+                        hwhen = head[0]
+                        use_imm = hwhen > now or (
+                            hwhen == now and head[1] > imm[0][0])
+                    else:
+                        use_imm = True
+                else:
+                    use_imm = False
+                if use_imm:
+                    seq, kind, a, b = imm.popleft()
+                    # Truthiness test first: the set is empty in healthy
+                    # steady state, and a bool check beats a hash probe.
+                    if cancelled and seq in cancelled:
+                        cancelled.discard(seq)
+                        skips += 1
+                        continue
+                else:
+                    if not heap:
+                        break
+                    when = heap[0][0]
+                    if when > horizon:
+                        self.now = until
+                        return self.now
+                    _, seq, kind, a, b = heapq.heappop(heap)
+                    if cancelled and seq in cancelled:
+                        cancelled.discard(seq)
+                        skips += 1
+                        continue
+                    if when < now - TIME_EPS:
+                        raise SimulationError("time went backwards")
+                    if when > now:
+                        self.now = when
+                processed += 1
+                # Inline dispatch, hottest kinds first.
+                if kind == _STEP:
+                    self._step(a, b, None)
+                elif kind == _CALL:
+                    a(b)
+                elif kind == _TIMER:
+                    self._step(a, None, None)
+                elif kind == _CB:
+                    a()
+                elif kind == _THROW:
+                    self._step(a, None, b)
+                else:  # _EVFAIL: deadline passed while the event pended
+                    if not a._done:
+                        exc_type, message = b
+                        a.fail(exc_type(message))
+            return self.now
+        finally:
+            get_stats().sim_ran(processed, skips, peak)
 
     @property
     def pending_events(self) -> int:
-        # Every cancelled seq still sits in the heap exactly once (the
-        # compaction in _cancel_timeout and the pop in run() both keep the
-        # two structures in sync), so this is O(1) instead of a scan.
-        return len(self._heap) - len(self._cancelled)
+        # Every cancelled seq still sits in exactly one of the two
+        # queues (compaction and the run() pops keep the structures in
+        # sync), so this is O(1) instead of a scan.
+        return len(self._heap) + len(self._immediate) - len(self._cancelled)

@@ -23,9 +23,11 @@ so replayed bytes are accounted for naturally.
 from __future__ import annotations
 
 import math
+from heapq import heapify, heappop, heappush
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import KascadeError, SimulationError
+from ..core.perfstats import get_stats
 from ..topology.graph import Network
 from .engine import Engine, Event
 from .flows import FlowSpec, MaxMinProblem
@@ -98,8 +100,12 @@ class StreamSupply(Supply):
             fabric = stream.fabric
         # Re-pointing a supply changes the coupling graph: anything
         # chain-coupled to this node must be re-rated *now*, not at the
-        # next unrelated fabric event.
+        # next unrelated fabric event.  The dependency map and every
+        # backlog-based wake time are stale too — rebuild wholesale (rare:
+        # this only happens on failure recovery).
         if fabric is not None:
+            fabric._wake_all = True
+            fabric._problem_token = None  # coupling edges moved: re-index
             fabric._on_change()
 
     def mark_unbounded(self) -> None:
@@ -110,6 +116,7 @@ class StreamSupply(Supply):
         self._unbounded = True
         fabric = self._stream.fabric if self._stream is not None else None
         if fabric is not None:
+            fabric._wake_all = True
             fabric._on_change()
 
     def available(self) -> float:
@@ -170,6 +177,11 @@ class Stream:
         self.rate = 0.0              # solver rate before coupling
         self.effective_rate = 0.0    # after coupling (what actually flows)
         self.constraints_version = 0  # bumped when constraints rebuild
+        #: Wake-heap bookkeeping: entries pushed for this stream carry the
+        #: stamp current at push time; a stamp bump invalidates them all.
+        #: ``_wake_rate`` is the effective rate those entries assumed.
+        self._wake_stamp = 0
+        self._wake_rate = 0.0
         #: Why this stream runs at its current rate: "limit",
         #: ("constraint", key), "chain-coupled", "backpressure",
         #: "unbounded", or None before the first solve.
@@ -177,6 +189,10 @@ class Stream:
         self._cap_source: Optional[str] = None
         self.done = False
         self.failed: Optional[BaseException] = None
+        #: Plain attribute (``not done and failed is None``), maintained by
+        #: ``_finish``: it is read millions of times per run and a property
+        #: was a measurable slice of the solve loop.
+        self.active = True
         self.completed: Event = fabric.engine.event(name=f"stream:{key}")
         self._thresholds: List[Tuple[float, Event]] = []  # (abs offset, ev)
         self._constraints: Tuple[Tuple[Hashable, float], ...] = ()
@@ -201,10 +217,6 @@ class Stream:
     def remaining(self) -> float:
         return max(0.0, self.length - self.delivered)
 
-    @property
-    def active(self) -> bool:
-        return not self.done and self.failed is None
-
     def when_delivered(self, abs_offset: float) -> Event:
         """Event fired when ``head`` reaches ``abs_offset``."""
         ev = self.fabric.engine.event(name=f"thresh:{self.key}@{abs_offset}")
@@ -220,6 +232,7 @@ class Stream:
             ev.succeed(self.head)
         else:
             self._thresholds.append((abs_offset, ev))
+            self.fabric._dirty_wake.add(self)
             self.fabric._on_change()
         return ev
 
@@ -287,10 +300,16 @@ class Stream:
         # Integrate progress up to this instant: a cancelled/failed stream
         # must freeze at its true position, not its last-event snapshot.
         self.fabric._advance()
+        self.active = False
         # A finished stream moves no more bytes; anyone coupled to it must
-        # see a zero supply rate, not the last solved value.
+        # see a zero supply rate, not the last solved value.  Streams
+        # chain-coupled to this one have wake-heap entries computed with
+        # the old supply rate — invalidate them.
         self.rate = 0.0
         self.effective_rate = 0.0
+        consumers = self.fabric._deps.get(self)
+        if consumers:
+            self.fabric._dirty_wake.update(consumers)
         if failure is None:
             self.done = True
             self.delivered = self.length
@@ -324,6 +343,25 @@ class Fabric:
         self._recompute_pending = False
         self._problem: Optional[MaxMinProblem] = None
         self._problem_token: Optional[tuple] = None
+        self._token_set: Set[tuple] = set()
+        self._ordered: List[Stream] = []   # actives sorted by (depth, key)
+        self._has_bp = False
+        #: Base-solve memo: limits signature -> (rates, causes).  Between
+        #: structural changes the fixpoint walks the same handful of limit
+        #: vectors every recompute; hitting here skips the solver entirely.
+        self._solve_memo: Dict[tuple, tuple] = {}
+        #: Constraint capacities are fixed for a fabric's lifetime (hosts
+        #: and links are stamped before the run); resolved once per key.
+        self._cap_cache: Dict[Hashable, float] = {}
+        #: Wake schedule: a heap of ``(abs_time, seq, stamp, stream)``
+        #: candidates, lazily invalidated by per-stream stamp bumps.
+        self._wake_heap: List[tuple] = []
+        self._wake_seq = 0
+        self._wake_all = True
+        self._dirty_wake: Set[Stream] = set()
+        #: Coupling dependencies: supply stream -> streams rate-capped by
+        #: it.  Rebuilt whenever the active set is re-indexed.
+        self._deps: Dict[Stream, List[Stream]] = {}
         #: Called with the fabric after every re-rating (tracing hooks).
         self.observers: List = []
 
@@ -454,66 +492,139 @@ class Fabric:
                     )
         self._last_update = now
 
+    def _capacity_of(self, ckey: Hashable) -> float:
+        cap = self._cap_cache.get(ckey)
+        if cap is None:
+            kind, ident = ckey
+            net = self.network
+            if kind == "link":
+                cap = net.links[ident].capacity
+            elif kind == "copy":
+                cap = net.host(ident).copy_bw
+            elif kind == "disk":
+                disk = net.host(ident).disk
+                cap = disk.write_bw * disk.seq_efficiency
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown constraint kind {kind!r}")
+            self._cap_cache[ckey] = cap
+        return cap
+
     def _capacities(self) -> Dict[Hashable, float]:
         caps: Dict[Hashable, float] = {}
-        net = self.network
+        cap_of = self._capacity_of
         for stream in self.streams:
             if not stream.active:
                 continue
             for ckey, _w in stream._constraints:
-                if ckey in caps:
-                    continue
-                kind, ident = ckey
-                if kind == "link":
-                    caps[ckey] = net.links[ident].capacity
-                elif kind == "copy":
-                    caps[ckey] = net.host(ident).copy_bw
-                elif kind == "disk":
-                    disk = net.host(ident).disk
-                    caps[ckey] = disk.write_bw * disk.seq_efficiency
-                else:  # pragma: no cover - defensive
-                    raise SimulationError(f"unknown constraint kind {kind!r}")
+                if ckey not in caps:
+                    caps[ckey] = cap_of(ckey)
         return caps
+
+    def _reindex(self, active: List[Stream], token: tuple) -> bool:
+        """Bring the cached problem in line with the active-stream set.
+
+        The common transitions — streams completing, streams opening —
+        are applied incrementally to the live :class:`MaxMinProblem`;
+        anything else (a surviving stream's constraints changed) falls
+        back to a full re-index.  Returns whether a full rebuild ran.
+        """
+        old = self._token_set
+        new = set(token)
+        problem = self._problem
+        if problem is not None:
+            n_flows = len(problem.flows)
+            if n_flows > 64 and problem.n_active * 2 < n_flows:
+                problem = None  # tombstones dominate: compact via rebuild
+        rebuild = True
+        if problem is not None:
+            if new <= old:
+                for key, _version in old - new:
+                    problem.deactivate(key)
+                rebuild = False
+            elif old <= new:
+                added = new - old
+                caps = problem.capacities
+                for s in active:
+                    if (s.key, s.constraints_version) not in added:
+                        continue
+                    for ckey, _w in s._constraints:
+                        if ckey not in caps:
+                            caps[ckey] = self._capacity_of(ckey)
+                    problem.add_flow(
+                        FlowSpec(s.key, s._constraints, s.ext_limit)
+                    )
+                rebuild = False
+        if rebuild:
+            specs = [
+                FlowSpec(s.key, s._constraints, s.ext_limit) for s in active
+            ]
+            self._problem = MaxMinProblem(specs, self._capacities())
+        self._problem_token = token
+        self._token_set = new
+        self._ordered = sorted(active, key=lambda s: (s.depth, s.key))
+        self._has_bp = any(s.bp_supply is not None for s in active)
+        self._solve_memo.clear()
+        deps: Dict[Stream, List[Stream]] = {}
+        for s in active:
+            for sup in (s.supply, s.bp_supply):
+                if isinstance(sup, StreamSupply):
+                    src = sup._stream
+                    if src is not None:
+                        deps.setdefault(src, []).append(s)
+        self._deps = deps
+        return rebuild
 
     def _solve(self) -> None:
         """Solve max-min rates and apply chain coupling to a fixpoint."""
         active = [s for s in self.streams if s.active]
         if not active:
             return
-        ordered = sorted(active, key=lambda s: (s.depth, s.key))
         # The membership index is expensive to build and invariant while
-        # the active-stream set (and each stream's constraints) is; cache
-        # the indexed problem across recomputes.  Capacities are stable
-        # for the lifetime of a run (hosts are stamped before it starts).
+        # the active-stream set (and each stream's constraints) is; keep
+        # the indexed problem live across recomputes and apply membership
+        # changes incrementally.  Capacities are stable for the lifetime
+        # of a run (hosts are stamped before it starts).
         token = tuple((s.key, s.constraints_version) for s in active)
+        rebuild = False
         if token != self._problem_token:
-            specs = [
-                FlowSpec(s.key, s._constraints, s.ext_limit) for s in active
-            ]
-            self._problem = MaxMinProblem(specs, self._capacities())
-            self._problem_token = token
+            rebuild = self._reindex(active, token)
+        get_stats().solver_solved(full_rebuild=rebuild)
+        ordered = self._ordered
+        problem = self._problem
+        memo = self._solve_memo
         limits = {s.key: s.ext_limit for s in active}
-        has_bp = any(s.bp_supply is not None for s in active)
+        has_bp = self._has_bp
         causes: Dict[Hashable, object] = {}
         for _iteration in range(12):
-            rates, causes = self._problem.solve_explained(limits)
+            sig = tuple(limits[s.key] for s in ordered)
+            hit = memo.get(sig)
+            if hit is None:
+                rates, causes = problem.solve_explained(limits)
+                if len(memo) >= 64:
+                    memo.clear()
+                memo[sig] = (rates, causes)
+            else:
+                rates, causes = hit
             changed = False
             # Forward pass: chain (supply) coupling, shallow to deep.
             for s in ordered:
                 r = rates[s.key]
                 cap = math.inf
                 s._cap_source = None
-                if s.supply is not None:
-                    backlog = s.supply.available() - s.head
+                supply = s.supply
+                if supply is not None:
+                    backlog = (
+                        supply.available() - s.offset0 - s.delivered
+                    )
                     if backlog <= _BYTE_EPS:
-                        cap = s.supply.rate()
+                        cap = supply.rate()
                 s.rate = r
                 s.effective_rate = min(r, cap)
                 if cap < r:
                     s._cap_source = "chain-coupled"
                 new_limit = min(s.ext_limit, cap)
                 old = limits[s.key]
-                if not _close(new_limit, old):
+                if new_limit != old and not _close(new_limit, old):
                     limits[s.key] = new_limit
                     changed = True
             if has_bp:
@@ -531,8 +642,9 @@ class Fabric:
                         if s.effective_rate > cap:
                             s.effective_rate = cap
                             s._cap_source = "backpressure"
-                        new_limit = min(limits[s.key], cap)
-                        if not _close(new_limit, limits[s.key]):
+                        old = limits[s.key]
+                        new_limit = min(old, cap)
+                        if new_limit != old and not _close(new_limit, old):
                             limits[s.key] = new_limit
                             changed = True
             if not changed:
@@ -542,38 +654,41 @@ class Fabric:
         for s in ordered:
             s.binding = s._cap_source or causes.get(s.key)
 
-    def _next_event_time(self) -> Optional[float]:
-        """Earliest moment the piecewise-constant rates must be revisited."""
-        best: Optional[float] = None
+    def _push_wake(self, s: Stream, now: float) -> None:
+        """(Re)compute the wake-time candidates for one stream.
 
-        def consider(dt: float) -> None:
-            nonlocal best
-            if dt < 0:
-                dt = 0.0
-            if best is None or dt < best:
-                best = dt
-
-        for s in self.streams:
-            if not s.active:
-                continue
-            r = s.effective_rate
-            if r > 0:
-                consider(s.remaining / r)
-                for off, _ev in s._thresholds:
-                    gap = off - s.head
-                    if gap > 0:
-                        consider(gap / r)
-            if s.supply is not None:
-                srate = s.supply.rate()
-                backlog = s.supply.available() - s.head
-                if backlog > _BYTE_EPS and r > srate + 1e-12:
-                    consider(backlog / (r - srate))
-            if s.bp_supply is not None:
-                crate = s.bp_supply.rate()
-                room = s.bp_supply.available() + s.bp_capacity - s.head
-                if room > _BYTE_EPS and r > crate + 1e-12:
-                    consider(room / (r - crate))
-        return best
+        Candidates are *absolute* simulation times — valid for as long as
+        the rates they were computed from hold, however many unrelated
+        recomputes happen in between.  Bumping the stream's stamp
+        invalidates everything pushed before."""
+        heap = self._wake_heap
+        s._wake_stamp = stamp = s._wake_stamp + 1
+        s._wake_rate = r = s.effective_rate
+        head = s.offset0 + s.delivered
+        seq = self._wake_seq
+        if r > 0:
+            seq += 1
+            heappush(heap, (now + (s.length - s.delivered) / r, seq, stamp, s))
+            for off, _ev in s._thresholds:
+                gap = off - head
+                if gap > 0:
+                    seq += 1
+                    heappush(heap, (now + gap / r, seq, stamp, s))
+        supply = s.supply
+        if supply is not None:
+            srate = supply.rate()
+            backlog = supply.available() - head
+            if backlog > _BYTE_EPS and r > srate + 1e-12:
+                seq += 1
+                heappush(heap, (now + backlog / (r - srate), seq, stamp, s))
+        bp = s.bp_supply
+        if bp is not None:
+            crate = bp.rate()
+            room = bp.available() + s.bp_capacity - head
+            if room > _BYTE_EPS and r > crate + 1e-12:
+                seq += 1
+                heappush(heap, (now + room / (r - crate), seq, stamp, s))
+        self._wake_seq = seq
 
     def _recompute(self) -> None:
         self._in_recompute = True
@@ -588,32 +703,91 @@ class Fabric:
             observer(self)
 
     def _fire_due(self) -> None:
-        for stream in list(self.streams):
+        finished: Optional[List[Stream]] = None
+        for stream in self.streams:
             if not stream.active:
                 continue
-            due = [
-                (off, ev) for off, ev in stream._thresholds
-                if stream.head >= off - _BYTE_EPS
-            ]
-            if due:
-                stream._thresholds = [
-                    pair for pair in stream._thresholds if pair not in due
+            delivered = stream.delivered
+            thresholds = stream._thresholds
+            if thresholds:
+                head = stream.offset0 + delivered
+                due = [
+                    pair for pair in thresholds if head >= pair[0] - _BYTE_EPS
                 ]
-                for _off, ev in due:
-                    ev.succeed(stream.head)
-            if stream.remaining <= _BYTE_EPS:
+                if due:
+                    stream._thresholds = [
+                        pair for pair in thresholds if pair not in due
+                    ]
+                    for _off, ev in due:
+                        ev.succeed(head)
+                    # The fired thresholds' heap entries are now stale but
+                    # carry a live stamp; re-stamp so they cannot pin the
+                    # wake schedule to the past.
+                    self._dirty_wake.add(stream)
+            if stream.length - delivered <= _BYTE_EPS:
+                if finished is None:
+                    finished = []
+                finished.append(stream)
+        if finished:
+            # Deferred: _finish removes the stream from self.streams.
+            for stream in finished:
                 stream._finish()
 
     def _schedule_wake(self) -> None:
         if self._wake_token is not None:
             self.engine._cancel_timeout(self._wake_token)
             self._wake_token = None
-        dt = self._next_event_time()
-        if dt is None or math.isinf(dt):
+        now = self.engine.now
+        heap = self._wake_heap
+        dirty = self._dirty_wake
+        if self._wake_all:
+            self._wake_all = False
+            dirty.clear()
+            heap.clear()
+            for s in self.streams:
+                if s.active:
+                    self._push_wake(s, now)
+        else:
+            # A stream needs fresh candidates when its own rate moved or
+            # when a supply it is coupled to re-rated (its catch-up time
+            # depends on both).  Everything else keeps its absolute wake
+            # times from earlier recomputes.
+            deps = self._deps
+            for s in self._ordered:
+                if s.effective_rate != s._wake_rate:
+                    dirty.add(s)
+                    consumers = deps.get(s)
+                    if consumers:
+                        dirty.update(consumers)
+            if dirty:
+                for s in dirty:
+                    if s.active:
+                        self._push_wake(s, now)
+                dirty.clear()
+        if len(heap) > 64 and len(heap) > 4 * len(self.streams):
+            # Lazy deletion left mostly-dead entries behind; compact.
+            live = [
+                entry for entry in heap
+                if entry[3].active and entry[2] == entry[3]._wake_stamp
+            ]
+            heap[:] = live
+            heapify(heap)
+        while heap:
+            when, _seq, stamp, s = heap[0]
+            if not s.active or stamp != s._wake_stamp:
+                heappop(heap)
+                continue
+            dt = when - now
+            if dt < 0.0:
+                dt = 0.0
+            if math.isinf(dt):
+                return
+            # A hair past the exact crossing so float drift cannot strand
+            # a completion a femto-byte short.
+            self._wake_token = self.engine.call_after(
+                dt + 1e-12, self._recompute
+            )
             return
-        # A hair past the exact crossing so float drift cannot strand a
-        # completion a femto-byte short.
-        self._wake_token = self.engine.call_after(dt + 1e-12, self._recompute)
 
 
 def _close(a: float, b: float) -> bool:

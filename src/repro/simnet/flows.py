@@ -63,6 +63,12 @@ class MaxMinProblem:
     events; constructing the membership index each time dominated the
     profile, so it lives here and :meth:`solve` only copies the mutable
     per-solve state.
+
+    The flow set itself evolves incrementally between solves — the
+    common case is one stream completing out of hundreds — so the index
+    supports :meth:`deactivate` (tombstone a flow, pruning it from the
+    membership lists) and :meth:`add_flow` without re-indexing the
+    surviving flows.
     """
 
     def __init__(
@@ -72,8 +78,14 @@ class MaxMinProblem:
     ) -> None:
         self.flows = list(flows)
         self.capacities = capacities
+        self.inactive: List[bool] = [False] * len(self.flows)
+        self.n_active = len(self.flows)
+        self._index: Dict[Hashable, int] = {}
         self.members: Dict[Hashable, List[Tuple[int, float]]] = {}
         for idx, flow in enumerate(self.flows):
+            if flow.key in self._index:
+                raise SimulationError(f"duplicate flow key {flow.key!r}")
+            self._index[flow.key] = idx
             seen = set()
             for ckey, weight in flow.constraints:
                 if ckey not in capacities:
@@ -93,6 +105,46 @@ class MaxMinProblem:
             if cap < 0:
                 raise SimulationError(f"negative capacity for {ckey!r}")
             self._wsum0[ckey] = sum(w for _i, w in flws)
+
+    def deactivate(self, key: Hashable) -> None:
+        """Tombstone one flow: prune its membership entries and weight
+        contributions.  Subsequent solves skip it and omit it from the
+        returned rate map.  O(sum of its constraints' member lists)
+        instead of a full re-index."""
+        idx = self._index[key]
+        if self.inactive[idx]:
+            return
+        self.inactive[idx] = True
+        self.n_active -= 1
+        for ckey, weight in self.flows[idx].constraints:
+            self.members[ckey] = [
+                pair for pair in self.members[ckey] if pair[0] != idx
+            ]
+            self._wsum0[ckey] -= weight
+
+    def add_flow(self, flow: FlowSpec) -> None:
+        """Append one new flow to the live instance."""
+        if flow.key in self._index:
+            raise SimulationError(f"duplicate flow key {flow.key!r}")
+        idx = len(self.flows)
+        self.flows.append(flow)
+        self.inactive.append(False)
+        self.n_active += 1
+        self._index[flow.key] = idx
+        seen = set()
+        for ckey, weight in flow.constraints:
+            if ckey not in self.capacities:
+                raise SimulationError(
+                    f"flow {flow.key!r} references unknown "
+                    f"constraint {ckey!r}"
+                )
+            if ckey in seen:
+                raise SimulationError(
+                    f"flow {flow.key!r} lists constraint {ckey!r} twice"
+                )
+            seen.add(ckey)
+            self.members.setdefault(ckey, []).append((idx, weight))
+            self._wsum0[ckey] = self._wsum0.get(ckey, 0.0) + weight
 
     def solve(
         self, limits: Optional[Dict[Hashable, float]] = None
@@ -134,7 +186,8 @@ def _solve_indexed(
     versioned entries) — and lazily-materialised capacity consumption,
     so a solve costs ``O((flows + constraints) · log)``."""
     flows = problem.flows
-    if not flows:
+    inactive = problem.inactive
+    if not problem.n_active:
         return {}, {}
     members = problem.members
 
@@ -148,7 +201,9 @@ def _solve_indexed(
             raise SimulationError(f"negative limit for flow {f.key!r}")
 
     rates = [0.0] * n
-    frozen = [False] * n
+    # Tombstoned flows start frozen so no loop ever visits them; they are
+    # filtered from the returned maps at the end.
+    frozen = list(inactive)
     causes: List[object] = [None] * n
     remaining: Dict[Hashable, float] = {
         ckey: problem.capacities[ckey] for ckey in members
@@ -190,9 +245,12 @@ def _solve_indexed(
         push_constraint(ckey)
 
     # Flows sorted by limit; a moving pointer yields the next limit freeze.
-    by_limit = sorted(range(n), key=lambda i: limit_of[i])
+    by_limit = sorted(
+        (i for i in range(n) if not inactive[i]), key=lambda i: limit_of[i]
+    )
+    n_limits = len(by_limit)
     lim_ptr = 0
-    n_unfrozen = n
+    n_unfrozen = problem.n_active
 
     def freeze(idx: int, rate: float, cause: object) -> None:
         nonlocal n_unfrozen
@@ -209,9 +267,11 @@ def _solve_indexed(
             push_constraint(ckey)
 
     while n_unfrozen > 0:
-        while lim_ptr < n and frozen[by_limit[lim_ptr]]:
+        while lim_ptr < n_limits and frozen[by_limit[lim_ptr]]:
             lim_ptr += 1
-        limit_cand = limit_of[by_limit[lim_ptr]] if lim_ptr < n else math.inf
+        limit_cand = (
+            limit_of[by_limit[lim_ptr]] if lim_ptr < n_limits else math.inf
+        )
 
         constraint_cand = math.inf
         while cheap:
@@ -242,7 +302,7 @@ def _solve_indexed(
                     )
         else:
             # Freeze the flow(s) whose limit was reached.
-            while lim_ptr < n:
+            while lim_ptr < n_limits:
                 idx = by_limit[lim_ptr]
                 if frozen[idx]:
                     lim_ptr += 1
@@ -254,6 +314,8 @@ def _solve_indexed(
                     break
 
     return (
-        {flow.key: rates[idx] for idx, flow in enumerate(flows)},
-        {flow.key: causes[idx] for idx, flow in enumerate(flows)},
+        {flow.key: rates[idx] for idx, flow in enumerate(flows)
+         if not inactive[idx]},
+        {flow.key: causes[idx] for idx, flow in enumerate(flows)
+         if not inactive[idx]},
     )

@@ -58,7 +58,7 @@ class TestRunner:
 class TestFigureRegistry:
     def test_all_evaluation_figures_present(self):
         assert set(FIGURES) == {
-            "fig07", "fig08", "fig09", "fig10", "fig11",
+            "fig07", "fig07_10x", "fig08", "fig09", "fig10", "fig11",
             "fig13", "fig14", "fig15",
         }
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import SimulationError
-from repro.simnet.engine import Engine, Event, Interrupted, Timeout
+from repro.simnet.engine import TIME_EPS, Engine, Event, Interrupted, Timeout
 
 
 class TestScheduling:
@@ -346,3 +346,88 @@ class TestDeterminism:
             return log
 
         assert build() == build()
+
+
+class TestTimeEpsilon:
+    """One named tolerance governs every "is this in the past?" check."""
+
+    def test_schedule_exactly_at_now(self):
+        eng = Engine()
+        log = []
+
+        def at_five():
+            eng.call_at(eng.now, lambda: log.append("same-instant"))
+            log.append("first")
+
+        eng.call_at(5.0, at_five)
+        assert eng.run() == 5.0
+        assert log == ["first", "same-instant"]
+
+    def test_float_drifted_target_is_treated_as_now(self):
+        # A target computed as now - eps/2 (accumulated float drift) must
+        # run immediately in FIFO order, not raise, and must not move the
+        # clock backwards.
+        eng = Engine()
+        log = []
+
+        def at_five():
+            eng.call_at(eng.now - TIME_EPS / 2, lambda: log.append("drift"))
+            eng.call_at(eng.now, lambda: log.append("exact"))
+
+        eng.call_at(5.0, at_five)
+        assert eng.run() == 5.0
+        assert log == ["drift", "exact"]
+
+    def test_beyond_epsilon_past_is_rejected(self):
+        eng = Engine()
+        eng.call_at(5.0, lambda: eng.call_at(5.0 - 10 * TIME_EPS,
+                                             lambda: None))
+        with pytest.raises(SimulationError):
+            eng.run()
+
+
+class TestSupervisorHook:
+    """``Process.on_error`` absorbs failures without a wrapper generator."""
+
+    def test_handler_absorbs_exception(self):
+        eng = Engine()
+        seen = []
+
+        def boom():
+            yield Timeout(1.0)
+            raise ValueError("expected")
+
+        proc = eng.spawn(boom())
+        proc.on_error = lambda exc: (seen.append(str(exc)), True)[1]
+        eng.run()
+        assert seen == ["expected"]
+        assert proc.done and proc.exc is None
+
+    def test_handler_declining_reraises(self):
+        eng = Engine()
+
+        def boom():
+            yield Timeout(1.0)
+            raise ValueError("expected")
+
+        proc = eng.spawn(boom())
+        proc.on_error = lambda exc: False
+        with pytest.raises(SimulationError, match="expected"):
+            eng.run()
+
+    def test_handler_resolves_completion_waiters(self):
+        eng = Engine()
+
+        def boom():
+            yield Timeout(1.0)
+            raise ValueError("expected")
+
+        def waiter(proc):
+            value = yield proc
+            assert value is None
+
+        proc = eng.spawn(boom())
+        proc.on_error = lambda exc: True
+        eng.spawn(waiter(proc))
+        eng.run()
+        assert proc.done

@@ -245,14 +245,24 @@ def cmd_deploy(args: argparse.Namespace) -> int:
 
 def cmd_agent(args: argparse.Namespace) -> int:
     """One deployed node process (normally spawned by ``deploy``)."""
-    from ..deploy.agent import run_agent
-
     try:
         host, port = args.coordinator.rsplit(":", 1)
         coordinator = (host, int(port))
     except ValueError:
         raise SystemExit(f"bad --coordinator {args.coordinator!r} "
                          f"(expected HOST:PORT)")
+    if args.fleet:
+        from ..daemon.agent import run_fleet_agent
+
+        return run_fleet_agent(
+            coordinator, args.name,
+            bind=args.bind,
+            advertise=args.advertise,
+            start_timeout=args.start_timeout,
+            cache_bytes=args.cache_bytes,
+        )
+    from ..deploy.agent import run_agent
+
     return run_agent(
         coordinator, args.name,
         bind=args.bind,
@@ -261,6 +271,99 @@ def cmd_agent(args: argparse.Namespace) -> int:
         die_on_start=args.die_on_start,
         stripes=args.stripes,
     )
+
+
+def _parse_hostport(spec: str, what: str) -> Tuple[str, int]:
+    try:
+        host, port = spec.rsplit(":", 1)
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"bad {what} {spec!r} (expected HOST:PORT)")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Launch a persistent agent fleet and serve broadcast sessions."""
+    from ..daemon import DaemonServer, serve_clients
+
+    config = build_config(args)
+    if args.names:
+        names = [n.strip() for n in args.names.split(",") if n.strip()]
+    else:
+        names = [f"n{i}" for i in range(1, args.fleet + 1)]
+    host, port = _parse_hostport(args.listen, "--listen")
+    server = DaemonServer(
+        names,
+        config=config,
+        cache_bytes=args.cache_bytes,
+        window=args.window,
+        spawn_retries=args.spawn_retries,
+        startup_timeout=args.startup_timeout,
+        stderr_dir=args.stderr_dir,
+    )
+    server.start()
+    assert server.launch_report is not None
+    print(f"fleet up: {len(server.registered)}/{len(names)} agents in "
+          f"{server.launch_report.total_s:.2f}s "
+          f"(cache {args.cache_bytes} bytes/agent)", flush=True)
+    try:
+        serve_clients(
+            server, host, port,
+            on_bound=lambda h, p: print(f"listening on {h}:{p}", flush=True))
+    except KeyboardInterrupt:
+        server.shutdown()
+    print(f"served {server.sessions_completed} session(s); fleet down",
+          flush=True)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one broadcast session to a running ``kascade serve``."""
+    from ..daemon.client import DaemonClient
+
+    host, port = _parse_hostport(args.server, "--server")
+    client = DaemonClient(host, port)
+    if args.shutdown:
+        client.shutdown()
+        print("server shutting down")
+        return 0
+    if args.ping:
+        info = client.ping()
+        print(f"fleet: {','.join(info['registered'])} "
+              f"({info['sessions_completed']} session(s) served)")
+        return 0
+    if not args.input:
+        raise SystemExit("submit needs -i FILE (or --ping/--shutdown)")
+    late = []
+    for spec in args.late_join or []:
+        from ..core.units import parse_size
+        try:
+            node, size = spec.split(":", 1)
+            late.append((node, int(parse_size(size))))
+        except ValueError:
+            raise SystemExit(f"bad --late-join entry: {spec!r} "
+                             f"(expected NODE:BYTES)")
+    receivers = ([n.strip() for n in args.receivers.split(",") if n.strip()]
+                 if args.receivers else None)
+    reply = client.submit(
+        args.input, receivers,
+        head=args.head,
+        output_template=args.output,
+        late_join=late,
+        session=args.session,
+        timeout=args.run_timeout,
+    )
+    if "error" in reply:
+        print(f"submit FAILED: {reply['error']}", file=sys.stderr)
+        return 1
+    stats = reply.get("perfstats") or {}
+    cached = stats.get("bytes_from_cache", 0)
+    print(f"{reply['bytes']} bytes in {reply['duration']:.2f}s "
+          f"({cached} from cache)")
+    for name, digest in sorted((reply.get("digests") or {}).items()):
+        print(f"  {name}: sha256={digest[:12]}…")
+    if reply.get("failed"):
+        print(f"failed: {','.join(reply['failed'])}", file=sys.stderr)
+    return 0 if reply.get("ok") else 1
 
 
 def _stripe_registries(addrs: Dict[str, Address], stripes: int):
@@ -471,7 +574,69 @@ def main(argv: List[str] | None = None) -> int:
                             "set by deploy to match its --stripes)")
     agent.add_argument("--die-on-start", action="store_true",
                        help=argparse.SUPPRESS)  # test hook: exit before registering
+    agent.add_argument("--fleet", action="store_true",
+                       help="run as a persistent fleet agent (spawned by "
+                            "serve): many sessions, one process")
+    agent.add_argument("--cache-bytes", type=int, default=0,
+                       help="fleet mode: byte budget for the cross-session "
+                            "chunk cache (0 = no cache)")
     agent.set_defaults(fn=cmd_agent)
+
+    serve = sub.add_parser(
+        "serve",
+        help="launch a persistent agent fleet and serve broadcast sessions")
+    serve.add_argument("-n", "--fleet", type=int, default=4,
+                       help="fleet size (names n1..nN) when --names is "
+                            "not given")
+    serve.add_argument("--names", default=None,
+                       help="explicit fleet names, comma separated "
+                            "(overrides -n)")
+    serve.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                       help="submit socket to listen on (port 0 = pick one, "
+                            "printed at startup)")
+    serve.add_argument("--cache-bytes", type=int,
+                       default=DEFAULT_CONFIG.cache_bytes,
+                       help="per-agent chunk-cache budget in bytes "
+                            "(0 disables re-broadcast short-circuiting)")
+    serve.add_argument("--window", type=int, default=8,
+                       help="max agent launches in flight (§III-B)")
+    serve.add_argument("--spawn-retries", type=int, default=1,
+                       help="extra spawn attempts per fleet agent")
+    serve.add_argument("--startup-timeout", type=float, default=15.0,
+                       help="seconds one spawn may take to register")
+    serve.add_argument("--stderr-dir", default=None,
+                       help="capture each agent's stderr under this dir")
+    add_common(serve)
+    serve.set_defaults(fn=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one broadcast session to a running serve")
+    submit.add_argument("--server", required=True, metavar="HOST:PORT",
+                        help="submit socket of the kascade serve")
+    submit.add_argument("-i", "--input", default=None,
+                        help="file to broadcast (must be readable by the "
+                             "server process)")
+    submit.add_argument("-o", "--output", default=None,
+                        help="per-node output path; '{node}' expands to "
+                             "the node name (default: discard, digest only)")
+    submit.add_argument("--head", default=None,
+                        help="sending fleet member (default: first in fleet)")
+    submit.add_argument("--receivers", default=None,
+                        help="receiving fleet members, comma separated "
+                             "(default: whole fleet minus the head)")
+    submit.add_argument("--late-join", action="append", default=None,
+                        metavar="NODE:BYTES",
+                        help="register NODE into the session once the push "
+                             "moved BYTES; it pulls the missing prefix from "
+                             "cache-warm peers; repeatable")
+    submit.add_argument("--session", default=None,
+                        help="session name (default: server-assigned)")
+    submit.add_argument("--run-timeout", type=float, default=600.0)
+    submit.add_argument("--ping", action="store_true",
+                        help="just check the server is alive")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="ask the server to drain and exit")
+    submit.set_defaults(fn=cmd_submit)
 
     recv = sub.add_parser("recv", help="run one receiving node")
     recv.add_argument("--name", required=True)

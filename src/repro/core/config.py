@@ -76,6 +76,13 @@ class KascadeConfig:
         chunk index into ``k`` stripes, each broadcast down its own
         chain (see :mod:`repro.core.plan`), with per-stripe ring
         buffers and recovery and an in-order merge at every sink.
+    cache_bytes:
+        Byte budget for the content-addressed chunk cache a long-lived
+        fleet agent keeps across broadcast sessions
+        (:mod:`repro.core.cache`; daemon backend only — one-shot
+        backends tear their processes down, so there is nothing to
+        cache into).  ``0`` disables caching; every session then pays
+        full wire cost even for a repeated artifact.
     data_plane:
         Which runtime data plane executes the node I/O.  ``"threaded"``
         (the default and the conformance reference) runs one acceptor
@@ -102,6 +109,7 @@ class KascadeConfig:
     sink_writeback_budget: int = 32 * MiB
     readahead_chunks: int = 2  # 0 = no head-node prefetch
     stripes: int = 1  # 1 = single chain (legacy path)
+    cache_bytes: int = 256 * MiB  # 0 = no cross-session chunk cache
     data_plane: str = "threaded"  # "threaded" | "evloop"
 
     def __post_init__(self) -> None:
@@ -120,7 +128,7 @@ class KascadeConfig:
                 f"bandwidth_limit must be positive, got {self.bandwidth_limit}"
             )
         for name in ("sink_writeback_depth", "sink_writeback_budget",
-                     "readahead_chunks"):
+                     "readahead_chunks", "cache_bytes"):
             value = getattr(self, name)
             if value < 0:
                 raise ConfigError(f"{name} must be >= 0, got {value}")

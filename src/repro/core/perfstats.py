@@ -40,6 +40,18 @@ path (socket streams, frame decoder, buffer pool) increments a
   invocations, and how many of them could not reuse the incremental
   problem (topology changed under it).  A healthy large run has many
   rounds and few rebuilds.
+* ``cache_hits`` / ``cache_misses`` / ``bytes_from_cache`` /
+  ``cache_evictions`` — the content-addressed chunk cache
+  (:mod:`repro.core.cache`): chunk lookups served locally vs. not, the
+  payload bytes those hits avoided re-fetching over the wire, and
+  entries dropped by LRU eviction.  A repeat broadcast of a cached
+  artifact should show ``bytes_from_cache`` ≈ stream size per receiver
+  and zero data-plane ``bytes_received``.
+* ``sessions_active`` — daemon only: high-water mark of concurrently
+  running broadcast sessions on one fleet (a maximum, not a sum).
+* ``launch_amortized_s`` — daemon only: the fleet's one-time windowed
+  launch cost divided by the sessions that have reused it so far
+  (seconds, a float; shrinks as the warm fleet amortises startup).
 
 Components default to the module-global :func:`get_stats` instance so
 production code needs no plumbing; tests construct a private instance and
@@ -77,6 +89,12 @@ _COUNTERS = (
     "sim_cancelled_skips",
     "solver_rounds",
     "solver_full_rebuilds",
+    "cache_hits",
+    "cache_misses",
+    "bytes_from_cache",
+    "cache_evictions",
+    "sessions_active",
+    "launch_amortized_s",
 )
 
 
@@ -158,6 +176,16 @@ class PerfStats:
         self.solver_rounds += 1
         if full_rebuild:
             self.solver_full_rebuilds += 1
+
+    def cache_hit(self, nbytes: int) -> None:
+        """Record one chunk served from the content-addressed cache."""
+        self.cache_hits += 1
+        self.bytes_from_cache += nbytes
+
+    def note_sessions_active(self, count: int) -> None:
+        """Track the concurrent-session high-water mark (daemon)."""
+        if count > self.sessions_active:
+            self.sessions_active = count
 
     # -- reporting -------------------------------------------------------
 

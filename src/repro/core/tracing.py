@@ -36,7 +36,7 @@ from typing import Callable, Deque, Iterable, List, Optional, Tuple
 
 __all__ = [
     "CONNECT", "CHUNK", "STALL", "PING", "FAILOVER", "PGET", "FORGET",
-    "QUIT", "REPORT", "DONE", "EVENT_TYPES",
+    "QUIT", "REPORT", "DONE", "CACHE_HIT", "SESSION", "EVENT_TYPES",
     "DETECTOR_ERROR", "DETECTOR_PING", "DETECTOR_CONNECT",
     "DETECTOR_PROC_EXIT",
     "classify_detector", "TraceEvent", "NullRecorder", "NULL_TRACER",
@@ -55,9 +55,12 @@ FORGET = "forget"      #: data unrecoverable behind the buffer window
 QUIT = "quit"          #: a deliberate abort (user interrupt / data loss)
 REPORT = "report"      #: the failure report passed through this node
 DONE = "done"          #: the node completed its duties (ok or failed)
+CACHE_HIT = "cache-hit"  #: a chunk was served from the local content cache
+SESSION = "session"    #: daemon session lifecycle (open / start / close)
 
 EVENT_TYPES = frozenset(
-    (CONNECT, CHUNK, STALL, PING, FAILOVER, PGET, FORGET, QUIT, REPORT, DONE)
+    (CONNECT, CHUNK, STALL, PING, FAILOVER, PGET, FORGET, QUIT, REPORT,
+     DONE, CACHE_HIT, SESSION)
 )
 
 #: FAILOVER detector taxonomy (§III-D1): how a death was established.

@@ -1,0 +1,29 @@
+"""Broadcast-as-a-service: a persistent agent fleet running many
+concurrent named sessions over one windowed launch.
+
+The one-shot backends pay process launch per broadcast; the daemon pays
+it once.  :class:`DaemonServer` owns the fleet and multiplexes sessions
+(push chains, cache-served re-broadcasts, late-joiner pull catch-up);
+:class:`DaemonClient` talks to a ``kascade serve`` over its submit
+socket; :class:`LateJoin` names a node that enters a session mid-flight.
+
+    with DaemonServer(["n1", "n2", "n3"]) as server:
+        cold = server.submit(FileSource(path))   # push chain
+        warm = server.submit(FileSource(path))   # served from cache
+
+Or across processes::
+
+    kascade serve --fleet 4 --listen 127.0.0.1:7641
+    kascade submit --server 127.0.0.1:7641 -i artifact.tgz
+"""
+
+from .client import DaemonClient, serve_clients
+from .server import DaemonServer, FleetCoordinator, LateJoin
+
+__all__ = [
+    "DaemonClient",
+    "DaemonServer",
+    "FleetCoordinator",
+    "LateJoin",
+    "serve_clients",
+]

@@ -28,7 +28,7 @@ import hashlib
 import os
 import threading
 import time
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..core.config import KascadeConfig
 from ..core.perfstats import get_stats
@@ -110,24 +110,25 @@ class _Heartbeat:
                 return
 
 
-def _progress_gate(channel: ControlChannel, every: int):
+def _progress_gate(send: Callable[[int], None], every: int):
     """A :data:`~repro.runtime.node.CrashGate` that never crashes.
 
     Reuses the receiver's per-chunk gate slot to stream throttled
-    progress to the coordinator — the signal the chaos engine keys on.
+    progress (via ``send(total_bytes)``) to the coordinator — the
+    signal the chaos engine keys on.
     """
     last = [0]
 
     def gate(received: int) -> Optional[str]:
         if received - last[0] >= every:
             last[0] = received
-            channel.send({"op": "progress", "bytes": received})
+            send(received)
         return None
 
     return gate
 
 
-def _progress_gates(channel: ControlChannel, every: int, stripes: int):
+def _progress_gates(send: Callable[[int], None], every: int, stripes: int):
     """Per-stripe gates reporting the host's *aggregate* byte count.
 
     Chaos thresholds are host-level on a striped run, so the progress
@@ -145,7 +146,7 @@ def _progress_gates(channel: ControlChannel, every: int, stripes: int):
                 if total - last[0] < every:
                     return None
                 last[0] = total
-            channel.send({"op": "progress", "bytes": total})
+            send(total)
             return None
 
         return gate
@@ -218,6 +219,54 @@ def _run_registered(
     if msg.get("op") != "start":
         return EXIT_USAGE
 
+    heartbeat = _Heartbeat(channel, float(msg.get("heartbeat_interval", 0.5)))
+    heartbeat.start()
+    try:
+        status = execute_transfer(
+            msg, listeners, name,
+            progress_send=lambda total: channel.send(
+                {"op": "progress", "bytes": total}),
+        )
+    except TransferSetupError:
+        return EXIT_USAGE
+    finally:
+        heartbeat.stop()
+    channel.send({"op": "status", **status})
+    return EXIT_OK if status["ok"] else EXIT_FAILED
+
+
+class TransferSetupError(Exception):
+    """The start message and this agent's bound resources disagree
+    (e.g. stripe-count mismatch) — a usage error, not a transfer failure."""
+
+
+def execute_transfer(
+    msg: dict,
+    listeners: List[Listener],
+    name: str,
+    *,
+    progress_send: Callable[[int], None],
+    cache=None,
+) -> dict:
+    """Run the transfer one ``start``-shaped message describes.
+
+    The reusable heart of an agent: the one-shot ``kascade agent``
+    process calls this exactly once; a persistent daemon fleet agent
+    (:mod:`repro.daemon.agent`) calls it once *per session*, from an
+    already-registered process, with per-session listeners.
+
+    Returns the status payload (everything but the ``op`` field).  The
+    trace collector — and therefore ``trace_epoch`` — is created *here*,
+    at transfer start, so a long-lived agent running many sessions gets
+    per-session time bases and the coordinator's merge rebases each
+    session independently (not against the agent's process start).
+
+    ``cache`` is an optional :class:`~repro.core.cache.ChunkCache`;
+    when the message carries an ``artifact`` identity, a receiving
+    agent taps the merged stream into it chunk-by-chunk, becoming
+    cache-warm for repeat broadcasts and pull-phase peers while this
+    push is still running.
+    """
     config = KascadeConfig(**msg["config"])
     nodes = [(n, Address(h, p)) for n, h, p in msg["nodes"]]
     head = msg["head"]
@@ -228,7 +277,8 @@ def _run_registered(
             head, tuple(n for n, _ in nodes if n != head))
     k = chain_plan.stripe_count
     if k != len(listeners):
-        return EXIT_USAGE  # coordinator/agent stripe-count mismatch
+        raise TransferSetupError(
+            f"{k}-stripe plan vs {len(listeners)} bound listeners")
     # Stripe j of every node listens on its j-th advertised port; the
     # legacy single-port start message is the k == 1 degenerate case.
     ports = {n: [a.port] for n, a in nodes}
@@ -240,12 +290,11 @@ def _run_registered(
         for j in range(k)
     ]
     run_timeout = float(msg.get("run_timeout", 600.0))
+    artifact = msg.get("artifact")
 
     tracer = TraceCollector()
     trace_epoch = time.time()
     stats_before = get_stats().snapshot()
-    heartbeat = _Heartbeat(channel, float(msg.get("heartbeat_interval", 0.5)))
-    heartbeat.start()
 
     # data_plane travels inside the config: the coordinator's choice
     # reaches every agent without a new wire field.  Receivers always
@@ -278,13 +327,18 @@ def _run_registered(
         # The digest hashes the *merged* stream, so it is comparable
         # across any stripe count (and with the head's source digest).
         digest_sink = DigestSink(inner)
+        top: Sink = digest_sink
+        if cache is not None and artifact:
+            from ..core.cache import ArtifactMeta, CacheTapSink
+            top = CacheTapSink(digest_sink, cache,
+                               ArtifactMeta.from_wire(artifact))
         if k == 1:
-            stripe_sinks: List[Sink] = [digest_sink]
-            gate_for = lambda j: _progress_gate(channel, progress_every)
+            stripe_sinks: List[Sink] = [top]
+            gate_for = lambda j: _progress_gate(progress_send, progress_every)
         else:
-            merger = StripeMergeSink(digest_sink, k, config.chunk_size)
+            merger = StripeMergeSink(top, k, config.chunk_size)
             stripe_sinks = [merger.port(j) for j in range(k)]
-            gates = _progress_gates(channel, progress_every, k)
+            gates = _progress_gates(progress_send, progress_every, k)
             gate_for = gates
         for j in range(k):
             agent_nodes.append(recv_cls(
@@ -313,7 +367,6 @@ def _run_registered(
                 )
                 node.shutdown()
                 node.join(2.0)
-    heartbeat.stop()
     if source is not None:
         source.close()
 
@@ -338,8 +391,7 @@ def _run_registered(
             report_hex = final_report.encode().hex()
             failures = final_report.failed_nodes
     stats_after = get_stats().snapshot()
-    channel.send({
-        "op": "status",
+    return {
         "name": name,
         "ok": bool(ok),
         "bytes": int(total),
@@ -352,8 +404,7 @@ def _run_registered(
                       for k_ in stats_after},
         "trace": tracer.to_jsonl(),
         "trace_epoch": trace_epoch,
-    })
-    return EXIT_OK if ok else EXIT_FAILED
+    }
 
 
 def config_to_wire(config: KascadeConfig) -> dict:

@@ -81,6 +81,28 @@ class ChaosEngine:
         with self._lock:
             return set(self._pending) | set(self._fired)
 
+    def validate(self, participants, *, known=None, what="plan") -> None:
+        """Every chaos target must be a receiver in ``participants``.
+
+        ``known`` widens the diagnostic, not the rule: when the caller
+        runs many sessions over one fleet (the daemon), a target that
+        *is* a fleet member but sits outside this session's plan gets
+        its own message — "you named a real node, just not one in this
+        session" — instead of the generic unknown-node error.
+        """
+        stray = self.targets() - set(participants)
+        if not stray:
+            return
+        if known is not None:
+            fleet_only = stray & set(known)
+            if fleet_only:
+                raise KascadeError(
+                    f"chaos targets fleet members outside this {what}: "
+                    f"{sorted(fleet_only)} (session nodes: "
+                    f"{sorted(participants)})"
+                )
+        raise KascadeError(f"chaos plans for unknown nodes: {sorted(stray)}")
+
     @property
     def fired(self) -> Dict[str, ChaosPlan]:
         """Plans that have been executed, by node name."""

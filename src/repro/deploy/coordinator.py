@@ -44,6 +44,32 @@ from .chaos import ChaosEngine, ChaosPlan
 from .launcher import LaunchReport, WindowedLauncher
 from .protocol import ControlChannel, DeployError
 
+def rebase_events(status: dict, wall0: float) -> list:
+    """Agent trace events shifted onto the caller's time base.
+
+    Agents stamp events relative to their own collector; the status
+    carries that collector's wall-clock epoch, so on one host (or
+    NTP-disciplined hosts) the rebased events interleave correctly.
+    ``wall0`` is *the run's* epoch — for the one-shot procs backend
+    that is the broadcast start, for the daemon it is the session
+    start, so a fleet agent's tenth session rebases against session
+    ten's zero, not the agent's process birth.
+    """
+    trace_text = status.get("trace")
+    if not trace_text:
+        return []
+    shift = float(status.get("trace_epoch", wall0)) - wall0
+    events = TraceCollector.from_jsonl(trace_text)
+    return [
+        tracing.TraceEvent(
+            seq=e.seq, t=e.t + shift, type=e.type, node=e.node,
+            offset=e.offset, peer=e.peer, detail=e.detail,
+            detector=e.detector,
+        )
+        for e in events
+    ]
+
+
 #: How an agent's exit status renders in failure reasons and trace events.
 def describe_exit(code: int) -> str:
     if code < 0:
@@ -343,9 +369,7 @@ class ProcBroadcast:
         self.stripes = self.chain_plan.stripe_count
         self.plan = self.chain_plan.base
         self.chaos = ChaosEngine(chaos)
-        unknown = self.chaos.targets() - set(self.plan.receivers)
-        if unknown:
-            raise KascadeError(f"chaos plans for unknown nodes: {sorted(unknown)}")
+        self.chaos.validate(self.plan.receivers)
         if (output_template is not None and len(self.plan.receivers) > 1
                 and "{node}" not in output_template):
             raise KascadeError(
@@ -576,7 +600,7 @@ class ProcBroadcast:
             stop_reaper.set()
             if reaper is not None:
                 reaper.join(timeout=2.0)
-            self._teardown(procs)
+            self._teardown(procs, coordinator)
             coordinator.close()
             cleanup_source()
 
@@ -670,7 +694,7 @@ class ProcBroadcast:
                 )
                 for key, value in (status.get("perfstats") or {}).items():
                     perfstats[key] = perfstats.get(key, 0) + int(value)
-                merged_events.extend(self._rebase_events(status, wall0))
+                merged_events.extend(rebase_events(status, wall0))
                 if name == final_plan.head and status.get("report"):
                     head_report = TransferReport.decode(
                         bytes.fromhex(status["report"]))
@@ -718,28 +742,6 @@ class ProcBroadcast:
             plan=final_chain,
         )
 
-    @staticmethod
-    def _rebase_events(status: dict, wall0: float) -> list:
-        """Agent trace events shifted onto the coordinator's time base.
-
-        Agents stamp events relative to their own collector; the status
-        carries that collector's wall-clock epoch, so on one host (or
-        NTP-disciplined hosts) the rebased events interleave correctly.
-        """
-        trace_text = status.get("trace")
-        if not trace_text:
-            return []
-        shift = float(status.get("trace_epoch", wall0)) - wall0
-        events = TraceCollector.from_jsonl(trace_text)
-        return [
-            tracing.TraceEvent(
-                seq=e.seq, t=e.t + shift, type=e.type, node=e.node,
-                offset=e.offset, peer=e.peer, detail=e.detail,
-                detector=e.detector,
-            )
-            for e in events
-        ]
-
     def _failed_result(
         self,
         started: float,
@@ -770,16 +772,46 @@ class ProcBroadcast:
             plan=self.chain_plan,
         )
 
-    @staticmethod
-    def _teardown(procs: Dict[str, subprocess.Popen]) -> None:
+    def _teardown(
+        self,
+        procs: Dict[str, subprocess.Popen],
+        coordinator: Optional[Coordinator] = None,
+        grace: float = 2.0,
+    ) -> None:
         """Guaranteed cleanup: no agent outlives the run.
 
-        ``SIGKILL`` rather than ``SIGTERM`` because a chaos-stopped
-        process cannot run a handler — kill is the one signal that works
-        on a ``SIGSTOP``ped child.
+        Agents that completed cleanly (status received, never targeted
+        by chaos) are *drained*: they get a ``quit`` on the control
+        socket and up to ``grace`` seconds to exit on their own, so a
+        clean run ends with exit code 0 across the fleet instead of a
+        blanket ``SIGKILL`` masquerading as a crash in process
+        accounting.  Everything else — chaos-stopped, hung, or
+        unresolved agents — is killed immediately: ``SIGKILL`` rather
+        than ``SIGTERM`` because a chaos-stopped process cannot run a
+        handler; kill is the one signal that works on a ``SIGSTOP``ped
+        child.  Drained agents that overstay the grace window are
+        killed too — graceful is a courtesy, not a liveness dependency.
         """
-        for proc in procs.values():
-            if proc is not None and proc.poll() is None:
+        chaos_hit = set(self.chaos.fired) if self.chaos is not None else set()
+        drained: List[subprocess.Popen] = []
+        for name, proc in procs.items():
+            if proc is None or proc.poll() is not None:
+                continue
+            agent = coordinator.agent(name) if coordinator is not None else None
+            if (agent is not None and agent.status is not None
+                    and name not in chaos_hit):
+                coordinator.send(name, {"op": "quit"})
+                drained.append(proc)
+            else:
+                try:
+                    proc.kill()
+                except (OSError, ProcessLookupError):
+                    pass
+        deadline = time.monotonic() + grace
+        for proc in drained:
+            try:
+                proc.wait(timeout=max(0.0, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
                 try:
                     proc.kill()
                 except (OSError, ProcessLookupError):

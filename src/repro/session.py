@@ -56,6 +56,7 @@ TraceSpec = Union[None, bool, TraceCollector, str, os.PathLike]
 BACKEND_CATALOGUE = {
     "local": "threads + loopback TCP in this process (default)",
     "procs": "one OS process per node, real signals for crash injection",
+    "daemon": "session on a persistent agent fleet (chunk cache, late join)",
     "simnet": "protocol-exact discrete-event simulator (no real I/O)",
 }
 
@@ -75,6 +76,7 @@ def _unknown_backend(backend: str) -> KascadeError:
 STRIPE_CATALOGUE = {
     "local": "k in-process chains; needs a seekable-file source",
     "procs": "k listeners per agent; any source (the head spools it)",
+    "daemon": "k per-session listeners per fleet agent; any source",
     "simnet": "k simulated channels; needs a seekable-file source",
 }
 
@@ -203,6 +205,8 @@ class BroadcastSession:
             result = self._run_local(timeout)
         elif self.backend == "procs":
             result = self._run_procs(timeout)
+        elif self.backend == "daemon":
+            result = self._run_daemon(timeout)
         else:
             result = self._run_simnet()
         if self.trace_path is not None and isinstance(self.tracer,
@@ -269,6 +273,75 @@ class BroadcastSession:
             **self.backend_opts,
         )
         return cluster.run(timeout=timeout)
+
+    #: Keyword options the daemon backend understands.  ``server`` is
+    #: the interesting one: a started :class:`repro.daemon.DaemonServer`
+    #: to submit this broadcast into as one more session on its warm
+    #: fleet (skipping launch entirely); without it an ephemeral fleet
+    #: is launched for this one session and torn down after.
+    _DAEMON_OPTS = frozenset({
+        "window", "spawn_retries", "startup_timeout", "backoff",
+        "heartbeat_interval", "heartbeat_timeout", "progress_every",
+        "output_template", "python", "bind_host", "stderr_dir",
+        "cache_bytes", "server", "late_join", "session_name",
+    })
+
+    def _run_daemon(self, timeout: float) -> BroadcastResult:
+        from .daemon.server import DaemonServer, LateJoin
+        from .deploy.chaos import MODE_TO_SIGNAL, ChaosPlan
+
+        if self.sink_factory is not None:
+            raise KascadeError(
+                "daemon backend cannot ship a sink_factory across process "
+                "boundaries; use output_template='/path/{node}.out' "
+                "(digests are computed agent-side either way)"
+            )
+        if self.order != "given":
+            raise KascadeError("daemon backend supports order='given' only")
+        if self.plan is not None:
+            raise KascadeError(
+                "daemon backend plans per session (the warm partition is "
+                "not knowable up front); pre-built plans are not supported"
+            )
+        unknown = set(self.backend_opts) - self._DAEMON_OPTS
+        if unknown:
+            raise KascadeError(f"unknown daemon options: {sorted(unknown)}")
+
+        def as_chaos(crash) -> ChaosPlan:
+            if isinstance(crash, ChaosPlan):
+                return crash
+            plan = self._as_crash_plan(crash)
+            return ChaosPlan(plan.node, after_bytes=plan.after_bytes,
+                             sig=MODE_TO_SIGNAL[plan.mode])
+
+        opts = dict(self.backend_opts)
+        server = opts.pop("server", None)
+        late_join = tuple(
+            lj if isinstance(lj, LateJoin) else LateJoin(lj[0], int(lj[1]))
+            for lj in opts.pop("late_join", ())
+        )
+        submit_kwargs = dict(
+            head=self.head,
+            output_template=opts.pop("output_template", None),
+            chaos=[as_chaos(c) for c in self.crashes],
+            late_join=late_join,
+            session=opts.pop("session_name", None),
+            trace=self.tracer,
+            timeout=timeout,
+        )
+        if server is not None:
+            if opts:
+                raise KascadeError(
+                    f"options {sorted(opts)} configure a fleet launch and "
+                    f"do not apply when submitting to an existing server"
+                )
+            return server.submit(self.source, self.receivers,
+                                 **submit_kwargs)
+        fleet = (self.head, *self.receivers,
+                 *(lj.node for lj in late_join))
+        with DaemonServer(fleet, config=self.config, **opts) as ephemeral:
+            return ephemeral.submit(self.source, self.receivers,
+                                    **submit_kwargs)
 
     def _run_simnet(self) -> BroadcastResult:
         from .protosim.broadcast import ProtoBroadcast, ProtoCrash

@@ -17,6 +17,7 @@ class TestVocabulary:
         assert tracing.EVENT_TYPES == {
             "connect", "chunk", "stall", "ping", "failover",
             "pget", "forget", "quit", "report", "done",
+            "cache-hit", "session",
         }
 
     def test_constants_are_their_wire_strings(self):

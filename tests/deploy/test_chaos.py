@@ -78,3 +78,27 @@ class TestChaosEngine:
         assert engine.targets() == {"n2", "n3"}
         engine.on_progress("n2", 0, pid=1)
         assert engine.targets() == {"n2", "n3"}
+
+
+class TestValidate:
+    def test_targets_inside_the_plan_pass(self):
+        engine = ChaosEngine([ChaosPlan("n2")], kill_fn=lambda p, s: None)
+        engine.validate(["n2", "n3"])  # no raise
+
+    def test_unknown_node_is_the_generic_error(self):
+        engine = ChaosEngine([ChaosPlan("n9")], kill_fn=lambda p, s: None)
+        with pytest.raises(KascadeError, match="unknown nodes.*n9"):
+            engine.validate(["n2", "n3"])
+
+    def test_fleet_member_outside_the_session_is_its_own_error(self):
+        """The daemon's case: 'n4' exists in the fleet but not in this
+        session — the error must say so, not claim the node is unknown."""
+        engine = ChaosEngine([ChaosPlan("n4")], kill_fn=lambda p, s: None)
+        with pytest.raises(KascadeError,
+                           match="fleet members outside this session.*n4"):
+            engine.validate(["n2", "n3"], known=["n1", "n2", "n3", "n4"],
+                            what="session")
+        # Same engine, target truly unknown even to the fleet:
+        stranger = ChaosEngine([ChaosPlan("n9")], kill_fn=lambda p, s: None)
+        with pytest.raises(KascadeError, match="unknown nodes"):
+            stranger.validate(["n2"], known=["n1", "n2"], what="session")

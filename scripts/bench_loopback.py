@@ -81,6 +81,10 @@ class Scenario:
     #: first session; "repeat_cached" re-submits the same artifact so
     #: receivers replay their chunk cache instead of touching upstream.
     daemon_mode: Optional[str] = None
+    #: Kill the head this fraction of the way into the stream and let
+    #: the failover machinery promote a survivor; the scenario records
+    #: election-to-first-chunk recovery latency alongside throughput.
+    head_crash: Optional[float] = None
 
 
 @contextlib.contextmanager
@@ -186,6 +190,16 @@ def build_catalogue() -> dict:
             "DES striped: 4 interleaved chains, 8 receivers — aggregate "
             "throughput should approach 4x the single chain",
             setup=_file_source_null_sinks, backend="simnet"),
+        # Head failover: SIGKILL-equivalent head death a quarter of the
+        # way in, in-process election of the most-complete survivor,
+        # chain re-rooted onto it.  Throughput includes the outage;
+        # the recorded ``failover.recovery_s`` is the election-to-
+        # first-chunk latency — the number the control plane owns.
+        "head_kill_recovery": Scenario(
+            KascadeConfig(chunk_size=1 << 20, buffer_chunks=8), 3,
+            "head killed at 25%: elect most-complete survivor, re-root "
+            "the chain, measure time to the first post-election chunk",
+            setup=_file_source_null_sinks, head_crash=0.25),
         # The daemon pair: one warm fleet, many sessions.  Rates are
         # per-*session* (launch excluded — the whole point is that warm
         # submits never pay it), with the one-time launch and the
@@ -299,12 +313,29 @@ def run_daemon_scenario(name: str, spec: Scenario, *, size: int,
     }
 
 
+def _failover_latency(trace) -> Optional[dict]:
+    """Election-to-first-chunk recovery metrics from a run's trace."""
+    from repro.core.tracing import CHUNK, ELECTION
+
+    elections = trace.of_type(ELECTION)
+    if not elections:
+        return None
+    elect = elections[0]
+    resumed = [e.t for e in trace.of_type(CHUNK) if e.t > elect.t]
+    return {
+        "promoted": elect.peer,
+        "watermark": elect.offset,
+        "recovery_s": round(min(resumed) - elect.t, 4) if resumed else None,
+    }
+
+
 def run_scenario(name: str, spec: Scenario, *, size: int, rounds: int) -> dict:
     """Run one broadcast ``rounds`` times; report the best rate."""
     if spec.backend == "daemon":
         return run_daemon_scenario(name, spec, size=size, rounds=rounds)
     best = None
     best_stats: dict = {}
+    best_failover: Optional[dict] = None
     receivers = [f"n{i}" for i in range(2, 2 + spec.receivers)]
     for _ in range(rounds):
         if spec.setup is not None:
@@ -321,26 +352,46 @@ def run_scenario(name: str, spec: Scenario, *, size: int, rounds: int) -> dict:
                 ok, duration = proto.ok, proto.sim_time
                 summary = proto.report.summary()
                 stats: dict = {}
+                failover = None
             else:
+                extra = {}
+                if spec.head_crash is not None:
+                    from repro.core.tracing import TraceCollector
+                    from repro.runtime import CrashPlan
+
+                    extra = dict(
+                        crashes=[CrashPlan("n1",
+                                           int(size * spec.head_crash))],
+                        allow_head_chaos=True,
+                        tracer=TraceCollector(),
+                    )
                 result = LocalBroadcast(
                     source, receivers,
                     sink_factory=sink_factory,
                     config=spec.config,
+                    **extra,
                 ).run(timeout=120)
                 ok, duration = result.ok, result.duration
                 summary = result.report.summary()
                 stats = result.perfstats
+                failover = (_failover_latency(result.trace)
+                            if spec.head_crash is not None else None)
         if not ok:
             raise SystemExit(f"scenario {name!r} failed: {summary}")
         if best is None or duration < best:
             best = duration
             best_stats = stats
+            best_failover = failover
     rate = size / best / 2**20
     unit = "MiB/sim-s" if spec.backend == "simnet" else "MiB/s"
+    tail = ""
+    if best_failover is not None:
+        tail = (f", promoted {best_failover['promoted']}, recovery "
+                f"{best_failover['recovery_s']} s")
     print(f"  {name:24s} {rate:8.1f} {unit}  ({best:.3f} s, "
           f"{spec.receivers} receivers, chunk {spec.config.chunk_size} B, "
-          f"stripes {spec.config.stripes})")
-    return {
+          f"stripes {spec.config.stripes}{tail})")
+    entry = {
         "mib_per_s": round(rate, 1),
         "duration_s": round(best, 4),
         "bytes": size,
@@ -351,6 +402,9 @@ def run_scenario(name: str, spec: Scenario, *, size: int, rounds: int) -> dict:
         "backend": spec.backend,
         "perfstats": {k: best_stats.get(k, 0) for k in _RECORDED_COUNTERS},
     }
+    if best_failover is not None:
+        entry["failover"] = best_failover
+    return entry
 
 
 def main(argv=None) -> int:
@@ -377,6 +431,11 @@ def main(argv=None) -> int:
                         choices=("threaded", "evloop"),
                         help="run every scenario on this data plane "
                              "(default: threaded)")
+    parser.add_argument("--coordinator-replicas", type=int, default=0,
+                        metavar="N",
+                        help="control-plane replica count to stamp into "
+                             "this label's metadata (0 = the in-process "
+                             "election the local failover scenario uses)")
     args = parser.parse_args(argv)
 
     catalogue = build_catalogue()
@@ -423,6 +482,11 @@ def main(argv=None) -> int:
     })
     doc.setdefault("runs", {})[args.label] = {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        # Per-label environment: failover recovery latency only means
+        # anything relative to the core count the survivors shared and
+        # the control-plane quorum size the election ran against.
+        "host_cpus": os.cpu_count(),
+        "coordinator_replicas": args.coordinator_replicas,
         "scenarios": scenarios,
     }
     Path(args.out).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

@@ -182,18 +182,30 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
-def parse_chaos(specs: List[str]):
-    """Parse ``--chaos NODE:BYTES[:SIG]`` items into ChaosPlans."""
+def parse_chaos(specs: List[str], head: str | None = None):
+    """Parse ``--chaos NODE:BYTES[:SIG]`` items into ChaosPlans.
+
+    ``head`` lets the user write the role instead of the node name:
+    ``--chaos head:4MiB`` targets whatever node is the head (requires
+    ``--allow-head-chaos`` plus coordinator replicas to survive).
+    ``replica:<i>`` names pass through — they target control-plane
+    replica processes, not broadcast nodes.
+    """
     from ..core.units import parse_size
     from ..deploy.chaos import ChaosPlan
 
     plans = []
     for spec in specs or []:
         parts = spec.split(":")
+        # "replica:0:1MiB[:SIG]" — the target name itself has a colon.
+        if parts[0] == "replica" and len(parts) in (3, 4):
+            parts = [f"replica:{parts[1]}"] + parts[2:]
         if len(parts) not in (2, 3):
             raise SystemExit(f"bad --chaos entry: {spec!r} "
                              f"(expected NODE:BYTES[:kill|stop])")
         node, size = parts[0], parts[1]
+        if node == "head" and head is not None:
+            node = head
         sig = parts[2] if len(parts) == 3 else "kill"
         try:
             plans.append(ChaosPlan(node, after_bytes=int(parse_size(size)),
@@ -217,13 +229,15 @@ def cmd_deploy(args: argparse.Namespace) -> int:
         config=config,
         trace=args.trace,
         timeout=args.run_timeout,
-        crashes=parse_chaos(args.chaos),
+        crashes=parse_chaos(args.chaos, head="n1"),
         window=args.window,
         spawn_retries=args.spawn_retries,
         startup_timeout=args.startup_timeout,
         heartbeat_timeout=args.heartbeat_timeout,
         output_template=args.output,
         stderr_dir=args.stderr_dir,
+        coordinator_replicas=args.coordinator_replicas,
+        allow_head_chaos=args.allow_head_chaos,
     )
     delivered = [n for n in result.completed_nodes if n != "n1"]
     print(f"{result.total_bytes} bytes to {len(delivered)} node(s) "
@@ -241,6 +255,15 @@ def cmd_deploy(args: argparse.Namespace) -> int:
         print(result.trace.failure_chronology())
         print(f"trace: {result.trace.summary()} -> {args.trace}")
     return 0 if result.ok else 1
+
+
+def cmd_replica(args: argparse.Namespace) -> int:
+    """One control-plane quorum replica (normally spawned by deploy)."""
+    from ..control.replica import main as replica_main
+
+    argv = ["--bind", args.bind, "--port", str(args.port),
+            "--name", args.name]
+    return replica_main(argv)
 
 
 def cmd_agent(args: argparse.Namespace) -> int:
@@ -299,6 +322,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         spawn_retries=args.spawn_retries,
         startup_timeout=args.startup_timeout,
         stderr_dir=args.stderr_dir,
+        coordinator_replicas=args.coordinator_replicas,
     )
     server.start()
     assert server.launch_report is not None
@@ -555,8 +579,30 @@ def main(argv: List[str] | None = None) -> int:
                              "coordinator declares an agent dead (default "
                              "2.0; raise on oversubscribed hosts where "
                              "many agents share few cores)")
+    deploy.add_argument("--coordinator-replicas", type=int, default=0,
+                        metavar="N",
+                        help="replicate coordinator state (registrations, "
+                             "plan, watermarks) across N quorum replicas; "
+                             "a minority of them can die mid-transfer "
+                             "without interrupting it (3 recommended)")
+    deploy.add_argument("--allow-head-chaos", action="store_true",
+                        help="permit --chaos to target the head: on head "
+                             "death the quorum elects the most-complete "
+                             "receiver and re-roots the chain onto it "
+                             "(needs --coordinator-replicas >= 1)")
     add_common(deploy)
     deploy.set_defaults(fn=cmd_deploy)
+
+    replica = sub.add_parser(
+        "replica",
+        help="run one control-plane quorum replica (spawned by deploy)")
+    replica.add_argument("--bind", default="127.0.0.1",
+                         help="address to listen on")
+    replica.add_argument("--port", type=int, default=0,
+                         help="port to listen on (default: ephemeral, "
+                              "announced on stdout)")
+    replica.add_argument("--name", default="replica")
+    replica.set_defaults(fn=cmd_replica)
 
     agent = sub.add_parser(
         "agent", help="run one deployed node process (spawned by deploy)")
@@ -606,6 +652,12 @@ def main(argv: List[str] | None = None) -> int:
                        help="seconds one spawn may take to register")
     serve.add_argument("--stderr-dir", default=None,
                        help="capture each agent's stderr under this dir")
+    serve.add_argument("--coordinator-replicas", type=int, default=0,
+                       metavar="N",
+                       help="replicate fleet/session state over N control-"
+                            "plane replicas (kascade replica processes); "
+                            "open sessions ride out a minority of replica "
+                            "deaths (0 = no replication)")
     add_common(serve)
     serve.set_defaults(fn=cmd_serve)
 

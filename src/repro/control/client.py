@@ -1,0 +1,247 @@
+"""The coordinator-side quorum client: a Paxos proposer over TCP.
+
+One :class:`QuorumClient` owns a persistent control channel to every
+replica and commits commands by running single-decree Paxos per log
+slot: prepare to all, wait for a majority of promises, accept the
+constrained value, then broadcast learn.  A minority of dead or
+unreachable replicas slows nothing down beyond the per-RPC timeout —
+every phase proceeds as soon as a majority has answered.
+
+Two proposers may race (a restarted coordinator, a partitioned twin).
+Safety comes from the Paxos core: the racer that loses phase 1 sees a
+nack with the winner's ballot, raises its round past it, and retries —
+and if its slot turns out to have decided *someone else's* command, it
+commits that decision forward (broadcasting learn) and retries its own
+command at the next slot.  Commands therefore commit exactly once, in
+one total order, no matter how many proposers are alive.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import KascadeError
+from ..deploy.protocol import ControlChannel, connect_control
+from .paxos import Proposal
+from .state import ControlState
+
+__all__ = ["QuorumClient", "QuorumError"]
+
+
+class QuorumError(KascadeError):
+    """A majority of control-plane replicas is unreachable."""
+
+
+def _same_command(a: dict, b: dict) -> bool:
+    return json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+class QuorumClient:
+    """Commit commands to, and read state from, the replica quorum."""
+
+    def __init__(
+        self,
+        addresses: Sequence[Tuple[str, int]],
+        *,
+        proposer_id: int = 0,
+        timeout: float = 5.0,
+        max_rounds: int = 64,
+    ) -> None:
+        if not addresses:
+            raise ValueError("quorum needs at least one replica address")
+        self.addresses = list(addresses)
+        self.proposer_id = proposer_id
+        self.timeout = timeout
+        self.max_rounds = max_rounds
+        self.quorum = len(self.addresses) // 2 + 1
+        self._chans: List[Optional[ControlChannel]] = [None] * len(addresses)
+        self._chan_locks = [threading.Lock() for _ in addresses]
+        self._commit_lock = threading.Lock()
+        self._round = 0
+        self._next_slot = 0
+
+    # -- channel plumbing ------------------------------------------------
+
+    def _rpc(self, i: int, msg: dict) -> Optional[dict]:
+        """One request/response against replica ``i``; None if it's dead.
+
+        The channel is persistent; a send/recv failure tears it down and
+        retries once over a fresh connection (covers replica restarts
+        and half-open sockets), then gives up until the next RPC.
+        """
+        with self._chan_locks[i]:
+            for attempt in (0, 1):
+                chan = self._chans[i]
+                if chan is None:
+                    try:
+                        host, port = self.addresses[i]
+                        chan = connect_control(host, port, self.timeout)
+                        self._chans[i] = chan
+                    except KascadeError:
+                        return None
+                try:
+                    if chan.send(msg):
+                        reply = chan.recv(self.timeout)
+                        if reply is not None:
+                            return reply
+                except (TimeoutError, KascadeError):
+                    # A timed-out exchange desyncs request/response
+                    # pairing on the stream: drop the channel entirely.
+                    pass
+                chan.close()
+                self._chans[i] = None
+            return None
+
+    def _broadcast(self, msg: dict) -> Dict[int, dict]:
+        """Send ``msg`` to every replica in parallel; map of replies."""
+        replies: Dict[int, dict] = {}
+        lock = threading.Lock()
+
+        def ask(i: int) -> None:
+            reply = self._rpc(i, msg)
+            if reply is not None:
+                with lock:
+                    replies[i] = reply
+
+        threads = [threading.Thread(target=ask, args=(i,), daemon=True)
+                   for i in range(len(self.addresses))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return replies
+
+    # -- the proposer ----------------------------------------------------
+
+    def commit(self, command: dict) -> int:
+        """Quorum-commit ``command``; returns the log slot it decided.
+
+        Serialised per client: commands from one coordinator commit in
+        call order.  Raises :class:`QuorumError` when a majority cannot
+        be reached (or dueling proposers starve us past ``max_rounds`` —
+        vanishingly unlikely with unique proposer ids).
+        """
+        with self._commit_lock:
+            for _ in range(self.max_rounds):
+                slot = self._next_slot
+                self._round += 1
+                ballot = (self._round, self.proposer_id)
+                prop = Proposal(slot, ballot, command, len(self.addresses))
+
+                promises = self._broadcast({
+                    "op": "prepare", "slot": slot, "ballot": list(ballot),
+                })
+                for i, reply in promises.items():
+                    if reply.get("op") != "promise":
+                        continue
+                    prop.on_promise(i, _promise_from_wire(reply))
+                if not prop.promised:
+                    self._note_contention(prop)
+                    if len(promises) < self.quorum:
+                        raise QuorumError(
+                            f"control quorum lost: {len(promises)} of "
+                            f"{len(self.addresses)} replicas answered, "
+                            f"need {self.quorum}"
+                        )
+                    continue  # outvoted, not outnumbered: retry higher
+
+                value = prop.value_to_accept()
+                accepts = self._broadcast({
+                    "op": "accept", "slot": slot, "ballot": list(ballot),
+                    "value": value,
+                })
+                for i, reply in accepts.items():
+                    if reply.get("op") != "accepted":
+                        continue
+                    prop.on_accepted(i, _accepted_from_wire(reply))
+                if not prop.decided:
+                    self._note_contention(prop)
+                    if len(accepts) < self.quorum:
+                        raise QuorumError(
+                            f"control quorum lost: {len(accepts)} of "
+                            f"{len(self.addresses)} replicas answered, "
+                            f"need {self.quorum}"
+                        )
+                    continue
+
+                # Decided: tell everyone (idempotent, best-effort — any
+                # replica that misses it catches up on the next learn).
+                self._broadcast({"op": "learn", "slot": slot, "value": value})
+                self._next_slot = slot + 1
+                if _same_command(value, command):
+                    return slot
+                # This slot had already decided someone else's command;
+                # ours still needs a slot of its own.
+            raise QuorumError(
+                f"could not commit after {self.max_rounds} rounds "
+                f"(dueling proposers?)"
+            )
+
+    def _note_contention(self, prop: Proposal) -> None:
+        if prop.highest_seen is not None:
+            self._round = max(self._round, prop.highest_seen[0])
+
+    # -- reads -----------------------------------------------------------
+
+    def read_state(self) -> ControlState:
+        """Reconstruct coordinator state from a majority of replicas.
+
+        Requires a majority so a stale minority partition can never
+        answer alone; returns the most-advanced snapshot among them.
+        """
+        replies = self._broadcast({"op": "read"})
+        states = [r for r in replies.values() if r.get("op") == "state"]
+        if len(states) < self.quorum:
+            raise QuorumError(
+                f"control quorum lost: {len(states)} of "
+                f"{len(self.addresses)} replicas answered a read, "
+                f"need {self.quorum}"
+            )
+        best = max(states, key=lambda r: r.get("applied", 0))
+        state = ControlState.from_snapshot(best["state"])
+        # Fold in decided-but-unapplied slots sitting above a gap: the
+        # commit path always learns to all, so normally this is empty.
+        self._next_slot = max(self._next_slot, int(best.get("applied", 0)))
+        return state
+
+    def alive(self) -> int:
+        """How many replicas currently answer a ping."""
+        replies = self._broadcast({"op": "ping"})
+        return sum(1 for r in replies.values() if r.get("op") == "pong")
+
+    # -- lifecycle -------------------------------------------------------
+
+    def shutdown_replicas(self) -> None:
+        """Ask every reachable replica to exit (test/teardown helper)."""
+        self._broadcast({"op": "quit"})
+
+    def close(self) -> None:
+        for i, chan in enumerate(self._chans):
+            if chan is not None:
+                chan.close()
+                self._chans[i] = None
+
+
+def _promise_from_wire(reply: dict):
+    from .paxos import Promise
+
+    return Promise(
+        slot=int(reply["slot"]), ok=bool(reply["ok"]),
+        promised=(tuple(reply["promised"])
+                  if reply.get("promised") else None),
+        accepted_ballot=(tuple(reply["accepted_ballot"])
+                         if reply.get("accepted_ballot") else None),
+        accepted_value=reply.get("accepted_value"),
+    )
+
+
+def _accepted_from_wire(reply: dict):
+    from .paxos import Accepted
+
+    return Accepted(
+        slot=int(reply["slot"]), ok=bool(reply["ok"]),
+        promised=(tuple(reply["promised"])
+                  if reply.get("promised") else None),
+    )

@@ -1,0 +1,224 @@
+"""Single-decree Paxos, one instance per log slot — pure and sans-I/O.
+
+The control plane replicates a short command log (registrations, the
+plan, watermarks, elections).  Each slot of that log is decided by one
+classic single-decree Paxos instance:
+
+* a *proposer* picks a ballot ``(round, proposer_id)`` and runs
+  phase 1 (``prepare`` → ``promise``) against the acceptors; a majority
+  of promises licenses phase 2 (``accept`` → ``accepted``) — but the
+  value it may propose is constrained to the highest-ballot value any
+  promiser has already accepted, which is the invariant that makes a
+  decided slot immutable even under dueling proposers;
+* an *acceptor* is the durable memory: it never promises backwards and
+  never accepts below its promise;
+* a *learner* collects decided values and applies them to the state
+  machine in slot order.
+
+Everything here is plain data in, plain data out — no sockets, no
+threads, no clocks.  :mod:`repro.control.replica` wraps an acceptor in
+the control-channel framing; :mod:`repro.control.client` drives the
+proposer over real connections; the tests drive both through lossy,
+reordered in-memory networks where every interleaving is reproducible.
+
+Ballots are ``(round, proposer_id)`` tuples compared lexicographically,
+so two proposers can never tie: rounds break most conflicts and the
+unique proposer id breaks the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Ballot", "Promise", "Accepted", "Acceptor", "Proposal", "Learner"]
+
+#: A ballot number: ``(round, proposer_id)``, ordered lexicographically.
+Ballot = Tuple[int, int]
+
+
+def ballot_key(b: Optional[Ballot]) -> Tuple[int, int]:
+    """Total order over optional ballots (``None`` sorts first)."""
+    return (-1, -1) if b is None else (b[0], b[1])
+
+
+@dataclass(frozen=True)
+class Promise:
+    """An acceptor's answer to ``prepare``."""
+
+    slot: int
+    ok: bool
+    #: The acceptor's current promise (its floor) — on a nack, the ballot
+    #: the proposer must exceed to get anywhere.
+    promised: Optional[Ballot]
+    #: The highest-ballot value this acceptor has accepted for the slot,
+    #: if any.  A successful proposer MUST adopt the highest of these.
+    accepted_ballot: Optional[Ballot] = None
+    accepted_value: Optional[dict] = None
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """An acceptor's answer to ``accept``."""
+
+    slot: int
+    ok: bool
+    promised: Optional[Ballot]
+
+
+@dataclass
+class _SlotMemory:
+    promised: Optional[Ballot] = None
+    accepted_ballot: Optional[Ballot] = None
+    accepted_value: Optional[dict] = None
+
+
+class Acceptor:
+    """The quorum's memory: one promise/accepted record per slot.
+
+    Deliberately tiny — two rules carry all of Paxos's safety:
+
+    1. ``prepare(b)`` succeeds iff ``b`` ≥ every ballot this acceptor has
+       promised for the slot; success raises the promise to ``b``.
+    2. ``accept(b, v)`` succeeds iff ``b`` ≥ the promise; success records
+       ``(b, v)`` as the accepted pair (and raises the promise).
+    """
+
+    def __init__(self) -> None:
+        self._slots: Dict[int, _SlotMemory] = {}
+
+    def _slot(self, slot: int) -> _SlotMemory:
+        mem = self._slots.get(slot)
+        if mem is None:
+            mem = self._slots[slot] = _SlotMemory()
+        return mem
+
+    def on_prepare(self, slot: int, ballot: Ballot) -> Promise:
+        mem = self._slot(slot)
+        if mem.promised is not None and ballot_key(ballot) < ballot_key(mem.promised):
+            return Promise(slot=slot, ok=False, promised=mem.promised)
+        mem.promised = ballot
+        return Promise(
+            slot=slot, ok=True, promised=ballot,
+            accepted_ballot=mem.accepted_ballot,
+            accepted_value=mem.accepted_value,
+        )
+
+    def on_accept(self, slot: int, ballot: Ballot, value: dict) -> Accepted:
+        mem = self._slot(slot)
+        if mem.promised is not None and ballot_key(ballot) < ballot_key(mem.promised):
+            return Accepted(slot=slot, ok=False, promised=mem.promised)
+        mem.promised = ballot
+        mem.accepted_ballot = ballot
+        mem.accepted_value = value
+        return Accepted(slot=slot, ok=True, promised=ballot)
+
+    def accepted(self, slot: int) -> Optional[Tuple[Ballot, dict]]:
+        """The (ballot, value) this acceptor currently holds, if any."""
+        mem = self._slots.get(slot)
+        if mem is None or mem.accepted_ballot is None:
+            return None
+        return mem.accepted_ballot, mem.accepted_value
+
+
+class Proposal:
+    """One proposer's attempt to decide one slot — the bookkeeping side.
+
+    The caller owns all I/O: it sends ``prepare`` to every acceptor,
+    feeds the :class:`Promise` replies in via :meth:`on_promise`, and
+    once :attr:`promised` goes true sends ``accept`` with
+    :meth:`value_to_accept` — which is *not necessarily* the value the
+    proposer wanted: if any promise carried a previously accepted value,
+    the highest-ballot one wins (the proposer's own command must then be
+    retried at a later slot).
+    """
+
+    def __init__(self, slot: int, ballot: Ballot, value: dict,
+                 cluster_size: int) -> None:
+        if cluster_size < 1:
+            raise ValueError(f"cluster size must be >= 1, got {cluster_size}")
+        self.slot = slot
+        self.ballot = ballot
+        self.own_value = value
+        self.quorum = cluster_size // 2 + 1
+        self._promises: Dict[int, Promise] = {}
+        self._accepts: Dict[int, Accepted] = {}
+        #: Highest promise floor seen in a nack — the next round must
+        #: exceed its round component or it will be rejected again.
+        self.highest_seen: Optional[Ballot] = None
+
+    # -- phase 1 ---------------------------------------------------------
+
+    def on_promise(self, acceptor_id: int, promise: Promise) -> None:
+        if promise.slot != self.slot:
+            return
+        if not promise.ok:
+            if ballot_key(promise.promised) > ballot_key(self.highest_seen):
+                self.highest_seen = promise.promised
+            return
+        self._promises[acceptor_id] = promise
+
+    @property
+    def promised(self) -> bool:
+        """True once a majority has promised this ballot."""
+        return len(self._promises) >= self.quorum
+
+    def value_to_accept(self) -> dict:
+        """The only value phase 2 may propose under these promises."""
+        best: Optional[Promise] = None
+        for p in self._promises.values():
+            if p.accepted_ballot is None:
+                continue
+            if best is None or ballot_key(p.accepted_ballot) > ballot_key(
+                    best.accepted_ballot):
+                best = p
+        return self.own_value if best is None else best.accepted_value
+
+    # -- phase 2 ---------------------------------------------------------
+
+    def on_accepted(self, acceptor_id: int, reply: Accepted) -> None:
+        if reply.slot != self.slot:
+            return
+        if not reply.ok:
+            if ballot_key(reply.promised) > ballot_key(self.highest_seen):
+                self.highest_seen = reply.promised
+            return
+        self._accepts[acceptor_id] = reply
+
+    @property
+    def decided(self) -> bool:
+        """True once a majority has accepted — the slot is now immutable."""
+        return len(self._accepts) >= self.quorum
+
+
+class Learner:
+    """Applies decided values to a state machine in strict slot order.
+
+    Out-of-order learns are buffered; :meth:`learn` applies every
+    contiguous decided slot starting at ``applied``.  Re-learning an
+    already applied slot is a no-op (learn messages are idempotent so
+    the client can re-broadcast them freely).
+    """
+
+    def __init__(self, apply_fn: Callable[[int, dict], None]) -> None:
+        self._apply = apply_fn
+        self._pending: Dict[int, dict] = {}
+        #: Next slot to apply — everything below is in the state machine.
+        self.applied = 0
+
+    def learn(self, slot: int, value: dict) -> List[int]:
+        """Record a decided slot; returns the slots applied as a result."""
+        if slot >= self.applied:
+            self._pending.setdefault(slot, value)
+        applied: List[int] = []
+        while self.applied in self._pending:
+            value = self._pending.pop(self.applied)
+            self._apply(self.applied, value)
+            applied.append(self.applied)
+            self.applied += 1
+        return applied
+
+    @property
+    def chosen(self) -> Dict[int, dict]:
+        """Decided-but-unapplied slots (a gap below them is still open)."""
+        return dict(self._pending)

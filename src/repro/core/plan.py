@@ -215,13 +215,50 @@ class ChainPlan:
         This is the launch-time re-plan (a node that never started is
         simply not in the chain); mid-transfer deaths are *skipped*, not
         re-planned, exactly as in the single-chain protocol.
+
+        When the head itself is in ``dead`` the schedule is re-rooted:
+        the most-senior survivor (the first receiver of stripe 0 not in
+        ``dead``) is promoted via :meth:`reroot`.  Election by watermark
+        is the control plane's job (:mod:`repro.control`); this default
+        exists so launch-time head loss is survivable without one.
         """
         gone = set(dead)
         if self.head in gone:
-            raise PipelineError(f"cannot re-plan without head {self.head!r}")
+            survivors = [r for r in self.receivers if r not in gone]
+            if not survivors:
+                raise PipelineError(
+                    f"cannot re-plan: head {self.head!r} and every "
+                    f"receiver are dead"
+                )
+            return self.reroot(survivors[0], dead=gone)
         return ChainPlan.from_orders(
             self.head,
             [[r for r in sp.receivers if r not in gone]
+             for sp in self.stripes],
+        )
+
+    def reroot(self, new_head: str, *, dead: Sequence[str] = ()) -> "ChainPlan":
+        """Promote receiver ``new_head`` to head and rebuild every
+        stripe's order around it.
+
+        The old head and any ``dead`` nodes are dropped from every
+        stripe; the surviving receivers keep their relative order per
+        stripe, minus the promoted node, which now leads all of them.
+        Preserving the order is what keeps resume cheap: every surviving
+        link still points the same way, so downstream offsets stay
+        monotonically behind upstream ones and ring-buffer replay (or a
+        PGET to the new head) covers any gap.
+        """
+        gone = set(dead) | {self.head}
+        if new_head not in set(self.receivers):
+            raise PipelineError(
+                f"cannot re-root to {new_head!r}: not a receiver of this plan"
+            )
+        if new_head in set(dead):
+            raise PipelineError(f"cannot re-root to dead node {new_head!r}")
+        return ChainPlan.from_orders(
+            new_head,
+            [[r for r in sp.receivers if r not in gone and r != new_head]
              for sp in self.stripes],
         )
 

@@ -189,6 +189,54 @@ class PatternSource(Source):
         return self._materialize(offset, size)
 
 
+class ResumeView(Source):
+    """A seekable source's sequential cursor re-rooted at ``start``.
+
+    Head failover promotes a receiver whose survivors already hold the
+    stream prefix: the new head must *stream* only from the live edge
+    onward, while still answering PGET for any earlier range (hole
+    recovery below the resume point).  This wrapper gives the promoted
+    head exactly that view: ``read_chunk`` walks ``[start, size)`` via
+    ``read_range`` on the inner source, and random access delegates
+    untouched.
+    """
+
+    def __init__(self, inner: Source, start: int) -> None:
+        if inner.kind is not SourceKind.SEEKABLE_FILE:
+            raise DataLossError(
+                "resume needs a seekable source; a stream cannot re-root"
+            )
+        if start < 0:
+            raise ValueError(f"negative resume offset: {start}")
+        self._inner = inner
+        self._pos = start
+        self.start = start
+        self.kind = inner.kind
+        self.blocking_io = getattr(inner, "blocking_io", True)
+
+    @property
+    def size(self) -> int:
+        return self._inner.size
+
+    def read_chunk(self, size: int) -> bytes:
+        take = min(size, self._inner.size - self._pos)
+        if take <= 0:
+            return b""
+        data = self._inner.read_range(self._pos, take)
+        self._pos += len(data)
+        return data
+
+    def read_range(self, offset: int, size: int) -> bytes:
+        return self._inner.read_range(offset, size)
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def __getattr__(self, name: str):
+        # Delegate capabilities the runtime probes for (fileno, path...).
+        return getattr(self._inner, name)
+
+
 def open_source(spec: str) -> Source:
     """Open a source from a CLI spec: a path, or ``-`` for stdin."""
     if spec == "-":

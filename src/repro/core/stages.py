@@ -156,6 +156,26 @@ class SinkWriter(Sink):
             self._raise_pending_locked()
         self._inner.finish()
 
+    def detach(self) -> Sink:
+        """Drain the queue and stop the worker *without* finishing the
+        inner sink; returns the inner sink, still open.
+
+        This is the failover hand-off: a receiver being promoted (or
+        re-wired under a new head) must not lose queued chunks, but its
+        sink has to stay open so the resumed transfer keeps appending to
+        the same file/hash.  After ``detach`` this writer is spent — wrap
+        the returned sink in a fresh :class:`SinkWriter` to resume
+        background writeback.
+        """
+        with self._lock:
+            self._raise_pending_locked()
+            self._finishing = True
+            self._readable.notify_all()
+        self._worker.join()
+        with self._lock:
+            self._raise_pending_locked()
+        return self._inner
+
     def abort(self) -> None:
         """Discard queued chunks and tear down; never deadlocks.
 

@@ -35,8 +35,8 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Iterable, List, Optional, Tuple
 
 __all__ = [
-    "CONNECT", "CHUNK", "STALL", "PING", "FAILOVER", "PGET", "FORGET",
-    "QUIT", "REPORT", "DONE", "CACHE_HIT", "SESSION", "EVENT_TYPES",
+    "CONNECT", "CHUNK", "STALL", "PING", "FAILOVER", "ELECTION", "PGET",
+    "FORGET", "QUIT", "REPORT", "DONE", "CACHE_HIT", "SESSION", "EVENT_TYPES",
     "DETECTOR_ERROR", "DETECTOR_PING", "DETECTOR_CONNECT",
     "DETECTOR_PROC_EXIT",
     "classify_detector", "TraceEvent", "NullRecorder", "NULL_TRACER",
@@ -50,6 +50,7 @@ CHUNK = "chunk"        #: one DATA chunk received and accounted
 STALL = "stall"        #: a read or write exceeded the I/O timeout
 PING = "ping"          #: a liveness probe was answered (or not)
 FAILOVER = "failover"  #: a peer was declared dead and routed around
+ELECTION = "election"  #: a quorum chose a new head after head death
 PGET = "pget"          #: a recovery range fetch from the head
 FORGET = "forget"      #: data unrecoverable behind the buffer window
 QUIT = "quit"          #: a deliberate abort (user interrupt / data loss)
@@ -59,8 +60,8 @@ CACHE_HIT = "cache-hit"  #: a chunk was served from the local content cache
 SESSION = "session"    #: daemon session lifecycle (open / start / close)
 
 EVENT_TYPES = frozenset(
-    (CONNECT, CHUNK, STALL, PING, FAILOVER, PGET, FORGET, QUIT, REPORT,
-     DONE, CACHE_HIT, SESSION)
+    (CONNECT, CHUNK, STALL, PING, FAILOVER, ELECTION, PGET, FORGET, QUIT,
+     REPORT, DONE, CACHE_HIT, SESSION)
 )
 
 #: FAILOVER detector taxonomy (§III-D1): how a death was established.
@@ -270,8 +271,8 @@ class TraceCollector:
         disambiguate congestion from death via ping?") read straight off
         the trace instead of out of the code.
         """
-        interesting = self.of_type(STALL, PING, FAILOVER, PGET, FORGET,
-                                   QUIT, REPORT)
+        interesting = self.of_type(STALL, PING, FAILOVER, ELECTION, PGET,
+                                   FORGET, QUIT, REPORT)
         if not interesting:
             return "(no failure activity traced)"
         lines = ["failure chronology:"]

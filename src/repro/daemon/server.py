@@ -209,6 +209,7 @@ class DaemonServer:
         python: Optional[str] = None,
         bind_host: str = "127.0.0.1",
         stderr_dir: Optional[str] = None,
+        coordinator_replicas: int = 0,
         tracer=NULL_TRACER,
     ) -> None:
         if len(fleet) < 2:
@@ -231,12 +232,15 @@ class DaemonServer:
         self.python = python or sys.executable
         self.bind_host = bind_host
         self.stderr_dir = stderr_dir
+        self.coordinator_replicas = coordinator_replicas
         self.tracer = tracer
         #: Filled by :meth:`start` — the one windowed launch the whole
         #: server lifetime amortises.
         self.launch_report: Optional[LaunchReport] = None
 
         self._coordinator: Optional[FleetCoordinator] = None
+        self._quorum = None
+        self._replica_procs: List[subprocess.Popen] = []
         self._procs: Dict[str, subprocess.Popen] = {}
         self._lock = threading.Lock()
         self._sessions: Dict[str, _Session] = {}
@@ -245,6 +249,7 @@ class DaemonServer:
         self._artifact_memo: Dict[Tuple[str, int, int], Tuple[str, int]] = {}
         self._stop_reaper = threading.Event()
         self._reaper: Optional[threading.Thread] = None
+        self._pump: Optional[threading.Thread] = None
         self._started = False
         self._closed = False
 
@@ -254,6 +259,15 @@ class DaemonServer:
         """Launch the fleet (windowed) and start supervision."""
         if self._started:
             return self
+        if self.coordinator_replicas >= 1:
+            from ..control.client import QuorumClient
+            from ..control.replica import spawn_replicas
+
+            self._replica_procs, addrs = spawn_replicas(
+                self.coordinator_replicas, python=self.python,
+                bind_host=self.bind_host, env=self._spawn_base_env(),
+            )
+            self._quorum = QuorumClient(addrs, proposer_id=os.getpid())
         self._coordinator = FleetCoordinator(router=self._route,
                                              tracer=self.tracer)
         launcher = WindowedLauncher(
@@ -269,12 +283,81 @@ class DaemonServer:
                        if nl.ok}
         if not report.launched:
             self._coordinator.close()
+            self._stop_replicas()
             raise KascadeError("no fleet agent launched")
+        for name in self._coordinator.registered_names():
+            agent = self._coordinator.agent(name)
+            if agent is not None and agent.address is not None:
+                self._commit({"kind": "register", "node": name,
+                              "host": agent.address.host,
+                              "port": agent.address.port,
+                              "pid": agent.pid})
         self._reaper = threading.Thread(target=self._reaper_loop,
                                         name="fleet-reaper", daemon=True)
         self._reaper.start()
+        if self._quorum is not None:
+            self._pump = threading.Thread(target=self._watermark_pump,
+                                          name="fleet-watermarks",
+                                          daemon=True)
+            self._pump.start()
         self._started = True
         return self
+
+    # -- the replicated control plane ------------------------------------
+
+    def _commit(self, command: dict) -> None:
+        """Replicate ``command`` to the control quorum, best-effort.
+
+        The fleet's data plane never depends on a commit: a minority of
+        dead replicas commits fine (majority rule), and even full quorum
+        loss only stops state from being replicated — open sessions ride
+        on, which is the availability contract the replicas exist to
+        serve in the first place.
+        """
+        if self._quorum is None:
+            return
+        from ..control.client import QuorumError
+        try:
+            self._quorum.commit(command)
+        except QuorumError:
+            pass
+
+    def _watermark_pump(self) -> None:
+        """Replicate per-session progress high-water marks (0.25s tick).
+
+        Watermark keys are ``<session>/<node>`` — the fleet multiplexes
+        sessions, so progress is per (session, node), not per node.
+        """
+        last: Dict[str, int] = {}
+        while not self._stop_reaper.wait(0.25):
+            with self._lock:
+                sessions = list(self._sessions.values())
+            for sess in sessions:
+                with sess.cond:
+                    marks = dict(sess.progress)
+                for node, received in sorted(marks.items()):
+                    key = f"{sess.id}/{node}"
+                    if received > last.get(key, -1):
+                        last[key] = received
+                        self._commit({"kind": "watermark", "node": key,
+                                      "bytes": received})
+
+    def _stop_replicas(self) -> None:
+        if self._quorum is not None:
+            try:
+                self._quorum.shutdown_replicas()
+            finally:
+                self._quorum.close()
+        for proc in self._replica_procs:
+            try:
+                proc.kill()
+            except OSError:
+                pass
+        for proc in self._replica_procs:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
 
     def shutdown(self, grace: float = 5.0) -> None:
         """Graceful fleet teardown: quit, drain, kill only stragglers."""
@@ -284,6 +367,8 @@ class DaemonServer:
         self._stop_reaper.set()
         if self._reaper is not None:
             self._reaper.join(timeout=2.0)
+        if self._pump is not None:
+            self._pump.join(timeout=2.0)
         if self._coordinator is not None:
             for name in self._coordinator.registered_names():
                 self._coordinator.send(name, {"op": "quit"})
@@ -304,6 +389,7 @@ class DaemonServer:
                     pass
         if self._coordinator is not None:
             self._coordinator.close()
+        self._stop_replicas()
 
     def __enter__(self) -> "DaemonServer":
         return self.start()
@@ -323,13 +409,17 @@ class DaemonServer:
 
     # -- fleet spawning --------------------------------------------------
 
-    def _make_spawn(self, control) -> Callable[[str, int], subprocess.Popen]:
+    def _spawn_base_env(self) -> dict:
         src_root = os.path.dirname(os.path.dirname(
             os.path.dirname(os.path.abspath(__file__))))
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(
             [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
         )
+        return env
+
+    def _make_spawn(self, control) -> Callable[[str, int], subprocess.Popen]:
+        env = self._spawn_base_env()
         base = [
             self.python, "-m", "repro.cli.kascade", "agent", "--fleet",
             "--coordinator", f"{control.host}:{control.port}",
@@ -641,6 +731,7 @@ class DaemonServer:
             plan = ChainPlan.build(sess.head, cold,
                                    stripes=self.config.stripes,
                                    order="given")
+            self._commit({"kind": "plan", "plan": plan.to_dict()})
             self._send_session_starts(sess, plan, source_path, deadline)
             with sess.cond:
                 sess.push_nodes = set(plan.base.chain)
@@ -687,6 +778,16 @@ class DaemonServer:
                 # Push finished with joins still queued (e.g. trigger
                 # threshold above the artifact size): fire them now.
                 self._maybe_trigger_joins(sess)
+        # Final watermarks: a short session can finish between pump
+        # ticks, so replicate the settled per-node byte counts here.
+        with sess.cond:
+            marks = dict(sess.progress)
+            for name, status in sess.statuses.items():
+                marks[name] = max(marks.get(name, 0),
+                                  int(status.get("bytes", 0)))
+        for name, received in sorted(marks.items()):
+            self._commit({"kind": "watermark", "node": f"{sess.id}/{name}",
+                          "bytes": received})
         return self._collect(sess, plan, head_runs, tracer, started)
 
     def _send_session_starts(self, sess: _Session, plan: ChainPlan,

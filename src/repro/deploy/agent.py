@@ -35,7 +35,7 @@ from ..core.perfstats import get_stats
 from ..core.plan import ChainPlan
 from ..core.report import TransferReport
 from ..core.sinks import FileSink, NullSink, Sink
-from ..core.sources import FileSource
+from ..core.sources import FileSource, ResumeView
 from ..core.stripes import StripeMergeSink, StripeSource
 from ..core.tracing import TraceCollector
 from ..runtime.node import HeadNode, ReceiverNode
@@ -221,12 +221,19 @@ def _run_registered(
 
     heartbeat = _Heartbeat(channel, float(msg.get("heartbeat_interval", 0.5)))
     heartbeat.start()
+    progress_send = lambda total: channel.send(  # noqa: E731
+        {"op": "progress", "bytes": total})
     try:
-        status = execute_transfer(
-            msg, listeners, name,
-            progress_send=lambda total: channel.send(
-                {"op": "progress", "bytes": total}),
-        )
+        if msg.get("failover"):
+            # The coordinator runs a replicated control plane and may
+            # re-root the chain mid-transfer: stay on the control
+            # channel while the node runs.
+            status = _run_failover_capable(channel, listeners, name, msg,
+                                           progress_send=progress_send)
+        else:
+            status = execute_transfer(
+                msg, listeners, name, progress_send=progress_send,
+            )
     except TransferSetupError:
         return EXIT_USAGE
     finally:
@@ -400,6 +407,227 @@ def execute_transfer(
         "digest": digest_sink.hexdigest() if digest_sink is not None else None,
         "report": report_hex,
         "failures": failures,
+        "perfstats": {k_: stats_after[k_] - stats_before.get(k_, 0)
+                      for k_ in stats_after},
+        "trace": tracer.to_jsonl(),
+        "trace_epoch": trace_epoch,
+    }
+
+
+class _FinishGuard(Sink):
+    """Protects a sink retained across a failover hand-off.
+
+    ``finish`` becomes idempotent (a node that completed before the
+    failover already finished the chain; the resumed node finishes it
+    again), and ``abort`` after a successful finish is a no-op — a
+    completed output file must never be unlinked by a hiccup in the
+    trivial resumed transfer that follows.
+    """
+
+    def __init__(self, inner: Sink) -> None:
+        self.inner = inner
+        self._settled = False
+
+    def write_chunk(self, data) -> None:
+        self.inner.write_chunk(data)
+
+    def preallocate(self, size: int) -> None:
+        self.inner.preallocate(size)
+
+    def finish(self) -> None:
+        if not self._settled:
+            self._settled = True
+            self.inner.finish()
+
+    def abort(self) -> None:
+        if not self._settled:
+            self._settled = True
+            self.inner.abort()
+
+
+def _run_failover_capable(
+    msg_channel: ControlChannel,
+    listeners: List[Listener],
+    name: str,
+    msg: dict,
+    *,
+    progress_send: Callable[[int], None],
+) -> dict:
+    """Run the transfer while serving ``failover``/``resume`` ops.
+
+    The head-failover variant of :func:`execute_transfer`: the node runs
+    on its own threads while *this* thread stays on the control channel.
+    When the coordinator announces head death (``failover``), the node
+    is detached — loops interrupted, writeback drained, sink preserved,
+    stream offset captured — a fresh listener is bound, and the offset +
+    new port go back as ``failover_ready``.  The quorum's ``resume``
+    then rebuilds the node under the re-rooted plan: the promoted
+    survivor becomes a head streaming the source from the election
+    watermark (serving PGET below it), everyone else becomes a receiver
+    that keeps its sink and asks for bytes from where it stopped.
+
+    Single-stripe, threaded data plane only — the coordinator enforces
+    both before opting a run into failover.
+    """
+    config = KascadeConfig(**msg["config"])
+    nodes = [(n, Address(h, p)) for n, h, p in msg["nodes"]]
+    head = msg["head"]
+    if msg.get("plan"):
+        chain_plan = ChainPlan.from_dict(msg["plan"])
+    else:
+        chain_plan = ChainPlan.single(
+            head, tuple(n for n, _ in nodes if n != head))
+    if chain_plan.stripe_count != 1 or len(listeners) != 1:
+        raise TransferSetupError("head failover requires a 1-stripe plan")
+    if config.data_plane == "evloop":
+        raise TransferSetupError(
+            "head failover is not survivable on data_plane='evloop'")
+    ports = {n: [a.port] for n, a in nodes}
+    for node_name, node_ports in (msg.get("ports") or {}).items():
+        ports[node_name] = [int(p) for p in node_ports]
+    hosts = {n: a.host for n, a in nodes}
+    registry = Registry({n: Address(hosts[n], ports[n][0]) for n in hosts})
+    run_timeout = float(msg.get("run_timeout", 600.0))
+    progress_every = int(msg.get("progress_every", 1 << 18))
+
+    tracer = TraceCollector()
+    trace_epoch = time.time()
+    stats_before = get_stats().snapshot()
+
+    digest_sink: Optional[DigestSink] = None
+    guard: Optional[_FinishGuard] = None
+    source: Optional[FileSource] = None
+    if name == head:
+        source = FileSource(msg["source"])
+        node = HeadNode(name, chain_plan.stripe(0), registry, listeners[0],
+                        config, source, tracer=tracer)
+    else:
+        inner: Sink = (FileSink(msg["output"]) if msg.get("output")
+                       else NullSink())
+        digest_sink = DigestSink(inner)
+        guard = _FinishGuard(digest_sink)
+        node = ReceiverNode(
+            name, chain_plan.stripe(0), registry, listeners[0], config, guard,
+            crash_gate=_progress_gate(progress_send, progress_every),
+            tracer=tracer,
+        )
+    node.start()
+
+    deadline = time.monotonic() + run_timeout
+    awaiting_resume = False
+    promoted = False
+    promoted_source: Optional[FileSource] = None
+    prefix_bytes = 0  # bytes already in this node's sink at detach time
+
+    while True:
+        if not node.thread.is_alive() and not awaiting_resume:
+            break
+        if time.monotonic() > deadline:
+            node.outcome.error = node.outcome.error or (
+                f"agent run exceeded {run_timeout}s")
+            node.shutdown()
+            node.join(2.0)
+            break
+        try:
+            ctl = msg_channel.recv(timeout=0.25)
+        except TimeoutError:
+            continue
+        except DeployError:
+            continue  # one poisoned control line must not kill the agent
+        if ctl is None:
+            # Coordinator gone.  Mid-failover there is nothing left to
+            # resume against; otherwise let the transfer run out.
+            if awaiting_resume:
+                break
+            node.join(max(0.0, deadline - time.monotonic()))
+            break
+        op = ctl.get("op")
+        if op == "failover" and name != head and not promoted:
+            node.begin_failover()
+            node.join(5.0)
+            prefix_bytes = node.state.offset
+            node.detach_sink()
+            bind_host = listeners[0].address.host
+            listeners[0].close()
+            listeners[0] = Listener(host=bind_host, port=0)
+            awaiting_resume = True
+            msg_channel.send({
+                "op": "failover_ready",
+                "offset": prefix_bytes,
+                "ports": [listeners[0].address.port],
+            })
+        elif op == "resume" and awaiting_resume:
+            rconfig = KascadeConfig(**ctl["config"])
+            rplan = ChainPlan.from_dict(ctl["plan"])
+            rhosts = {n: h for n, h, _ in ctl["nodes"]}
+            rports = {n: [int(p) for p in ps]
+                      for n, ps in ctl["ports"].items()}
+            rregistry = Registry({n: Address(rhosts[n], rports[n][0])
+                                  for n in rhosts})
+            if name == ctl["head"]:
+                promoted = True
+                resume_at = int(ctl["resume_offset"])
+                promoted_source = FileSource(ctl["source"])
+                node = HeadNode(
+                    name, rplan.stripe(0), rregistry, listeners[0], rconfig,
+                    ResumeView(promoted_source, resume_at), tracer=tracer,
+                    resume_offset=resume_at,
+                )
+            else:
+                node = ReceiverNode(
+                    name, rplan.stripe(0), rregistry, listeners[0], rconfig,
+                    guard,
+                    crash_gate=_progress_gate(progress_send, progress_every),
+                    tracer=tracer, resume_offset=prefix_bytes,
+                )
+            awaiting_resume = False
+            node.start()
+        elif op in ("cancel", "quit"):
+            node.shutdown()
+            node.join(2.0)
+            break
+
+    outcome = node.outcome
+    ok = outcome.ok and not awaiting_resume
+    total = outcome.bytes_received
+    if promoted and promoted_source is not None:
+        # The promoted head streamed [watermark, size) to the chain but
+        # its *own* copy ends at its receiver-phase prefix.  Complete it
+        # straight from the source so this node, too, holds (and can
+        # prove, via the digest) the full payload.
+        if ok:
+            size = promoted_source.size
+            pos = prefix_bytes
+            while pos < size:
+                piece = promoted_source.read_range(
+                    pos, min(config.chunk_size, size - pos))
+                guard.write_chunk(piece)
+                pos += len(piece)
+            guard.finish()
+            total = size
+        else:
+            guard.abort()
+        promoted_source.close()
+    if source is not None:
+        source.close()
+
+    report_hex: Optional[str] = None
+    failures: List[str] = []
+    final_report = getattr(node, "final_report", None)
+    if final_report is not None:
+        report_hex = final_report.encode().hex()
+        failures = final_report.failed_nodes
+    stats_after = get_stats().snapshot()
+    return {
+        "name": name,
+        "ok": bool(ok),
+        "bytes": int(total),
+        "crashed": bool(outcome.crashed),
+        "error": None if ok else (outcome.error or "failover interrupted"),
+        "digest": digest_sink.hexdigest() if digest_sink is not None else None,
+        "report": report_hex,
+        "failures": failures,
+        "promoted": promoted,
         "perfstats": {k_: stats_after[k_] - stats_before.get(k_, 0)
                       for k_ in stats_after},
         "trace": tracer.to_jsonl(),

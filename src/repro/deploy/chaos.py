@@ -75,14 +75,39 @@ class ChaosEngine:
         self._fired: Dict[str, ChaosPlan] = {}
         self._kill = kill_fn
         self._lock = threading.Lock()
+        #: Externally supervised targets (the head, control-plane
+        #: replicas): they never self-report progress, so their plans
+        #: fire once *any* node's reported progress crosses the
+        #: threshold, against a pid the coordinator registered.
+        self._external: Dict[str, int] = {}
 
     def targets(self):
         """Names of nodes any plan targets (pending or fired)."""
         with self._lock:
             return set(self._pending) | set(self._fired)
 
-    def validate(self, participants, *, known=None, what="plan") -> None:
+    def register_external(self, name: str, pid: int) -> None:
+        """Register a target that never reports its own progress.
+
+        The head streams (it receives nothing) and control-plane
+        replicas are not broadcast participants at all, so neither ever
+        appears in the progress feed the engine keys on.  A registered
+        external target is killed when any node's progress crosses its
+        plan's ``after_bytes`` — "once the broadcast is this far along,
+        take it down" — which is the semantics a head/replica kill test
+        actually wants.
+        """
+        with self._lock:
+            self._external[name] = pid
+
+    def validate(self, participants, *, known=None, what="plan",
+                 allow=()) -> None:
         """Every chaos target must be a receiver in ``participants``.
+
+        ``allow`` lists extra names a backend explicitly opted into
+        killing — the head and ``replica:<i>`` pseudo-nodes on backends
+        that can survive them.  It widens nothing by default: killing
+        the head without head-failover support just wedges the run.
 
         ``known`` widens the diagnostic, not the rule: when the caller
         runs many sessions over one fleet (the daemon), a target that
@@ -90,7 +115,7 @@ class ChaosEngine:
         its own message — "you named a real node, just not one in this
         session" — instead of the generic unknown-node error.
         """
-        stray = self.targets() - set(participants)
+        stray = self.targets() - set(participants) - set(allow)
         if not stray:
             return
         if known is not None:
@@ -117,12 +142,28 @@ class ChaosEngine:
         its own first); the plan still counts as fired so the run's
         ``ok`` accounting stays consistent.
         """
+        external_due = []
         with self._lock:
+            # Externally supervised targets ride on everyone's progress.
+            for ext_name, ext_pid in self._external.items():
+                ext_plan = self._pending.get(ext_name)
+                if ext_plan is not None and bytes_received >= ext_plan.after_bytes:
+                    del self._pending[ext_name]
+                    self._fired[ext_name] = ext_plan
+                    external_due.append((ext_plan, ext_pid))
             plan = self._pending.get(node)
-            if plan is None or bytes_received < plan.after_bytes:
-                return None
-            del self._pending[node]
-            self._fired[node] = plan
+            if plan is not None and bytes_received >= plan.after_bytes:
+                del self._pending[node]
+                self._fired[node] = plan
+            else:
+                plan = None
+        for ext_plan, ext_pid in external_due:
+            try:
+                self._kill(ext_pid, SIGNALS[ext_plan.sig])
+            except (OSError, ProcessLookupError):
+                pass
+        if plan is None:
+            return None
         if pid is not None:
             try:
                 self._kill(pid, SIGNALS[plan.sig])

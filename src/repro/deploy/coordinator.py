@@ -97,6 +97,9 @@ class _Agent:
     bytes_received: int = 0
     status: Optional[dict] = None
     dead_reason: Optional[str] = None
+    #: The agent's ``failover_ready`` reply (offset + fresh ports), set
+    #: while a head re-root is in flight.
+    failover_ready: Optional[dict] = None
 
     @property
     def resolved(self) -> bool:
@@ -203,6 +206,16 @@ class Coordinator:
                 with self._cond:
                     agent.status = msg
                     self._cond.notify_all()
+            elif op == "failover_ready":
+                # The agent detached its node and rebound: adopt the new
+                # data-plane address so the resume wiring is correct.
+                ports = tuple(int(p) for p in msg.get("ports") or ())
+                with self._cond:
+                    agent.failover_ready = msg
+                    if ports:
+                        agent.ports = ports
+                        agent.address = Address(agent.address.host, ports[0])
+                    self._cond.notify_all()
             # heartbeats only refresh last_heard
 
     # -- queries used by the launcher / run loop ------------------------
@@ -246,6 +259,19 @@ class Coordinator:
                 timeout=max(0.0, deadline - time.monotonic()),
             )
             return _unresolved()
+
+    def wait_failover_ready(self, names: Sequence[str],
+                            timeout: float) -> List[str]:
+        """Block until every name replied ``failover_ready`` (or resolved
+        some other way); returns names still pending at timeout."""
+        def _pending() -> List[str]:
+            return [n for n in names
+                    if (a := self._agents.get(n)) is not None
+                    and a.failover_ready is None and not a.resolved]
+
+        with self._cond:
+            self._cond.wait_for(lambda: not _pending(), timeout)
+            return _pending()
 
     def silent_agents(self, names: Sequence[str], max_age: float) -> List[str]:
         """Registered, unresolved agents whose control plane went quiet."""
@@ -347,6 +373,8 @@ class ProcBroadcast:
         agent_args: Optional[Callable[[str, int], Sequence[str]]] = None,
         stderr_dir: Optional[str] = None,
         plan: Optional[ChainPlan] = None,
+        coordinator_replicas: int = 0,
+        allow_head_chaos: bool = False,
     ) -> None:
         self.source = source
         self.config = config
@@ -368,8 +396,51 @@ class ProcBroadcast:
                 head, receivers, stripes=config.stripes, order=order)
         self.stripes = self.chain_plan.stripe_count
         self.plan = self.chain_plan.base
+        self.coordinator_replicas = coordinator_replicas
+        self.allow_head_chaos = allow_head_chaos
         self.chaos = ChaosEngine(chaos)
-        self.chaos.validate(self.plan.receivers)
+        chaos_targets = self.chaos.targets()
+        replica_names = {f"replica:{i}" for i in range(coordinator_replicas)}
+        if self.plan.head in chaos_targets and not allow_head_chaos:
+            raise KascadeError(
+                f"chaos targets the head {self.plan.head!r}: killing the "
+                "head interrupts the stream for every receiver; opt in "
+                "with allow_head_chaos=True (requires coordinator "
+                "replicas for quorum-backed head failover)"
+            )
+        if allow_head_chaos:
+            if coordinator_replicas < 1:
+                raise KascadeError(
+                    "head failover needs a replicated control plane to "
+                    "elect from: set coordinator_replicas >= 1 "
+                    "(3 recommended for minority-failure tolerance)"
+                )
+            if config.data_plane == "evloop":
+                raise KascadeError(
+                    "head failover is not survivable on "
+                    "data_plane='evloop': the event-loop agent cannot "
+                    "detach its nodes mid-run; use data_plane='threaded'"
+                )
+            if self.stripes != 1:
+                raise KascadeError(
+                    "head failover currently requires a 1-stripe plan: "
+                    "per-stripe watermark re-rooting of a striped merge "
+                    "is not supported"
+                )
+        stray_replicas = {t for t in chaos_targets
+                         if t.startswith("replica:")} - replica_names
+        if stray_replicas:
+            raise KascadeError(
+                f"chaos targets control replicas that will not exist: "
+                f"{sorted(stray_replicas)} (coordinator_replicas="
+                f"{coordinator_replicas})"
+            )
+        allow = set(replica_names)
+        if allow_head_chaos:
+            allow.add(self.plan.head)
+        self.chaos.validate(self.plan.receivers, allow=allow)
+        self._failover_enabled = (allow_head_chaos
+                                  and coordinator_replicas >= 1)
         if (output_template is not None and len(self.plan.receivers) > 1
                 and "{node}" not in output_template):
             raise KascadeError(
@@ -419,13 +490,32 @@ class ProcBroadcast:
 
     # -- agent spawning --------------------------------------------------
 
-    def _make_spawn(self, control: Address):
+    def _spawn_env(self) -> dict:
         src_root = os.path.dirname(os.path.dirname(
             os.path.dirname(os.path.abspath(__file__))))
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(
             [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
         )
+        return env
+
+    def _spawn_replicas(self) -> Tuple[List[subprocess.Popen],
+                                       List[Tuple[str, int]]]:
+        """Start the control-plane replica processes; returns procs and
+        their (host, port) addresses, harvested from the stdout
+        announcement each replica prints once bound."""
+        from ..control.replica import spawn_replicas
+
+        procs, addrs = spawn_replicas(
+            self.coordinator_replicas, python=self.python,
+            bind_host=self.bind_host, env=self._spawn_env(),
+        )
+        for i, proc in enumerate(procs):
+            self.chaos.register_external(f"replica:{i}", proc.pid)
+        return procs, addrs
+
+    def _make_spawn(self, control: Address):
+        env = self._spawn_env()
         base = [
             self.python, "-m", "repro.cli.kascade", "agent",
             "--coordinator", f"{control.host}:{control.port}",
@@ -544,6 +634,14 @@ class ProcBroadcast:
             if fired is not None:
                 crashed_by_chaos[name] = fired
 
+        replica_procs: List[subprocess.Popen] = []
+        quorum = None
+        if self.coordinator_replicas >= 1:
+            from ..control.client import QuorumClient
+
+            replica_procs, replica_addrs = self._spawn_replicas()
+            quorum = QuorumClient(replica_addrs, proposer_id=os.getpid())
+
         coordinator = Coordinator(tracer=self.tracer,
                                   on_progress=on_progress)
         launcher = WindowedLauncher(
@@ -555,6 +653,7 @@ class ProcBroadcast:
         )
         procs: Dict[str, subprocess.Popen] = {}
         stop_reaper = threading.Event()
+        stop_pump = threading.Event()
         reaper: Optional[threading.Thread] = None
         try:
             launch_report = launcher.launch(self.plan.chain,
@@ -586,23 +685,252 @@ class ProcBroadcast:
                 name="coord-reaper", daemon=True,
             )
             reaper.start()
+            if quorum is not None:
+                # Replicate everything a restarted (or surviving)
+                # coordinator needs: who is where, and the active plan.
+                for node_name in final_plan.chain:
+                    agent = coordinator.agent(node_name)
+                    if agent is not None:
+                        quorum.commit({
+                            "kind": "register", "node": node_name,
+                            "host": agent.address.host,
+                            "port": agent.address.port, "pid": agent.pid,
+                        })
+                quorum.commit({"kind": "plan",
+                               "plan": final_chain.to_dict()})
+                pump = threading.Thread(
+                    target=self._watermark_pump,
+                    args=(coordinator, final_plan.receivers, quorum,
+                          stop_pump),
+                    name="coord-watermarks", daemon=True,
+                )
+                pump.start()
+            if self._failover_enabled:
+                head_agent = coordinator.agent(final_plan.head)
+                if head_agent is not None:
+                    self.chaos.register_external(final_plan.head,
+                                                 head_agent.pid)
             self._send_starts(coordinator, final_chain, source_path, timeout)
 
             deadline = started + timeout
-            unresolved = coordinator.wait_statuses(final_plan.chain, deadline)
-            for name in unresolved:
-                coordinator.mark_dead(
-                    name, f"no status within the {timeout}s run deadline")
+            current_chain = final_chain
+            failover_done = False
+            while True:
+                unresolved = coordinator.wait_statuses(
+                    final_plan.chain, min(deadline, time.monotonic() + 0.25))
+                if not unresolved:
+                    break
+                if time.monotonic() >= deadline:
+                    for name in unresolved:
+                        coordinator.mark_dead(
+                            name,
+                            f"no status within the {timeout}s run deadline")
+                    break
+                if (self._failover_enabled and not failover_done
+                        and quorum is not None):
+                    head_agent = coordinator.agent(final_plan.head)
+                    if (head_agent is not None and head_agent.dead_reason
+                            and head_agent.status is None):
+                        failover_done = True
+                        new_chain = self._orchestrate_failover(
+                            coordinator, current_chain, source_path, quorum)
+                        if new_chain is not None:
+                            current_chain = new_chain
             return self._collect(coordinator, final_chain, launch_report,
                                  launch_failures, crashed_by_chaos,
-                                 started, wall0)
+                                 started, wall0,
+                                 effective_chain=current_chain)
         finally:
             stop_reaper.set()
+            stop_pump.set()
             if reaper is not None:
                 reaper.join(timeout=2.0)
             self._teardown(procs, coordinator)
             coordinator.close()
+            if quorum is not None:
+                quorum.close()
+            for proc in replica_procs:
+                try:
+                    proc.kill()
+                except OSError:
+                    pass
+            for proc in replica_procs:
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass
             cleanup_source()
+
+    # -- the replicated control plane ------------------------------------
+
+    def _watermark_pump(
+        self,
+        coordinator: Coordinator,
+        receivers: Sequence[str],
+        quorum,
+        stop: threading.Event,
+    ) -> None:
+        """Replicate per-node progress watermarks into the quorum.
+
+        Runs beside the hot progress path, not on it: agents report
+        every ``progress_every`` bytes, but a quorum commit costs three
+        round trips, so the pump snapshots the latest counters on a
+        fixed tick and commits only what grew.  The watermarks are what
+        the election reads — they only need to be *recent*, not exact;
+        the failover handshake re-commits each survivor's precise
+        detach offset before anyone is elected.
+        """
+        from ..control.client import QuorumError
+
+        last: Dict[str, int] = {}
+        while not stop.wait(0.25):
+            for name in receivers:
+                agent = coordinator.agent(name)
+                if agent is None:
+                    continue
+                received = agent.bytes_received
+                if received > last.get(name, -1):
+                    last[name] = received
+                    try:
+                        quorum.commit({"kind": "watermark", "node": name,
+                                       "bytes": received})
+                    except QuorumError:
+                        return  # majority gone: nothing left to replicate to
+
+    def _orchestrate_failover(
+        self,
+        coordinator: Coordinator,
+        chain: ChainPlan,
+        source_path: str,
+        quorum,
+    ) -> Optional[ChainPlan]:
+        """Re-root the chain around its dead head; returns the new plan.
+
+        Two-phase: every surviving receiver is detached first (it
+        interrupts its transfer loops, drains writeback, keeps its sink,
+        rebinds a fresh data port, and replies ``failover_ready`` with
+        its exact stream offset), *then* the quorum decides — authoritative
+        watermarks are committed, the most-complete survivor is elected
+        and recorded as a replicated decree, and everyone resumes under
+        the re-rooted plan.  The promoted node serves PGET below the
+        election watermark from the source file, so survivors behind it
+        recover their gap exactly like a §III-D2 hole.
+
+        Returns ``None`` when nothing survives to resume (no live
+        receivers, or the control quorum itself is gone) — the run then
+        fails through the normal unresolved-agent path.
+        """
+        from ..control.client import QuorumError
+
+        plan = chain.base
+        old_head = plan.head
+        dead: List[str] = []
+        finished: List[str] = []
+        survivors: List[str] = []
+        for name in plan.receivers:
+            agent = coordinator.agent(name)
+            if agent is None or agent.dead_reason:
+                dead.append(name)
+            elif agent.status is not None:
+                finished.append(name)
+            else:
+                survivors.append(name)
+        if not survivors:
+            return None
+
+        for name in survivors:
+            coordinator.send(name, {"op": "failover", "dead": [old_head]})
+        coordinator.wait_failover_ready(survivors, 10.0)
+
+        ready: Dict[str, dict] = {}
+        for name in survivors:
+            agent = coordinator.agent(name)
+            if agent is None or agent.dead_reason:
+                dead.append(name)
+            elif agent.failover_ready is not None:
+                ready[name] = agent.failover_ready
+            elif agent.status is not None:
+                finished.append(name)
+            else:
+                dead.append(name)  # never detached: cannot be re-wired
+        if not ready:
+            return None
+
+        try:
+            # Authoritative watermarks: the detach offsets are exact,
+            # unlike the throttled progress feed the pump replicates.
+            for name, reply in ready.items():
+                quorum.commit({"kind": "watermark", "node": name,
+                               "bytes": int(reply.get("offset", 0))})
+            for name in finished:
+                agent = coordinator.agent(name)
+                done = (int(agent.status.get("bytes", 0))
+                        if agent is not None and agent.status else 0)
+                quorum.commit({"kind": "watermark", "node": name,
+                               "bytes": done})
+            state = quorum.read_state()
+            excluded = [old_head] + dead + finished
+            new_head = state.most_complete(exclude=excluded)
+            if new_head is None or new_head not in ready:
+                # Replicated view is behind our local one (a replica
+                # minority answered the read); fall back to what we
+                # just measured directly.
+                new_head = max(
+                    ready,
+                    key=lambda n: (int(ready[n].get("offset", 0)), n))
+            resume_offset = int(ready[new_head].get("offset", 0))
+            quorum.commit({"kind": "election", "head": new_head,
+                           "dead": [old_head]})
+        except QuorumError:
+            return None
+
+        self.tracer.emit(
+            tracing.ELECTION, "coordinator", peer=new_head,
+            offset=resume_offset,
+            detail=(f"quorum elected {new_head} to replace {old_head} "
+                    f"at watermark {resume_offset}"),
+        )
+        drop = [n for n in set(dead) | set(finished) if n != new_head]
+        try:
+            new_chain = chain.reroot(new_head, dead=drop)
+        except KascadeError:
+            return None
+        try:
+            quorum.commit({"kind": "plan", "plan": new_chain.to_dict()})
+        except QuorumError:
+            return None
+
+        new_plan = new_chain.base
+        nodes_wire = []
+        ports_wire = {}
+        for name in new_plan.chain:
+            agent = coordinator.agent(name)
+            if agent is None:
+                return None
+            nodes_wire.append([name, agent.address.host, agent.address.port])
+            ports_wire[name] = list(agent.ports)
+        config = config_to_wire(self.config)
+        # Resumed nodes only hash the bytes they stream after the
+        # re-root, so an in-protocol end-to-end digest check would be a
+        # false alarm; byte-exactness is still proven by the per-node
+        # digests in the collected statuses (the sinks — and their
+        # hashes — survived the hand-off intact).
+        config["verify_digest"] = False
+        base = {
+            "op": "resume",
+            "nodes": nodes_wire,
+            "head": new_plan.head,
+            "plan": new_chain.to_dict(),
+            "ports": ports_wire,
+            "config": config,
+            "resume_offset": resume_offset,
+        }
+        for name in new_plan.chain:
+            msg = dict(base)
+            if name == new_plan.head:
+                msg["source"] = source_path
+            coordinator.send(name, msg)
+        return new_chain
 
     # -- pieces of run() -------------------------------------------------
 
@@ -644,6 +972,10 @@ class ProcBroadcast:
             "heartbeat_interval": self.heartbeat_interval,
             "progress_every": self.progress_every,
         }
+        if self._failover_enabled:
+            # Agents stay on the control channel while the node runs so
+            # a mid-transfer re-root can reach them.
+            base["failover"] = True
         for name in final_plan.chain:
             msg = dict(base)
             if name == final_plan.head:
@@ -666,8 +998,16 @@ class ProcBroadcast:
         crashed_by_chaos: Dict[str, str],
         started: float,
         wall0: float,
+        effective_chain: Optional[ChainPlan] = None,
     ) -> BroadcastResult:
         final_plan = final_chain.base
+        # After a head failover the run is judged against the re-rooted
+        # chain: the promoted node is the head whose report and byte
+        # count matter, while every originally-started agent still gets
+        # an outcome.
+        effective = effective_chain if effective_chain is not None \
+            else final_chain
+        effective_head = effective.base.head
         duration = time.monotonic() - started
         outcomes: Dict[str, NodeOutcome] = {}
         perfstats: Dict[str, int] = {}
@@ -695,7 +1035,7 @@ class ProcBroadcast:
                 for key, value in (status.get("perfstats") or {}).items():
                     perfstats[key] = perfstats.get(key, 0) + int(value)
                 merged_events.extend(rebase_events(status, wall0))
-                if name == final_plan.head and status.get("report"):
+                if name == effective_head and status.get("report"):
                     head_report = TransferReport.decode(
                         bytes.fromhex(status["report"]))
                     outcomes[name].failures_detected = list(
@@ -721,7 +1061,7 @@ class ProcBroadcast:
         # existed; surface them to the caller alongside transfer failures.
         report.failures[:0] = launch_failures
 
-        head_outcome = outcomes[final_plan.head]
+        head_outcome = outcomes[effective_head]
         # Same accounting as LocalBroadcast: only *planned* deaths are
         # excused, so an unexpected launch failure fails the run even
         # though the survivors were served around it.
@@ -739,7 +1079,7 @@ class ProcBroadcast:
             perfstats=perfstats,
             backend="procs",
             launch=launch_report,
-            plan=final_chain,
+            plan=effective,
         )
 
     def _failed_result(

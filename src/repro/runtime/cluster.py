@@ -17,19 +17,22 @@ Crash injection reproduces the Distem experiments' failure modes:
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..core import tracing
 from ..core.config import DEFAULT_CONFIG, KascadeConfig
 from ..core.errors import KascadeError
 from ..core.perfstats import get_stats
 from ..core.plan import ChainPlan
+from ..core.recovery import SourceKind
 from ..core.report import TransferReport
 from ..core.sinks import NullSink, Sink
-from ..core.sources import Source
+from ..core.sources import ResumeView, Source
 from ..core.stripes import StripeMergeSink, StripeSource
 from ..core.tracing import NULL_TRACER, TraceCollector
 from .node import HeadNode, NodeOutcome, ReceiverNode
@@ -140,6 +143,7 @@ class LocalBroadcast:
         crashes: Sequence[CrashPlan] = (),
         plan: Optional[ChainPlan] = None,
         tracer=NULL_TRACER,
+        allow_head_chaos: bool = False,
     ) -> None:
         self.source = source
         self.config = config
@@ -165,11 +169,44 @@ class LocalBroadcast:
         self.plan = self.chain_plan.stripe(0)
         self.sink_factory = sink_factory or (lambda name: NullSink())
         self.crashes = {c.node: c for c in crashes}
+        #: Injected head death + in-process promotion (the thread-level
+        #: twin of the procs backend's quorum-backed head failover).
+        self._head_crash: Optional[CrashPlan] = None
+        if self.plan.head in self.crashes:
+            if not allow_head_chaos:
+                raise KascadeError(
+                    f"crash plan targets the head {self.plan.head!r}: "
+                    "killing the head interrupts the stream for every "
+                    "receiver; opt in with allow_head_chaos=True to "
+                    "promote the most-complete survivor instead"
+                )
+            if self.stripes != 1:
+                raise KascadeError(
+                    "head failover currently requires a 1-stripe plan: "
+                    "per-stripe watermark re-rooting of a striped merge "
+                    "is not supported"
+                )
+            if config.data_plane == "evloop":
+                raise KascadeError(
+                    "head failover is not survivable on "
+                    "data_plane='evloop': the reactor cannot detach its "
+                    "nodes mid-run; use data_plane='threaded'"
+                )
+            if source.kind is not SourceKind.SEEKABLE_FILE:
+                raise KascadeError(
+                    "head failover needs a seekable source: the promoted "
+                    "head must serve PGET below the election watermark "
+                    "by random access"
+                )
+            self._head_crash = self.crashes.pop(self.plan.head)
         unknown = set(self.crashes) - set(self.plan.receivers)
         if unknown:
             raise KascadeError(f"crash plans for unknown nodes: {sorted(unknown)}")
         self.sinks: Dict[str, Sink] = {}
         self.nodes: Dict[str, object] = {}
+        #: The chain the run actually finished on (rerooted after a head
+        #: failover); also returned as ``result.plan``.
+        self.effective_plan: Optional[ChainPlan] = None
 
     def _crash_gate(self, node: str) -> Optional[Callable[[int], Optional[str]]]:
         plan = self.crashes.get(node)
@@ -222,6 +259,9 @@ class LocalBroadcast:
 
         stats_before = get_stats().snapshot()
         started = time.monotonic()
+        if self._head_crash is not None:
+            return self._run_rerooted(head, receivers, started,
+                                      stats_before, timeout)
         if evloop_plane:
             # The calling thread *is* the event loop; run_nodes returns
             # once every node finished (or the shared deadline expired).
@@ -275,6 +315,188 @@ class LocalBroadcast:
             backend="local",
             plan=self.chain_plan,
         )
+
+    # ------------------------------------------------------------------
+    # Head failover (an injected head death + in-process promotion)
+    # ------------------------------------------------------------------
+
+    def _run_rerooted(self, head, receivers, started, stats_before,
+                      timeout) -> BroadcastResult:
+        """Threaded run that survives the planned head death.
+
+        The in-process twin of the procs backend's quorum failover,
+        with the coordinator role played by this thread: a trigger
+        fires the head's crash once any receiver's progress crosses the
+        threshold, the most-complete survivor is promoted via
+        :meth:`ChainPlan.reroot`, and the others resume from their ring
+        offsets against the promoted head (which serves PGET below the
+        election watermark straight from the source).
+        """
+        crash = self._head_crash
+        old_head = head
+
+        def gate(sent: int) -> Optional[str]:
+            return crash.mode if sent >= crash.after_bytes else None
+
+        # The gate runs on the head's own streaming thread (like the
+        # receiver-side crash gates): a cross-thread kill would race the
+        # send loop, which treats a failing socket as a *downstream*
+        # death and routes around it instead of dying.
+        head.crash_gate = gate
+
+        for node in receivers:
+            node.start()
+        head.start()
+
+        deadline = started + timeout
+        promotion = None
+        current = list(receivers)
+        while time.monotonic() < deadline and head.thread.is_alive():
+            time.sleep(0.05)
+        if old_head.outcome.crashed:
+            self.tracer.emit(
+                tracing.FAILOVER, "coordinator", peer=old_head.name,
+                detail=f"injected head crash ({crash.mode})",
+                detector=(tracing.DETECTOR_ERROR if crash.mode == "close"
+                          else tracing.DETECTOR_PING),
+            )
+            promotion = self._promote_survivor(old_head, receivers)
+            if promotion is not None:
+                head, current = promotion["head"], promotion["receivers"]
+                self.nodes.update({n.name: n for n in (head, *current)})
+                while time.monotonic() < deadline \
+                        and head.thread.is_alive():
+                    time.sleep(0.05)
+        grace = deadline + 1.0
+        for node in current:
+            node.join(max(0.0, grace - time.monotonic()))
+        duration = time.monotonic() - started
+        head_done = not head.thread.is_alive()
+        for node in {id(n): n for n in
+                     (old_head, head, *receivers, *current)}.values():
+            node.shutdown()
+
+        if promotion is not None and head.outcome.ok:
+            # The promoted node streamed [watermark, size) to the chain
+            # but its *own* sink ends at its receiver-phase prefix —
+            # complete it straight from the source, as the procs agent
+            # does, so the promoted head holds the full payload too.
+            sink = promotion["sink"]
+            pos = promotion["prefix"]
+            size = self.source.size
+            while pos < size:
+                piece = self.source.read_range(
+                    pos, min(self.config.chunk_size, size - pos))
+                sink.write_chunk(piece)
+                pos += len(piece)
+            sink.finish()
+
+        outcomes = {old_head.name: old_head.outcome}
+        latest = {n.name: n for n in receivers}
+        latest.update({n.name: n for n in current})
+        if promotion is not None:
+            latest[head.name] = head
+        outcomes.update({name: n.outcome for name, n in latest.items()})
+
+        report = (head.final_report if head.final_report is not None
+                  else TransferReport())
+        # The head's death was planned, so — as everywhere else — it is
+        # excused; every intended receiver (including the promoted one)
+        # must have completed.
+        intended = [r for r in self.plan.receivers if r not in self.crashes]
+        ok = (head.outcome.ok
+              and all(outcomes[name].ok for name in intended)
+              and head_done)
+        stats_after = get_stats().snapshot()
+        effective = (promotion["chain"] if promotion is not None
+                     else self.chain_plan)
+        self.effective_plan = effective
+        return BroadcastResult(
+            ok=ok,
+            duration=duration,
+            total_bytes=head.outcome.bytes_received,
+            report=report,
+            outcomes=outcomes,
+            trace=(self.tracer if isinstance(self.tracer, TraceCollector)
+                   else None),
+            perfstats={k: stats_after[k] - stats_before.get(k, 0)
+                       for k in stats_after},
+            backend="local",
+            plan=effective,
+        )
+
+    def _promote_survivor(self, old_head, receivers) -> Optional[dict]:
+        """Detach the survivors, elect the most complete, resume the rest.
+
+        Returns ``None`` when no receiver survives to be promoted (the
+        run then fails through the normal path); otherwise a dict with
+        the promoted :class:`HeadNode`, the resumed receivers (already
+        started), the re-rooted plan, and the promoted node's retained
+        sink + prefix so the caller can complete its own copy.
+        """
+        survivors, finished, lost = [], [], []
+        for node in receivers:
+            if node.thread.is_alive():
+                node.begin_failover()
+                survivors.append(node)
+            elif node.outcome.ok:
+                finished.append(node)
+            else:
+                lost.append(node)
+        for node in survivors:
+            node.join(5.0)
+        ready = [n for n in survivors if not n.thread.is_alive()]
+        if not ready:
+            return None
+
+        # Most-complete survivor wins; offsets are monotonically
+        # non-increasing down the chain, so ties resolve to the node
+        # closest to the old head (max() keeps the first maximum).
+        elect = max(ready, key=lambda n: n.state.offset)
+        resume_offset = elect.state.offset
+        self.tracer.emit(
+            tracing.ELECTION, "coordinator", peer=elect.name,
+            offset=resume_offset,
+            detail=(f"promoted {elect.name} to replace {old_head.name} "
+                    f"at watermark {resume_offset}"),
+        )
+        drop = [n.name for n in (*finished, *lost)]
+        drop += [n.name for n in survivors if n not in ready]
+        new_chain = self.chain_plan.reroot(elect.name, dead=drop)
+        new_plan = new_chain.stripe(0)
+
+        listeners = {name: Listener() for name in new_plan.chain}
+        registry = Registry({n: l.address for n, l in listeners.items()})
+        elect_sink = elect.detach_sink()
+        # The promoted head only streams [watermark, size), so its digest
+        # would cover a suffix — integrity mode cannot span a re-root
+        # (the procs backend disables it on resume too).
+        resume_config = dataclasses.replace(self.config, verify_digest=False)
+        new_head = HeadNode(
+            elect.name, new_plan, registry, listeners[elect.name],
+            resume_config, ResumeView(self.source, resume_offset),
+            tracer=self.tracer, resume_offset=resume_offset,
+        )
+        resumed = []
+        for node in ready:
+            if node is elect:
+                continue
+            resumed.append(ReceiverNode(
+                node.name, new_plan, registry, listeners[node.name],
+                resume_config, node.detach_sink(),
+                crash_gate=self._crash_gate(node.name),
+                tracer=self.tracer, resume_offset=node.state.offset,
+            ))
+        for node in resumed:
+            node.start()
+        new_head.start()
+        return {
+            "head": new_head,
+            "receivers": resumed,
+            "chain": new_chain,
+            "sink": elect_sink,
+            "prefix": resume_offset,
+        }
 
     # ------------------------------------------------------------------
     # Striped execution (config.stripes > 1)

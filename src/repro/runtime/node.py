@@ -186,6 +186,7 @@ class _BaseNode:
         self.tracer = tracer
         self.data_inbox: "queue.Queue[SocketStream]" = queue.Queue()
         self.stop_event = threading.Event()
+        self.failover_requested = threading.Event()
         self.silent = False
         self.outcome = NodeOutcome(name=name)
         self._orphans: List[SocketStream] = []  # kept open after silent crash
@@ -202,6 +203,21 @@ class _BaseNode:
         self.thread.join(timeout)
 
     def shutdown(self) -> None:
+        self.stop_event.set()
+        if not self.silent:
+            self.listener.close()
+
+    def begin_failover(self) -> None:
+        """Interrupt this node for a head re-root, preserving its sink.
+
+        Unlike :meth:`shutdown` followed by the hard-abort path, a node
+        stopped this way raises :class:`TransferAborted` out of its main
+        loop *without* touching the sink — the caller detaches the sink
+        (:meth:`detach_sink`), notes the node's stream offset, and builds
+        a replacement node that resumes from both.  Must be followed by
+        :meth:`join` before the listener port or sink are reused.
+        """
+        self.failover_requested.set()
         self.stop_event.set()
         if not self.silent:
             self.listener.close()
@@ -231,6 +247,11 @@ class _BaseNode:
             self._run()
         except InjectedCrash as crash:
             self._die(crash.mode)
+        except TransferAborted as exc:
+            # Deliberate interruption (idle timeout or failover detach):
+            # record quietly — the sink is left exactly as it was.
+            self.outcome.error = str(exc)
+            self.shutdown()
         except Exception as exc:  # noqa: BLE001 - node must record, not raise
             logger.exception("%s: node failed", self.name)
             self.outcome.error = f"{type(exc).__name__}: {exc}"
@@ -253,9 +274,12 @@ class HeadNode(_BaseNode):
         listener: Listener,
         config: KascadeConfig,
         source: Source,
+        crash_gate: Optional[CrashGate] = None,
         tracer=NULL_TRACER,
+        resume_offset: int = 0,
     ) -> None:
         super().__init__(name, plan, registry, listener, config, tracer)
+        self.crash_gate = crash_gate
         # Overlap source reads with vectored sends (§III-A): blocking
         # sources get a prefetch stage; in-memory sources gain nothing
         # from one, and readahead_chunks=0 turns the stage off entirely.
@@ -265,6 +289,13 @@ class HeadNode(_BaseNode):
             self._readahead = source
         self.source = source
         self.state = NodeTransferState(name, config, source_kind=source.kind)
+        if resume_offset:
+            # Promoted-head resume (head failover): the stream restarts at
+            # the live edge — the most-complete survivor's watermark.  The
+            # ring window opens empty there, so a receiver whose GET lands
+            # below it is sent FORGET and fetches the gap via PGET, which
+            # the seekable resumed source serves by random access.
+            self.state.buffer.note_advance(resume_offset)
         self.link = DownstreamLink(name, self.plan, registry, config,
                                    self.state, tracer)
         self.quit_requested = threading.Event()
@@ -353,6 +384,10 @@ class HeadNode(_BaseNode):
             if self.tracer.enabled:
                 self.tracer.emit(tracing.CHUNK, self.name, offset=off,
                                  detail=f"read {len(chunk)}")
+            if self.crash_gate is not None:
+                mode = self.crash_gate(state.offset)
+                if mode is not None:
+                    raise InjectedCrash(mode)
             # Cork small chunks and push them in vectored batches; large
             # chunks cross the threshold immediately, keeping the
             # pipeline's chunk-by-chunk backpressure behaviour.
@@ -412,6 +447,7 @@ class ReceiverNode(_BaseNode):
         sink: Sink,
         crash_gate: Optional[CrashGate] = None,
         tracer=NULL_TRACER,
+        resume_offset: int = 0,
     ) -> None:
         super().__init__(name, plan, registry, listener, config, tracer)
         #: The sink as handed in, before any writeback wrapping.
@@ -431,9 +467,26 @@ class ReceiverNode(_BaseNode):
         self.sink = sink
         self.crash_gate = crash_gate
         self.state = NodeTransferState(name, config)
+        if resume_offset:
+            # Resuming after a head re-root: bytes up to ``resume_offset``
+            # are already in the (retained) sink; the GET this node sends
+            # on its first upstream connection asks for the remainder.
+            self.state.buffer.note_advance(resume_offset)
+            self.outcome.bytes_received = resume_offset
         self.link = DownstreamLink(name, self.plan, registry, config,
                                    self.state, tracer)
         self.upstream: Optional[SocketStream] = None
+
+    def detach_sink(self) -> Sink:
+        """Recover the raw sink after ``begin_failover()`` + ``join()``.
+
+        Drains any writeback queue (so every byte counted in
+        ``state.offset`` is really in the sink) and returns the inner
+        sink still open, ready to be handed to the resumed node.
+        """
+        if isinstance(self.sink, SinkWriter):
+            self.sink.detach()
+        return self.raw_sink
 
     # -- upstream management ----------------------------------------------
 
@@ -637,6 +690,10 @@ class ReceiverNode(_BaseNode):
         last_progress = time.monotonic()
 
         while True:
+            if self.failover_requested.is_set():
+                # Detach for a head re-root: escape without touching the
+                # sink or QUITting neighbours — the caller rebuilds us.
+                raise TransferAborted(f"{self.name}: detached for failover")
             if state.phase is Phase.ENDED and upstream_report is not None:
                 return upstream_report
             if self.upstream is None:
@@ -653,6 +710,8 @@ class ReceiverNode(_BaseNode):
             except TimeoutError:
                 if self._switch_upstream_if_replaced():
                     last_progress = time.monotonic()
+                elif self.failover_requested.is_set():
+                    pass  # loop top raises TransferAborted, sink untouched
                 elif time.monotonic() - last_progress > cfg.report_timeout:
                     self._hard_abort("upstream silent beyond deadline")
                     return None

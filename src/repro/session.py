@@ -215,10 +215,11 @@ class BroadcastSession:
         return result
 
     def _run_local(self, timeout: float) -> BroadcastResult:
-        if self.backend_opts:
+        opts = dict(self.backend_opts)
+        allow_head_chaos = bool(opts.pop("allow_head_chaos", False))
+        if opts:
             raise KascadeError(
-                f"local backend takes no extra options: "
-                f"{sorted(self.backend_opts)}"
+                f"local backend takes no extra options: {sorted(opts)}"
             )
         cluster = LocalBroadcast(
             self.source, self.receivers,
@@ -229,6 +230,7 @@ class BroadcastSession:
             crashes=[self._as_crash_plan(c) for c in self.crashes],
             tracer=self.tracer,
             plan=self.plan,
+            allow_head_chaos=allow_head_chaos,
         )
         return cluster.run(timeout=timeout)
 
@@ -238,7 +240,7 @@ class BroadcastSession:
         "window", "spawn_retries", "startup_timeout", "backoff",
         "heartbeat_interval", "heartbeat_timeout", "progress_every",
         "output_template", "python", "bind_host", "agent_args",
-        "stderr_dir",
+        "stderr_dir", "coordinator_replicas", "allow_head_chaos",
     })
 
     def _run_procs(self, timeout: float) -> BroadcastResult:
@@ -284,6 +286,7 @@ class BroadcastSession:
         "heartbeat_interval", "heartbeat_timeout", "progress_every",
         "output_template", "python", "bind_host", "stderr_dir",
         "cache_bytes", "server", "late_join", "session_name",
+        "coordinator_replicas",
     })
 
     def _run_daemon(self, timeout: float) -> BroadcastResult:

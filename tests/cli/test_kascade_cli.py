@@ -4,8 +4,44 @@ import threading
 
 import pytest
 
-from repro.cli.kascade import main, parse_registry
+from repro.cli.kascade import main, parse_chaos, parse_registry
 from repro.runtime.transport import Address
+
+
+class TestParseChaos:
+    def test_node_and_size(self):
+        (plan,) = parse_chaos(["n3:1MiB"])
+        assert (plan.node, plan.after_bytes, plan.sig) == ("n3", 1 << 20,
+                                                           "kill")
+
+    def test_explicit_signal(self):
+        (plan,) = parse_chaos(["n3:64KiB:stop"])
+        assert plan.sig == "stop"
+
+    def test_head_role_resolves_to_the_head_node(self):
+        (plan,) = parse_chaos(["head:4MiB"], head="n1")
+        assert plan.node == "n1"
+        assert plan.after_bytes == 4 << 20
+        # Without a head binding the literal name passes through (and
+        # will be rejected downstream as an unknown node).
+        assert parse_chaos(["head:4MiB"])[0].node == "head"
+
+    def test_replica_targets_keep_their_colon(self):
+        (plan,) = parse_chaos(["replica:0:1MiB"])
+        assert (plan.node, plan.after_bytes, plan.sig) == ("replica:0",
+                                                           1 << 20, "kill")
+        (stopped,) = parse_chaos(["replica:2:512KiB:stop"])
+        assert (stopped.node, stopped.sig) == ("replica:2", "stop")
+
+    def test_bad_entries_exit(self):
+        for bad in ("n3", "n3:1MiB:stop:extra", "n3:not-a-size",
+                    "n3:1MiB:term"):
+            with pytest.raises(SystemExit, match="chaos"):
+                parse_chaos([bad])
+
+    def test_empty_and_none(self):
+        assert parse_chaos([]) == []
+        assert parse_chaos(None) == []
 
 
 class TestParseRegistry:

@@ -1,0 +1,176 @@
+"""Replica servers and the quorum client, over real sockets.
+
+`ReplicaServer.handle` is public precisely so the wire vocabulary can be
+tested without sockets; the `QuorumClient` tests then run against real
+in-thread replicas — including minority death, majority loss, and two
+dueling coordinators racing for slots.
+"""
+
+import contextlib
+import threading
+
+import pytest
+
+from repro.control.client import QuorumClient, QuorumError
+from repro.control.replica import ReplicaServer
+
+
+class TestReplicaHandle:
+    def test_prepare_and_accept_round_trip(self):
+        rep = ReplicaServer(name="r0")
+        p = rep.handle({"op": "prepare", "slot": 0, "ballot": [1, 7]})
+        assert p["op"] == "promise" and p["ok"]
+        assert p["promised"] == [1, 7] and p["accepted_value"] is None
+        a = rep.handle({"op": "accept", "slot": 0, "ballot": [1, 7],
+                        "value": {"kind": "watermark", "node": "n2",
+                                  "bytes": 9}})
+        assert a["op"] == "accepted" and a["ok"]
+        # A later prepare reports the accepted pair for adoption.
+        p2 = rep.handle({"op": "prepare", "slot": 0, "ballot": [2, 1]})
+        assert p2["accepted_ballot"] == [1, 7]
+        assert p2["accepted_value"]["node"] == "n2"
+        rep.stop()
+
+    def test_stale_prepare_is_nacked_with_the_floor(self):
+        rep = ReplicaServer(name="r0")
+        rep.handle({"op": "prepare", "slot": 0, "ballot": [5, 1]})
+        p = rep.handle({"op": "prepare", "slot": 0, "ballot": [3, 2]})
+        assert not p["ok"] and p["promised"] == [5, 1]
+        rep.stop()
+
+    def test_learn_applies_into_the_state_machine(self):
+        rep = ReplicaServer(name="r0")
+        r = rep.handle({"op": "learn", "slot": 0,
+                        "value": {"kind": "watermark", "node": "n3",
+                                  "bytes": 123}})
+        assert r == {"op": "learned", "slot": 0, "applied": [0]}
+        assert rep.state.watermarks == {"n3": 123}
+        # Out-of-order learn is buffered, surfaced via read's "chosen".
+        rep.handle({"op": "learn", "slot": 5,
+                    "value": {"kind": "watermark", "node": "n4", "bytes": 1}})
+        state = rep.handle({"op": "read"})
+        assert state["op"] == "state" and state["applied"] == 1
+        assert state["state"]["watermarks"] == {"n3": 123}
+        assert "5" in state["chosen"]
+        rep.stop()
+
+    def test_ping_and_unknown_op(self):
+        rep = ReplicaServer(name="r9")
+        pong = rep.handle({"op": "ping"})
+        assert pong == {"op": "pong", "name": "r9", "applied": 0}
+        assert rep.handle({"op": "frobnicate"})["op"] == "error"
+        rep.stop()
+
+
+@contextlib.contextmanager
+def quorum(n=3):
+    servers = [ReplicaServer(name=f"r{i}") for i in range(n)]
+    try:
+        for s in servers:
+            s.start()
+        yield servers, [(s.host, s.port) for s in servers]
+    finally:
+        for s in servers:
+            s.stop()
+
+
+class TestQuorumClient:
+    def test_commits_replicate_to_every_member(self):
+        with quorum() as (servers, addrs):
+            client = QuorumClient(addrs, proposer_id=1, timeout=2.0)
+            try:
+                assert client.commit({"kind": "watermark", "node": "n2",
+                                      "bytes": 10}) == 0
+                assert client.commit({"kind": "watermark", "node": "n3",
+                                      "bytes": 20}) == 1
+                for s in servers:
+                    assert s.state.watermarks == {"n2": 10, "n3": 20}
+                state = client.read_state()
+                assert state.watermarks == {"n2": 10, "n3": 20}
+            finally:
+                client.close()
+
+    def test_minority_death_does_not_interrupt(self):
+        with quorum() as (servers, addrs):
+            client = QuorumClient(addrs, proposer_id=1, timeout=2.0)
+            try:
+                client.commit({"kind": "watermark", "node": "n2", "bytes": 1})
+                servers[0].stop()
+                # Two of three still answer: commits and reads proceed.
+                client.commit({"kind": "watermark", "node": "n2", "bytes": 2})
+                assert client.alive() == 2
+                assert client.read_state().watermarks == {"n2": 2}
+            finally:
+                client.close()
+
+    def test_majority_loss_raises(self):
+        with quorum() as (servers, addrs):
+            client = QuorumClient(addrs, proposer_id=1, timeout=0.5)
+            try:
+                servers[0].stop()
+                servers[1].stop()
+                with pytest.raises(QuorumError, match="quorum lost"):
+                    client.commit({"kind": "watermark", "node": "n2",
+                                   "bytes": 1})
+                with pytest.raises(QuorumError, match="quorum lost"):
+                    client.read_state()
+            finally:
+                client.close()
+
+    def test_read_state_requires_a_majority_not_everyone(self):
+        with quorum(n=5) as (servers, addrs):
+            client = QuorumClient(addrs, proposer_id=1, timeout=2.0)
+            try:
+                client.commit({"kind": "register", "node": "n2",
+                               "host": "h", "port": 9})
+                servers[3].stop()
+                servers[4].stop()
+                assert "n2" in client.read_state().registrations
+            finally:
+                client.close()
+
+    def test_dueling_coordinators_commit_exactly_once_each(self):
+        # Two proposers with distinct ids race the same quorum.  Every
+        # command must land in exactly one slot and every replica must
+        # apply the identical total order.
+        with quorum() as (servers, addrs):
+            clients = [QuorumClient(addrs, proposer_id=pid, timeout=2.0)
+                       for pid in (1, 2)]
+            errors = []
+
+            def pound(client, prefix):
+                try:
+                    for i in range(8):
+                        client.commit({"kind": "watermark",
+                                       "node": f"{prefix}{i}",
+                                       "bytes": i + 1})
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=pound, args=(c, p))
+                       for c, p in zip(clients, ("a", "b"))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for c in clients:
+                c.close()
+            assert not errors
+            expected = {f"{p}{i}": i + 1
+                        for p in ("a", "b") for i in range(8)}
+            # All 16 commands landed, none lost or doubled, and the
+            # replicas are byte-identical.
+            snaps = [s.state.snapshot() for s in servers]
+            assert snaps[0]["watermarks"] == expected
+            assert snaps[0] == snaps[1] == snaps[2]
+            assert all(s.learner.applied == 16 for s in servers)
+
+    def test_shutdown_replicas_stops_the_quorum(self):
+        with quorum() as (servers, addrs):
+            client = QuorumClient(addrs, proposer_id=1, timeout=2.0)
+            try:
+                client.shutdown_replicas()
+            finally:
+                client.close()
+            for s in servers:
+                assert s._stop.wait(timeout=2.0)

@@ -120,14 +120,61 @@ class TestReplan:
         # Surviving relative order is preserved per stripe.
         assert replanned.stripe(0).receivers == ("n2", "n3", "n5")
 
-    def test_head_death_is_not_replannable(self):
+    def test_head_death_reroots_to_most_senior_survivor(self):
+        plan = ChainPlan.single("n1", RECEIVERS)
+        replanned = plan.replan_without(("n1",))
+        assert replanned.head == "n2"
+        assert replanned.stripe(0).receivers == ("n3", "n4", "n5")
+
+    def test_head_death_with_no_survivors_rejected(self):
         plan = ChainPlan.single("n1", RECEIVERS)
         with pytest.raises(PipelineError):
-            plan.replan_without(("n1",))
+            plan.replan_without(("n1",) + RECEIVERS)
 
     def test_noop_replan(self):
         plan = ChainPlan.build("n1", RECEIVERS, stripes=2, order="given")
         assert plan.replan_without(()) == plan
+
+
+class TestReroot:
+    def test_surviving_order_preserved(self):
+        plan = ChainPlan.single("n1", RECEIVERS)
+        rerooted = plan.reroot("n3")
+        assert rerooted.head == "n3"
+        # The promoted node leads; everyone else keeps chain order.
+        assert rerooted.stripe(0).receivers == ("n2", "n4", "n5")
+        assert rerooted.receivers == ("n2", "n4", "n5")
+
+    def test_dead_nodes_dropped_from_every_stripe(self):
+        plan = ChainPlan.build("n1", RECEIVERS, stripes=3, order="given")
+        rerooted = plan.reroot("n3", dead=("n5",))
+        assert rerooted.stripe_count == 3
+        for sp in rerooted:
+            assert sp.head == "n3"
+            assert set(sp.receivers) == {"n2", "n4"}
+
+    def test_old_head_always_dropped(self):
+        plan = ChainPlan.single("n1", RECEIVERS)
+        rerooted = plan.reroot("n2")
+        assert "n1" not in rerooted.receivers
+        assert "n1" != rerooted.head
+
+    def test_non_receiver_rejected(self):
+        plan = ChainPlan.single("n1", RECEIVERS)
+        with pytest.raises(PipelineError, match="not a receiver"):
+            plan.reroot("n9")
+        with pytest.raises(PipelineError, match="not a receiver"):
+            plan.reroot("n1")  # the head is not a receiver of itself
+
+    def test_dead_candidate_rejected(self):
+        plan = ChainPlan.single("n1", RECEIVERS)
+        with pytest.raises(PipelineError, match="dead node"):
+            plan.reroot("n3", dead=("n3",))
+
+    def test_roundtrips_through_wire_form(self):
+        plan = ChainPlan.build("n1", RECEIVERS, stripes=2, order="given")
+        rerooted = plan.reroot("n2")
+        assert ChainPlan.from_json(rerooted.to_json()) == rerooted
 
 
 class TestCoercionShim:

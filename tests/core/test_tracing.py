@@ -17,8 +17,11 @@ class TestVocabulary:
         assert tracing.EVENT_TYPES == {
             "connect", "chunk", "stall", "ping", "failover",
             "pget", "forget", "quit", "report", "done",
-            "cache-hit", "session",
+            "cache-hit", "session", "election",
         }
+
+    def test_election_constant_is_its_wire_string(self):
+        assert tracing.ELECTION == "election"
 
     def test_constants_are_their_wire_strings(self):
         assert tracing.FAILOVER == "failover"

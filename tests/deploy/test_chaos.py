@@ -80,6 +80,43 @@ class TestChaosEngine:
         assert engine.targets() == {"n2", "n3"}
 
 
+class TestExternalTargets:
+    """Head and control-replica plans: targets that never self-report."""
+
+    def test_external_fires_on_anyones_progress(self):
+        sent = []
+        engine = ChaosEngine([ChaosPlan("n1", after_bytes=100, sig="kill")],
+                             kill_fn=lambda pid, sig: sent.append((pid, sig)))
+        engine.register_external("n1", 4242)
+        # The head never appears in the feed; a receiver's progress
+        # crossing the threshold is what pulls the trigger.
+        assert engine.on_progress("n3", 50, pid=7) is None
+        engine.on_progress("n3", 150, pid=7)
+        assert sent == [(4242, signal.SIGKILL)]
+        assert "n1" in engine.fired
+        # Once only, no matter how much more progress flows.
+        engine.on_progress("n2", 1 << 30, pid=8)
+        assert len(sent) == 1
+
+    def test_reporter_and_external_can_fire_on_one_report(self):
+        sent = []
+        engine = ChaosEngine(
+            [ChaosPlan("replica:0", after_bytes=10, sig="kill"),
+             ChaosPlan("n2", after_bytes=10, sig="stop")],
+            kill_fn=lambda pid, sig: sent.append((pid, sig)))
+        engine.register_external("replica:0", 9000)
+        assert engine.on_progress("n2", 64, pid=70) == "stop"
+        assert sorted(sent) == [(70, signal.SIGSTOP), (9000, signal.SIGKILL)]
+
+    def test_unregistered_external_never_fires(self):
+        sent = []
+        engine = ChaosEngine([ChaosPlan("replica:1", after_bytes=0)],
+                             kill_fn=lambda pid, sig: sent.append(sig))
+        engine.on_progress("n2", 1 << 20, pid=1)
+        assert sent == []
+        assert "replica:1" not in engine.fired
+
+
 class TestValidate:
     def test_targets_inside_the_plan_pass(self):
         engine = ChaosEngine([ChaosPlan("n2")], kill_fn=lambda p, s: None)
@@ -102,3 +139,16 @@ class TestValidate:
         stranger = ChaosEngine([ChaosPlan("n9")], kill_fn=lambda p, s: None)
         with pytest.raises(KascadeError, match="unknown nodes"):
             stranger.validate(["n2"], known=["n1", "n2"], what="session")
+
+    def test_allow_widens_for_opted_in_backends(self):
+        """The head and replica pseudo-nodes are killable only when the
+        backend passes them in ``allow`` — head failover and the
+        replicated control plane are opt-ins, not defaults."""
+        engine = ChaosEngine([ChaosPlan("n1"), ChaosPlan("replica:0")],
+                             kill_fn=lambda p, s: None)
+        with pytest.raises(KascadeError, match="unknown nodes"):
+            engine.validate(["n2", "n3"])
+        engine.validate(["n2", "n3"], allow=["n1", "replica:0"])  # no raise
+        # A partial allow still flags the rest.
+        with pytest.raises(KascadeError, match="replica:0"):
+            engine.validate(["n2", "n3"], allow=["n1"])
